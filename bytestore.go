@@ -1,0 +1,89 @@
+package deuce
+
+import (
+	"fmt"
+	"io"
+)
+
+// ByteStore adapts a line-granular Memory to byte addressing with
+// io.ReaderAt/io.WriterAt semantics, the interface applications expect
+// from a persistent region. Unaligned and sub-line writes become
+// read-modify-write of the covering lines — which is also how real
+// memory-controller traffic reaches PCM, so the write-cost accounting
+// stays faithful.
+type ByteStore struct {
+	mem *Memory
+}
+
+// NewByteStore wraps a Memory.
+func NewByteStore(mem *Memory) (*ByteStore, error) {
+	if mem == nil {
+		return nil, fmt.Errorf("deuce: nil memory")
+	}
+	return &ByteStore{mem: mem}, nil
+}
+
+// lineBytes is the fixed line size of the underlying memory.
+const lineBytes = 64
+
+// Size returns the store capacity in bytes.
+func (b *ByteStore) Size() int64 { return int64(b.mem.Lines()) * lineBytes }
+
+// Memory returns the underlying line-granular memory (for statistics).
+func (b *ByteStore) Memory() *Memory { return b.mem }
+
+// ReadAt implements io.ReaderAt.
+func (b *ByteStore) ReadAt(p []byte, off int64) (int, error) {
+	if off < 0 {
+		return 0, fmt.Errorf("deuce: negative offset %d", off)
+	}
+	n := 0
+	for n < len(p) {
+		pos := off + int64(n)
+		if pos >= b.Size() {
+			return n, io.EOF
+		}
+		line := uint64(pos / lineBytes)
+		lo := int(pos % lineBytes)
+		data := b.mem.Read(line)
+		c := copy(p[n:], data[lo:])
+		n += c
+	}
+	return n, nil
+}
+
+// WriteAt implements io.WriterAt. Partial-line writes read-modify-write
+// the covering line.
+func (b *ByteStore) WriteAt(p []byte, off int64) (int, error) {
+	if off < 0 {
+		return 0, fmt.Errorf("deuce: negative offset %d", off)
+	}
+	if off+int64(len(p)) > b.Size() {
+		return 0, fmt.Errorf("deuce: write of %d bytes at %d exceeds store size %d", len(p), off, b.Size())
+	}
+	n := 0
+	for n < len(p) {
+		pos := off + int64(n)
+		line := uint64(pos / lineBytes)
+		lo := int(pos % lineBytes)
+
+		var data []byte
+		if lo == 0 && len(p)-n >= lineBytes {
+			// Full-line store: no read needed.
+			data = p[n : n+lineBytes]
+		} else {
+			data = b.mem.Read(line)
+			copy(data[lo:], p[n:])
+		}
+		b.mem.Write(line, data)
+		n += min(lineBytes-lo, len(p)-n)
+	}
+	return n, nil
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,95 @@
+// Command deucebench regenerates the tables and figures of the DEUCE paper
+// (ASPLOS 2015) from the simulator in this repository.
+//
+// Usage:
+//
+//	deucebench -experiment fig10          # one experiment
+//	deucebench -experiment all            # everything, in paper order
+//	deucebench -writebacks 100000 -lines 4096 -seed 7 -experiment fig5
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"deuce/internal/exp"
+)
+
+func main() {
+	var (
+		experiment = flag.String("experiment", "all", "experiment ID (see -list), 'all' for the paper suite, or 'ablations'")
+		writebacks = flag.Int("writebacks", 0, "measured writebacks per workload (0 = default)")
+		lines      = flag.Int("lines", 0, "working-set lines per core (0 = default)")
+		warmup     = flag.Int("warmup", 0, "warm-up writebacks (0 = default)")
+		seed       = flag.Int64("seed", 1, "workload generator seed")
+		format     = flag.String("format", "text", "output format: text or csv")
+		list       = flag.Bool("list", false, "list experiments and exit")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, e := range exp.Experiments() {
+			fmt.Printf("%-12s %s\n", e.ID, e.Paper)
+		}
+		for _, e := range exp.Ablations() {
+			fmt.Printf("%-12s %s\n", e.ID, e.Paper)
+		}
+		return
+	}
+
+	rc := exp.RunConfig{
+		Writebacks: *writebacks,
+		Lines:      *lines,
+		Warmup:     *warmup,
+		Seed:       *seed,
+	}
+
+	run := func(e exp.Experiment) error {
+		start := time.Now()
+		t, err := e.Run(rc)
+		if err != nil {
+			return err
+		}
+		switch *format {
+		case "csv":
+			fmt.Print(t.CSV())
+			fmt.Println()
+		case "text":
+			fmt.Println(t.Render())
+			fmt.Printf("  [%s in %v]\n\n", e.ID, time.Since(start).Round(time.Millisecond))
+		default:
+			return fmt.Errorf("unknown format %q", *format)
+		}
+		return nil
+	}
+
+	switch *experiment {
+	case "all":
+		for _, e := range exp.Experiments() {
+			if err := run(e); err != nil {
+				fmt.Fprintf(os.Stderr, "deucebench: %s: %v\n", e.ID, err)
+				os.Exit(1)
+			}
+		}
+		return
+	case "ablations":
+		for _, e := range exp.Ablations() {
+			if err := run(e); err != nil {
+				fmt.Fprintf(os.Stderr, "deucebench: %s: %v\n", e.ID, err)
+				os.Exit(1)
+			}
+		}
+		return
+	}
+	e, err := exp.ByID(*experiment)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "deucebench:", err)
+		os.Exit(1)
+	}
+	if err := run(e); err != nil {
+		fmt.Fprintf(os.Stderr, "deucebench: %s: %v\n", e.ID, err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,165 @@
+// Command deucesim runs a single simulator configuration: one workload,
+// one scheme, with every knob on a flag, and prints flip, slot, and wear
+// statistics. It is the tool for one-off questions the fixed experiments
+// of deucebench do not answer (e.g. "what does DEUCE with 4-byte words and
+// epoch 64 do on milc?").
+//
+// Usage:
+//
+//	deucesim -workload mcf -scheme deuce -epoch 32 -word 2 -writebacks 50000
+//	deucesim -workload libq -scheme encr-dcw -wear hwl
+//	deucesim -list
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"deuce/internal/core"
+	"deuce/internal/exp"
+	"deuce/internal/pcmdev"
+	"deuce/internal/trace"
+	"deuce/internal/wear"
+	"deuce/internal/workload"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "deucesim:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		workloadName = flag.String("workload", "mcf", "benchmark profile (see -list)")
+		schemeName   = flag.String("scheme", "deuce", "write scheme (see -list)")
+		epoch        = flag.Int("epoch", 32, "DEUCE epoch interval in writes (power of two)")
+		word         = flag.Int("word", 2, "tracking word size in bytes (1, 2, 4, 8)")
+		writebacks   = flag.Int("writebacks", 30000, "measured writebacks")
+		warmup       = flag.Int("warmup", 0, "warm-up writebacks (0 = 2x working set)")
+		lines        = flag.Int("lines", 2048, "working-set lines")
+		seed         = flag.Int64("seed", 1, "workload seed")
+		wearMode     = flag.String("wear", "none", "wear leveling: none, vwl, hwl, hwl-hashed")
+		psi          = flag.Int("psi", 100, "Start-Gap gap-move interval in writes")
+		tracePath    = flag.String("trace", "", "replay writebacks from a tracegen file instead of a synthetic workload")
+		traceLines   = flag.Int("tracelines", 1<<20, "memory size in lines when replaying a trace")
+		profilePath  = flag.String("profile", "", "load a custom workload profile from a JSON file (overrides -workload)")
+		dumpProfile  = flag.String("dumpprofile", "", "print a built-in profile as JSON (a template for -profile) and exit")
+		list         = flag.Bool("list", false, "list workloads and schemes, then exit")
+	)
+	flag.Parse()
+
+	if *list {
+		fmt.Println("workloads:", strings.Join(workload.Names(), " "))
+		fmt.Print("schemes:  ")
+		for _, k := range core.Kinds() {
+			fmt.Printf(" %s", k)
+		}
+		fmt.Println()
+		fmt.Println("wear:      none vwl hwl hwl-hashed")
+		return nil
+	}
+
+	if *dumpProfile != "" {
+		p, err := workload.ByName(*dumpProfile)
+		if err != nil {
+			return err
+		}
+		blob, err := json.MarshalIndent(p, "", "  ")
+		if err != nil {
+			return err
+		}
+		fmt.Println(string(blob))
+		return nil
+	}
+
+	params := core.Params{
+		EpochInterval: *epoch,
+		WordBytes:     *word,
+	}
+
+	if *tracePath != "" {
+		f, err := os.Open(*tracePath)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		res, err := exp.ReplayFlips(trace.ReaderSource{R: trace.NewReader(f)}, *traceLines, core.Kind(*schemeName), params)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("trace      %s (%d writebacks)\n", *tracePath, res.Writes)
+		fmt.Printf("scheme     %s  (epoch %d, word %dB)\n", res.Scheme, *epoch, *word)
+		fmt.Printf("flips      %.1f%% of line cells per write\n", res.FlipFrac*100)
+		fmt.Printf("slots      %.2f write slots per write\n", res.SlotAvg)
+		return nil
+	}
+
+	var prof workload.Profile
+	var err error
+	if *profilePath != "" {
+		f, err := os.Open(*profilePath)
+		if err != nil {
+			return err
+		}
+		prof, err = workload.ParseProfile(f)
+		f.Close()
+		if err != nil {
+			return err
+		}
+	} else {
+		prof, err = workload.ByName(*workloadName)
+		if err != nil {
+			return err
+		}
+	}
+	rc := exp.RunConfig{
+		Writebacks: *writebacks,
+		Warmup:     *warmup,
+		Lines:      *lines,
+		Seed:       *seed,
+	}
+
+	var res exp.FlipResult
+	var wp *wear.Profile
+	switch *wearMode {
+	case "none":
+		res, err = exp.RunFlips(prof, core.Kind(*schemeName), params, rc, true)
+		if err != nil {
+			return err
+		}
+		p, err := wear.Analyze(res.PositionWrites, res.Writes)
+		if err != nil {
+			return err
+		}
+		wp = &p
+	case "vwl", "hwl", "hwl-hashed":
+		mode := map[string]wear.Mode{
+			"vwl": wear.VWLOnly, "hwl": wear.HWL, "hwl-hashed": wear.HWLHashed,
+		}[*wearMode]
+		wres, err := exp.RunWear(prof, core.Kind(*schemeName), params, mode, *psi, rc)
+		if err != nil {
+			return err
+		}
+		res, wp = wres.FlipResult, &wres.Profile
+	default:
+		return fmt.Errorf("unknown wear mode %q", *wearMode)
+	}
+
+	fmt.Printf("workload   %s  (MPKI %.2f, WBPKI %.2f)\n", prof.Name, prof.MPKI, prof.WBPKI)
+	fmt.Printf("scheme     %s  (epoch %d, word %dB, wear %s)\n", res.Scheme, *epoch, *word, *wearMode)
+	fmt.Printf("writebacks %d\n", res.Writes)
+	fmt.Printf("flips      %.1f%% of line cells per write (%.1f cells)\n",
+		res.FlipFrac*100, res.FlipFrac*float64(pcmdev.DefaultLineBytes*8))
+	fmt.Printf("slots      %.2f write slots per write (of %d)\n",
+		res.SlotAvg, pcmdev.DefaultLineBytes*8/pcmdev.SlotBits)
+	fmt.Printf("wear       max/avg bit-position skew %.1fx (hottest position %d)\n",
+		wp.Skew(), wp.MaxPos)
+	fmt.Printf("lifetime   %.0f writes to first cell death at 1e7 endurance (perfect: %.0f)\n",
+		wp.LifetimeWrites(wear.DefaultEndurance), wp.PerfectLifetimeWrites(wear.DefaultEndurance))
+	return nil
+}

@@ -1,0 +1,306 @@
+// Package deuce is a Go implementation of DEUCE (Dual Counter Encryption),
+// the write-efficient memory encryption scheme for non-volatile memories
+// from Young, Nair and Qureshi, ASPLOS 2015, together with the complete
+// simulation stack the paper's evaluation is built on.
+//
+// The top-level API models an encrypted PCM main memory as a collection of
+// 64-byte cache lines. Writes go through a selectable write scheme —
+// baseline counter-mode encryption, Flip-N-Write, DEUCE, DynDEUCE,
+// Block-Level Encryption, or their combinations — and the library accounts
+// for every memory cell the write programs, which is the currency in which
+// PCM write energy, bandwidth, and endurance are paid.
+//
+//	mem, err := deuce.New(deuce.Options{Lines: 1 << 20})
+//	if err != nil { ... }
+//	info := mem.Write(lineAddr, payload)   // info.BitFlips, info.WriteSlots
+//	data := mem.Read(lineAddr)             // transparently decrypted
+//
+// The reproduction harness for the paper's tables and figures lives in
+// cmd/deucebench; the workload models, wear leveling, cache hierarchy, and
+// timing model are available to examples and tools via the internal
+// packages.
+package deuce
+
+import (
+	"fmt"
+	"io"
+
+	"deuce/internal/core"
+	"deuce/internal/pcmdev"
+	"deuce/internal/wear"
+)
+
+// Scheme selects the write scheme of a Memory.
+type Scheme string
+
+// The available write schemes. Names follow the paper's figures.
+const (
+	// PlainDCW is unencrypted memory with Data Comparison Write: the
+	// write-cost floor, with no security.
+	PlainDCW Scheme = "noencr-dcw"
+	// PlainFNW is unencrypted memory with Flip-N-Write.
+	PlainFNW Scheme = "noencr-fnw"
+	// EncrDCW is whole-line counter-mode encryption, the secure
+	// baseline: ~50% of cells program on every write.
+	EncrDCW Scheme = "encr-dcw"
+	// EncrFNW is the secure baseline with a Flip-N-Write stage (~43%).
+	EncrFNW Scheme = "encr-fnw"
+	// DEUCE is Dual Counter Encryption, the paper's contribution:
+	// secure memory at ~24% of cells programmed per write.
+	DEUCE Scheme = "deuce"
+	// DEUCEFNW stacks dedicated Flip-N-Write bits under DEUCE (~20%).
+	DEUCEFNW Scheme = "deuce-fnw"
+	// DynDEUCE morphs between DEUCE and FNW per line within an epoch
+	// (~22% with 1 extra metadata bit).
+	DynDEUCE Scheme = "dyndeuce"
+	// BLE is Block-Level Encryption at 16-byte AES-block granularity.
+	BLE Scheme = "ble"
+	// BLEDEUCE runs the DEUCE protocol inside each BLE block.
+	BLEDEUCE Scheme = "ble-deuce"
+	// AddrPad is address-keyed encryption without counters (§7.2): zero
+	// write overhead and stolen-DIMM protection, but no defence against
+	// bus snooping — pads repeat across writes.
+	AddrPad Scheme = "addr-pad"
+	// INVMM is i-NVMM-style partial encryption (§7.2): the hot working
+	// set stays in plain text until it cools or the system powers down.
+	INVMM Scheme = "invmm"
+	// SECRET is the zero-word-aware follow-up to DEUCE: zero words store
+	// as literal zeros with a flag (free rewrites, zero-ness leaked),
+	// non-zero words follow the DEUCE protocol.
+	SECRET Scheme = "secret"
+)
+
+// Schemes returns all selectable schemes.
+func Schemes() []Scheme {
+	kinds := core.Kinds()
+	out := make([]Scheme, len(kinds))
+	for i, k := range kinds {
+		out[i] = Scheme(k)
+	}
+	return out
+}
+
+// WearLeveling selects the optional Start-Gap wear leveler.
+type WearLeveling int
+
+// Wear-leveling modes.
+const (
+	// NoWearLeveling maps lines directly to the array.
+	NoWearLeveling WearLeveling = iota
+	// VerticalWL enables Start-Gap line remapping.
+	VerticalWL
+	// HorizontalWL additionally rotates each line's bits by an
+	// algebraic function of the Start register (the paper's HWL, §5.3).
+	HorizontalWL
+	// HorizontalWLHashed uses the per-line hashed rotation of the
+	// paper's footnote 2, hardening HWL against adaptive write
+	// patterns.
+	HorizontalWLHashed
+	// SecurityRefreshWL remaps lines with Security Refresh (the other
+	// VWL algorithm of §5.2): XOR keys drawn at random each sweep.
+	// Requires a power-of-two line count.
+	SecurityRefreshWL
+	// SecurityRefreshHWL adds the hashed horizontal rotation on top of
+	// Security Refresh.
+	SecurityRefreshHWL
+)
+
+// Options configures a Memory. The zero value of every field selects the
+// paper's defaults.
+type Options struct {
+	// Lines is the number of 64-byte lines. Required.
+	Lines int
+	// Scheme selects the write scheme; empty means DEUCE.
+	Scheme Scheme
+	// Key is the 16-byte AES-128 key for encrypted schemes; nil selects
+	// a fixed development key.
+	Key []byte
+	// EpochInterval is the DEUCE epoch in writes (power of two);
+	// 0 means 32.
+	EpochInterval int
+	// WordBytes is the tracking granularity (1, 2, 4 or 8); 0 means 2.
+	WordBytes int
+	// WearLeveling optionally interposes a Start-Gap leveler.
+	WearLeveling WearLeveling
+	// GapWriteInterval is the Start-Gap psi (writes per gap move);
+	// 0 means 100.
+	GapWriteInterval int
+	// ExcludeGapMoveWear leaves Start-Gap's own line copies out of the
+	// wear and flip accounting. At realistic scale (psi=100 over
+	// billions of writes) gap moves are <1% of cell programs; short
+	// simulations that shrink psi to exercise wear leveling should set
+	// this so the copies do not drown the signal being measured.
+	ExcludeGapMoveWear bool
+}
+
+// WriteInfo reports the cost of one line write.
+type WriteInfo struct {
+	// BitFlips is the number of memory cells the write programmed,
+	// including scheme metadata cells.
+	BitFlips int
+	// WriteSlots is the number of 128-bit write slots consumed (each
+	// takes 150 ns and a share of the write current budget).
+	WriteSlots int
+}
+
+// Stats aggregates memory activity.
+type Stats struct {
+	// Writes is the number of line writes.
+	Writes uint64
+	// Reads is the number of line reads.
+	Reads uint64
+	// BitFlips is the total cells programmed.
+	BitFlips uint64
+	// AvgFlipsPerWrite is BitFlips/Writes.
+	AvgFlipsPerWrite float64
+	// FlipFraction is AvgFlipsPerWrite over the 512 data cells of a
+	// line — the paper's figure of merit (50% for the encrypted
+	// baseline, ~24% for DEUCE).
+	FlipFraction float64
+	// AvgWriteSlots is the mean 128-bit write slots per write.
+	AvgWriteSlots float64
+	// MetadataBitsPerLine is the scheme's storage overhead (Table 3).
+	MetadataBitsPerLine int
+}
+
+// Memory is an encrypted (or plain) PCM main memory simulation.
+type Memory struct {
+	scheme core.Scheme
+	opts   Options
+}
+
+// New constructs a Memory.
+func New(opts Options) (*Memory, error) {
+	if opts.Lines <= 0 {
+		return nil, fmt.Errorf("deuce: Options.Lines must be positive, got %d", opts.Lines)
+	}
+	kind := core.Kind(opts.Scheme)
+	if opts.Scheme == "" {
+		kind = core.KindDeuce
+	}
+	params := core.Params{
+		Lines:         opts.Lines,
+		Key:           opts.Key,
+		EpochInterval: opts.EpochInterval,
+		WordBytes:     opts.WordBytes,
+	}
+	switch opts.WearLeveling {
+	case NoWearLeveling:
+	case SecurityRefreshWL, SecurityRefreshHWL:
+		mode := wear.VWLOnly
+		if opts.WearLeveling == SecurityRefreshHWL {
+			mode = wear.HWLHashed
+		}
+		params.MakeArray = func(cfg pcmdev.Config) (pcmdev.Array, error) {
+			return wear.NewSecurityRefresh(cfg, wear.StartGapConfig{
+				Mode:         mode,
+				Psi:          opts.GapWriteInterval,
+				FreeGapMoves: opts.ExcludeGapMoveWear,
+			}, 1)
+		}
+	default:
+		mode, err := wearMode(opts.WearLeveling)
+		if err != nil {
+			return nil, err
+		}
+		params.MakeArray = func(cfg pcmdev.Config) (pcmdev.Array, error) {
+			return wear.NewStartGap(cfg, wear.StartGapConfig{
+				Mode:         mode,
+				Psi:          opts.GapWriteInterval,
+				FreeGapMoves: opts.ExcludeGapMoveWear,
+			})
+		}
+	}
+	s, err := core.New(kind, params)
+	if err != nil {
+		return nil, err
+	}
+	return &Memory{scheme: s, opts: opts}, nil
+}
+
+func wearMode(w WearLeveling) (wear.Mode, error) {
+	switch w {
+	case VerticalWL:
+		return wear.VWLOnly, nil
+	case HorizontalWL:
+		return wear.HWL, nil
+	case HorizontalWLHashed:
+		return wear.HWLHashed, nil
+	default:
+		return 0, fmt.Errorf("deuce: unknown wear-leveling mode %d", int(w))
+	}
+}
+
+// MustNew is New for options known to be valid.
+func MustNew(opts Options) *Memory {
+	m, err := New(opts)
+	if err != nil {
+		panic(err)
+	}
+	return m
+}
+
+// Lines returns the memory capacity in lines.
+func (m *Memory) Lines() int { return m.opts.Lines }
+
+// SchemeName returns the active scheme's display name.
+func (m *Memory) SchemeName() string { return m.scheme.Name() }
+
+// Write stores a 64-byte plaintext line and returns its exact cost.
+func (m *Memory) Write(line uint64, data []byte) WriteInfo {
+	res := m.scheme.Write(line, data)
+	return WriteInfo{BitFlips: res.TotalFlips(), WriteSlots: res.Slots}
+}
+
+// Read returns the current plaintext of a line.
+func (m *Memory) Read(line uint64) []byte { return m.scheme.Read(line) }
+
+// Install places initial content into a line without write-cost accounting
+// (initial page placement). Must precede any Write/Read of that line.
+func (m *Memory) Install(line uint64, data []byte) { m.scheme.Install(line, data) }
+
+// Stats returns an activity snapshot.
+func (m *Memory) Stats() Stats {
+	st := m.scheme.Device().Stats()
+	lineBits := float64(m.scheme.Device().Config().LineBits())
+	return Stats{
+		Writes:              st.Writes,
+		Reads:               st.Reads,
+		BitFlips:            st.TotalFlips(),
+		AvgFlipsPerWrite:    st.AvgFlipsPerWrite(),
+		FlipFraction:        st.AvgFlipsPerWrite() / lineBits,
+		AvgWriteSlots:       st.AvgSlotsPerWrite(),
+		MetadataBitsPerLine: m.scheme.OverheadBits(),
+	}
+}
+
+// ResetStats clears the activity counters, keeping memory contents.
+func (m *Memory) ResetStats() { m.scheme.Device().ResetStats() }
+
+// WearProfile returns the per-bit-position program counts (data cells first,
+// then metadata cells), for endurance analysis.
+func (m *Memory) WearProfile() []uint64 { return m.scheme.Device().PositionWrites() }
+
+// Persist writes the memory's durable state — cells, metadata, and the
+// non-volatile encryption counters — to w, modeling a clean power-down.
+// i-NVMM memories encrypt their hot set first (the scheme's power-down
+// obligation). Wear-leveled memories are not persistable (their remapping
+// registers are controller state outside this format) and return an error.
+func (m *Memory) Persist(w io.Writer) error {
+	p, ok := m.scheme.(core.Persistent)
+	if !ok {
+		return fmt.Errorf("deuce: scheme %s does not support persistence", m.scheme.Name())
+	}
+	return p.SaveState(w)
+}
+
+// RestoreState loads state written by Persist into this memory. The
+// memory must have been constructed with identical Options (scheme, key,
+// size, epoch, word size); mismatches are rejected.
+func (m *Memory) RestoreState(r io.Reader) error {
+	p, ok := m.scheme.(core.Persistent)
+	if !ok {
+		return fmt.Errorf("deuce: scheme %s does not support persistence", m.scheme.Name())
+	}
+	return p.LoadState(r)
+}

@@ -1,0 +1,59 @@
+// Quickstart: create an encrypted PCM memory, write a few lines, read them
+// back, and see what the encryption costs in programmed cells — and what
+// DEUCE saves.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"deuce"
+)
+
+func main() {
+	// A small DEUCE-encrypted memory: 1024 lines of 64 bytes.
+	mem, err := deuce.New(deuce.Options{Lines: 1024, Scheme: deuce.DEUCE})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Place initial content (pages are encrypted as they enter memory),
+	// then update one word of the line a few times — the common pattern
+	// of real writebacks.
+	line := make([]byte, 64)
+	copy(line, "DEUCE: write-efficient encryption for NVM")
+	mem.Install(7, line)
+
+	for i := byte(0); i < 10; i++ {
+		line[60] = i // one counter-like field changes
+		info := mem.Write(7, line)
+		fmt.Printf("update %d: %3d cells programmed, %d write slot(s)\n",
+			i, info.BitFlips, info.WriteSlots)
+	}
+
+	got := mem.Read(7)
+	fmt.Printf("\nread back: %q\n", got[:42])
+
+	st := mem.Stats()
+	fmt.Printf("\n%s over %d writes: %.1f%% of line cells programmed per write\n",
+		mem.SchemeName(), st.Writes, st.FlipFraction*100)
+
+	// Same traffic against the baseline encrypted memory: the avalanche
+	// effect makes every write cost ~50% of the line.
+	base, err := deuce.New(deuce.Options{Lines: 1024, Scheme: deuce.EncrDCW})
+	if err != nil {
+		log.Fatal(err)
+	}
+	base.Install(7, line)
+	for i := byte(0); i < 10; i++ {
+		line[60] = 100 + i
+		base.Write(7, line)
+	}
+	bst := base.Stats()
+	fmt.Printf("%s over %d writes: %.1f%% of line cells programmed per write\n",
+		base.SchemeName(), bst.Writes, bst.FlipFraction*100)
+	fmt.Printf("\nDEUCE programs %.1fx fewer cells for the same (secure) writes.\n",
+		bst.FlipFraction/st.FlipFraction)
+}

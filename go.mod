@@ -1,0 +1,3 @@
+module deuce
+
+go 1.22

@@ -1,0 +1,256 @@
+// Package cache implements the write-back cache hierarchy that sits
+// between the cores and PCM in the paper's system (Table 1: private
+// L1/L2/L3 plus a 64 MB L4 partitioned per core). The simulator's headline
+// experiments consume calibrated writeback streams directly, but the
+// hierarchy is a real substrate: cmd/tracegen can derive PCM-level traces
+// from raw access streams through it, and the securekv example uses it as
+// its memory front-end.
+//
+// The model is a set-associative write-back, write-allocate cache with true
+// LRU replacement and 64-byte lines. Multi-level hierarchies are built by
+// chaining levels; a dirty eviction at the last level surfaces as a
+// writeback event.
+package cache
+
+import (
+	"fmt"
+)
+
+// LineBytes is the fixed line size of every cache level (Table 1).
+const LineBytes = 64
+
+// Config describes one cache level.
+type Config struct {
+	// SizeBytes is the total capacity.
+	SizeBytes int
+	// Ways is the set associativity.
+	Ways int
+}
+
+func (c Config) validate() error {
+	if c.SizeBytes <= 0 || c.Ways <= 0 {
+		return fmt.Errorf("cache: non-positive geometry %+v", c)
+	}
+	if c.SizeBytes%(c.Ways*LineBytes) != 0 {
+		return fmt.Errorf("cache: size %d not divisible into %d ways of %d-byte lines", c.SizeBytes, c.Ways, LineBytes)
+	}
+	sets := c.SizeBytes / (c.Ways * LineBytes)
+	if sets&(sets-1) != 0 {
+		return fmt.Errorf("cache: set count %d is not a power of two", sets)
+	}
+	return nil
+}
+
+// Sets returns the number of sets.
+func (c Config) Sets() int { return c.SizeBytes / (c.Ways * LineBytes) }
+
+// Stats counts cache activity.
+type Stats struct {
+	Hits       uint64
+	Misses     uint64
+	Writebacks uint64 // dirty evictions pushed down
+	Evictions  uint64 // total evictions (clean + dirty)
+}
+
+// MissRate returns misses / accesses.
+func (s Stats) MissRate() float64 {
+	total := s.Hits + s.Misses
+	if total == 0 {
+		return 0
+	}
+	return float64(s.Misses) / float64(total)
+}
+
+// way is one tag-store entry.
+type way struct {
+	valid bool
+	dirty bool
+	tag   uint64
+	lru   uint64 // higher = more recently used
+	data  []byte // nil unless the cache stores data
+}
+
+// Cache is one set-associative write-back level.
+type Cache struct {
+	cfg      Config
+	sets     [][]way
+	setMask  uint64
+	lruClock uint64
+	stats    Stats
+	// storeData materializes line payloads (needed at the level whose
+	// writebacks feed an encryption scheme).
+	storeData bool
+}
+
+// New builds a cache level. storeData selects whether line payloads are
+// kept (the level that produces PCM writebacks needs them; upper levels
+// tracking only tags stay cheap).
+func New(cfg Config, storeData bool) (*Cache, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	c := &Cache{
+		cfg:       cfg,
+		sets:      make([][]way, cfg.Sets()),
+		setMask:   uint64(cfg.Sets() - 1),
+		storeData: storeData,
+	}
+	for i := range c.sets {
+		c.sets[i] = make([]way, cfg.Ways)
+	}
+	return c, nil
+}
+
+// MustNew is New for configurations known to be valid.
+func MustNew(cfg Config, storeData bool) *Cache {
+	c, err := New(cfg, storeData)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+// Stats returns an activity snapshot.
+func (c *Cache) Stats() Stats { return c.stats }
+
+// Config returns the level geometry.
+func (c *Cache) Config() Config { return c.cfg }
+
+func (c *Cache) setOf(line uint64) uint64 { return line & c.setMask }
+func (c *Cache) tagOf(line uint64) uint64 { return line >> uint(popShift(c.setMask)) }
+
+func popShift(mask uint64) int {
+	n := 0
+	for mask != 0 {
+		mask >>= 1
+		n++
+	}
+	return n
+}
+
+// Eviction describes a line pushed out of the cache.
+type Eviction struct {
+	Line  uint64
+	Dirty bool
+	Data  []byte // non-nil only for data-storing caches with dirty lines
+}
+
+// Access performs a read (write=false) or write (write=true) of the line.
+// data supplies the new line payload for writes to data-storing caches (nil
+// is allowed: the stored payload, if any, is kept). It returns whether the
+// access hit and, on a miss that displaced a line, the eviction.
+func (c *Cache) Access(line uint64, write bool, data []byte) (hit bool, ev *Eviction) {
+	set := c.sets[c.setOf(line)]
+	tag := c.tagOf(line)
+	c.lruClock++
+
+	for i := range set {
+		if set[i].valid && set[i].tag == tag {
+			c.stats.Hits++
+			set[i].lru = c.lruClock
+			if write {
+				set[i].dirty = true
+				c.storePayload(&set[i], data)
+			}
+			return true, nil
+		}
+	}
+	c.stats.Misses++
+
+	// Choose a victim: invalid way first, else LRU.
+	victim := 0
+	for i := range set {
+		if !set[i].valid {
+			victim = i
+			break
+		}
+		if set[i].lru < set[victim].lru {
+			victim = i
+		}
+	}
+	if set[victim].valid {
+		c.stats.Evictions++
+		if set[victim].dirty {
+			c.stats.Writebacks++
+			ev = &Eviction{
+				Line:  c.lineOf(set[victim].tag, c.setOf(line)),
+				Dirty: true,
+				Data:  set[victim].data,
+			}
+		} else {
+			ev = &Eviction{Line: c.lineOf(set[victim].tag, c.setOf(line))}
+		}
+	}
+	set[victim] = way{valid: true, dirty: write, tag: tag, lru: c.lruClock}
+	if write {
+		c.storePayload(&set[victim], data)
+	} else if c.storeData {
+		set[victim].data = make([]byte, LineBytes)
+	}
+	return false, ev
+}
+
+func (c *Cache) storePayload(w *way, data []byte) {
+	if !c.storeData {
+		return
+	}
+	if w.data == nil {
+		w.data = make([]byte, LineBytes)
+	}
+	if data != nil {
+		if len(data) != LineBytes {
+			panic(fmt.Sprintf("cache: payload of %d bytes", len(data)))
+		}
+		copy(w.data, data)
+	}
+}
+
+func (c *Cache) lineOf(tag, set uint64) uint64 {
+	return tag<<uint(popShift(c.setMask)) | set
+}
+
+// UpdatePayload refreshes the stored payload of a resident line without
+// touching statistics or recency. It returns false if the line is absent or
+// the cache does not store data. The hierarchy uses this to keep the
+// data-holding last level coherent with writes that hit in upper levels.
+func (c *Cache) UpdatePayload(line uint64, data []byte) bool {
+	if !c.storeData || data == nil {
+		return !c.storeData // nothing to store is success for tag-only caches
+	}
+	set := c.sets[c.setOf(line)]
+	tag := c.tagOf(line)
+	for i := range set {
+		if set[i].valid && set[i].tag == tag {
+			set[i].dirty = true
+			c.storePayload(&set[i], data)
+			return true
+		}
+	}
+	return false
+}
+
+// Contains reports whether the line is present (no LRU side effects).
+func (c *Cache) Contains(line uint64) bool {
+	set := c.sets[c.setOf(line)]
+	tag := c.tagOf(line)
+	for i := range set {
+		if set[i].valid && set[i].tag == tag {
+			return true
+		}
+	}
+	return false
+}
+
+// FlushAll evicts every line, invoking sink for each dirty one. Used at
+// simulation end so all dirty data reaches memory.
+func (c *Cache) FlushAll(sink func(Eviction)) {
+	for s := range c.sets {
+		for i := range c.sets[s] {
+			w := &c.sets[s][i]
+			if w.valid && w.dirty && sink != nil {
+				sink(Eviction{Line: c.lineOf(w.tag, uint64(s)), Dirty: true, Data: w.data})
+			}
+			*w = way{}
+		}
+	}
+}

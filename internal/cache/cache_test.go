@@ -1,0 +1,264 @@
+package cache
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestConfigValidation(t *testing.T) {
+	bad := []Config{
+		{SizeBytes: 0, Ways: 8},
+		{SizeBytes: 1024, Ways: 0},
+		{SizeBytes: 1000, Ways: 2},       // not divisible
+		{SizeBytes: 64 * 2 * 3, Ways: 2}, // 3 sets: not a power of two
+	}
+	for i, c := range bad {
+		if _, err := New(c, false); err == nil {
+			t.Errorf("case %d: bad config accepted: %+v", i, c)
+		}
+	}
+	good := Config{SizeBytes: 32 << 10, Ways: 8}
+	if _, err := New(good, true); err != nil {
+		t.Errorf("good config rejected: %v", err)
+	}
+	if good.Sets() != 64 {
+		t.Errorf("Sets = %d, want 64", good.Sets())
+	}
+}
+
+func TestHitMissBasics(t *testing.T) {
+	c := MustNew(Config{SizeBytes: 64 * 8, Ways: 2}, false) // 4 sets, 2 ways
+	hit, _ := c.Access(0, false, nil)
+	if hit {
+		t.Error("cold access hit")
+	}
+	hit, _ = c.Access(0, false, nil)
+	if !hit {
+		t.Error("second access missed")
+	}
+	st := c.Stats()
+	if st.Hits != 1 || st.Misses != 1 {
+		t.Errorf("stats = %+v", st)
+	}
+	if st.MissRate() != 0.5 {
+		t.Errorf("MissRate = %v", st.MissRate())
+	}
+}
+
+func TestLRUReplacement(t *testing.T) {
+	// 1 set, 2 ways: lines 0, 4, 8 map to the same set (4 sets... use
+	// a 1-set cache: size = 2 lines).
+	c := MustNew(Config{SizeBytes: 64 * 2, Ways: 2}, false)
+	c.Access(0, false, nil)
+	c.Access(1, false, nil)
+	c.Access(0, false, nil) // 0 now MRU
+	_, ev := c.Access(2, false, nil)
+	if ev == nil || ev.Line != 1 {
+		t.Fatalf("expected eviction of line 1, got %+v", ev)
+	}
+	if !c.Contains(0) || c.Contains(1) || !c.Contains(2) {
+		t.Error("LRU victim selection wrong")
+	}
+}
+
+func TestDirtyEvictionCarriesData(t *testing.T) {
+	c := MustNew(Config{SizeBytes: 64 * 2, Ways: 1}, true) // 2 sets, direct-mapped
+	data := make([]byte, LineBytes)
+	data[0] = 0xab
+	c.Access(0, true, data)
+	// Line 2 maps to set 0 as well (2 sets).
+	_, ev := c.Access(2, false, nil)
+	if ev == nil || !ev.Dirty {
+		t.Fatal("dirty eviction not reported")
+	}
+	if ev.Line != 0 {
+		t.Errorf("evicted line = %d, want 0", ev.Line)
+	}
+	if ev.Data == nil || ev.Data[0] != 0xab {
+		t.Error("dirty eviction lost its payload")
+	}
+	if c.Stats().Writebacks != 1 {
+		t.Errorf("Writebacks = %d", c.Stats().Writebacks)
+	}
+}
+
+func TestCleanEvictionHasNoWriteback(t *testing.T) {
+	c := MustNew(Config{SizeBytes: 64 * 2, Ways: 1}, false)
+	c.Access(0, false, nil)
+	_, ev := c.Access(2, false, nil)
+	if ev == nil || ev.Dirty {
+		t.Fatalf("expected clean eviction, got %+v", ev)
+	}
+	if c.Stats().Writebacks != 0 {
+		t.Error("clean eviction counted as writeback")
+	}
+}
+
+func TestWriteHitSetsDirty(t *testing.T) {
+	c := MustNew(Config{SizeBytes: 64 * 2, Ways: 1}, false)
+	c.Access(0, false, nil) // clean fill
+	c.Access(0, true, nil)  // write hit dirties
+	_, ev := c.Access(2, false, nil)
+	if ev == nil || !ev.Dirty {
+		t.Error("write hit did not mark line dirty")
+	}
+}
+
+func TestFlushAll(t *testing.T) {
+	c := MustNew(Config{SizeBytes: 64 * 4, Ways: 2}, true)
+	data := make([]byte, LineBytes)
+	c.Access(0, true, data)
+	c.Access(1, true, data)
+	c.Access(2, false, nil)
+	var flushed []uint64
+	c.FlushAll(func(ev Eviction) { flushed = append(flushed, ev.Line) })
+	if len(flushed) != 2 {
+		t.Errorf("flushed %v, want the two dirty lines", flushed)
+	}
+	if c.Contains(0) || c.Contains(2) {
+		t.Error("FlushAll left lines resident")
+	}
+}
+
+func TestEvictedLineAddressReconstruction(t *testing.T) {
+	// 4 sets: line address = tag<<2 | set must round-trip.
+	c := MustNew(Config{SizeBytes: 64 * 8, Ways: 2}, false)
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 2000; i++ {
+		line := uint64(rng.Intn(1 << 16))
+		_, ev := c.Access(line, true, nil)
+		if ev != nil {
+			// The evicted line must map to the same set as the
+			// incoming line.
+			if ev.Line&3 != line&3 {
+				t.Fatalf("evicted line %d from wrong set (incoming %d)", ev.Line, line)
+			}
+		}
+	}
+}
+
+func TestHierarchyWritebackFlow(t *testing.T) {
+	h := MustNewHierarchy(HierarchyConfig{
+		Cores: 1,
+		// Tiny levels so evictions happen quickly.
+		L1:        Config{SizeBytes: 64 * 4, Ways: 2},
+		L2:        Config{SizeBytes: 64 * 8, Ways: 2},
+		L3:        Config{SizeBytes: 64 * 16, Ways: 2},
+		L4PerCore: Config{SizeBytes: 64 * 32, Ways: 2},
+	})
+	var wbs int
+	var reads int
+	h.Sink = func(core int, ev Eviction) {
+		if !ev.Dirty {
+			t.Error("sink received clean eviction")
+		}
+		wbs++
+	}
+	h.MissSink = func(core int, line uint64) { reads++ }
+
+	rng := rand.New(rand.NewSource(2))
+	data := make([]byte, LineBytes)
+	for i := 0; i < 5000; i++ {
+		line := uint64(rng.Intn(256))
+		write := rng.Intn(2) == 0
+		if write {
+			rng.Read(data[:4])
+		}
+		h.Access(0, line, write, data)
+	}
+	if wbs == 0 {
+		t.Error("no writebacks reached the sink")
+	}
+	if reads == 0 {
+		t.Error("no read misses reached the miss sink")
+	}
+	st := h.LevelStats(0)
+	for li, s := range st {
+		if s.Hits+s.Misses == 0 {
+			t.Errorf("level %d saw no traffic", li+1)
+		}
+	}
+}
+
+// After Flush, every line written must have reached the sink exactly once
+// with its most recent payload (no lost updates).
+func TestHierarchyFlushDeliversAllDirtyData(t *testing.T) {
+	h := MustNewHierarchy(HierarchyConfig{
+		Cores:     1,
+		L1:        Config{SizeBytes: 64 * 4, Ways: 2},
+		L2:        Config{SizeBytes: 64 * 8, Ways: 2},
+		L3:        Config{SizeBytes: 64 * 8, Ways: 2},
+		L4PerCore: Config{SizeBytes: 64 * 64, Ways: 4},
+	})
+	latest := make(map[uint64]byte)
+	got := make(map[uint64]byte)
+	h.Sink = func(core int, ev Eviction) {
+		if ev.Data != nil {
+			got[ev.Line] = ev.Data[0]
+		}
+	}
+	rng := rand.New(rand.NewSource(3))
+	data := make([]byte, LineBytes)
+	for i := 0; i < 3000; i++ {
+		line := uint64(rng.Intn(48))
+		data[0] = byte(rng.Int())
+		latest[line] = data[0]
+		h.Access(0, line, true, data)
+	}
+	h.Flush()
+	for line, want := range latest {
+		if got[line] != want {
+			t.Fatalf("line %d: sink saw %#x, latest write was %#x", line, got[line], want)
+		}
+	}
+}
+
+func TestHierarchyCoreBounds(t *testing.T) {
+	h := MustNewHierarchy(HierarchyConfig{Cores: 2})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("out-of-range core did not panic")
+		}
+	}()
+	h.Access(2, 0, false, nil)
+}
+
+// Miss rates must be monotone down the hierarchy for a working set that
+// fits in L4 but not L1 (locality filtering).
+func TestHierarchyLocalityFiltering(t *testing.T) {
+	h := MustNewHierarchy(HierarchyConfig{
+		Cores:     1,
+		L1:        Config{SizeBytes: 64 * 8, Ways: 2},
+		L2:        Config{SizeBytes: 64 * 32, Ways: 4},
+		L3:        Config{SizeBytes: 64 * 128, Ways: 4},
+		L4PerCore: Config{SizeBytes: 64 * 1024, Ways: 8},
+	})
+	rng := rand.New(rand.NewSource(4))
+	for i := 0; i < 50000; i++ {
+		// Zipf-ish reuse over 512 lines.
+		line := uint64(rng.Intn(512))
+		if rng.Intn(4) == 0 {
+			line = uint64(rng.Intn(16)) // hot subset
+		}
+		h.Access(0, line, false, nil)
+	}
+	st := h.LevelStats(0)
+	// Warmed up, the L4 should hit nearly always (working set fits).
+	if st[3].MissRate() > 0.1 {
+		t.Errorf("L4 miss rate %.2f for resident working set", st[3].MissRate())
+	}
+	// L1 must miss more than L4.
+	if st[0].MissRate() <= st[3].MissRate() {
+		t.Errorf("L1 miss rate %.2f not above L4 %.2f", st[0].MissRate(), st[3].MissRate())
+	}
+}
+
+func BenchmarkHierarchyAccess(b *testing.B) {
+	h := MustNewHierarchy(HierarchyConfig{Cores: 1})
+	rng := rand.New(rand.NewSource(1))
+	data := make([]byte, LineBytes)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		h.Access(0, uint64(rng.Intn(100000)), i%3 == 0, data)
+	}
+}

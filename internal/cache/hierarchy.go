@@ -1,0 +1,172 @@
+package cache
+
+import "fmt"
+
+// HierarchyConfig describes the paper's four-level configuration.
+type HierarchyConfig struct {
+	// Cores is the number of cores (private L1-L3 per core, L4
+	// partitioned); 0 means 8.
+	Cores int
+	// L1, L2, L3 are the per-core private levels; zero values select
+	// 32KB/256KB/1MB, all 8-way (Table 1).
+	L1, L2, L3 Config
+	// L4PerCore is each core's L4 partition; zero selects 8MB 8-way.
+	L4PerCore Config
+}
+
+func (h *HierarchyConfig) setDefaults() {
+	if h.Cores == 0 {
+		h.Cores = 8
+	}
+	def := func(c *Config, size int) {
+		if c.SizeBytes == 0 {
+			c.SizeBytes = size
+		}
+		if c.Ways == 0 {
+			c.Ways = 8
+		}
+	}
+	def(&h.L1, 32<<10)
+	def(&h.L2, 256<<10)
+	def(&h.L3, 1<<20)
+	def(&h.L4PerCore, 8<<20)
+}
+
+// Hierarchy chains the four levels for every core. Only the L4 stores
+// data payloads; upper levels track tags (enough for hit/miss and
+// writeback flow, which is all the memory side observes).
+type Hierarchy struct {
+	cfg HierarchyConfig
+	l1  []*Cache
+	l2  []*Cache
+	l3  []*Cache
+	l4  []*Cache
+
+	// Sink receives L4 dirty evictions (the PCM writebacks).
+	Sink func(core int, ev Eviction)
+	// MissSink receives L4 read misses (the PCM reads).
+	MissSink func(core int, line uint64)
+}
+
+// NewHierarchy builds the four-level hierarchy.
+func NewHierarchy(cfg HierarchyConfig) (*Hierarchy, error) {
+	cfg.setDefaults()
+	if cfg.Cores < 1 {
+		return nil, fmt.Errorf("cache: non-positive core count %d", cfg.Cores)
+	}
+	h := &Hierarchy{cfg: cfg}
+	for core := 0; core < cfg.Cores; core++ {
+		l1, err := New(cfg.L1, false)
+		if err != nil {
+			return nil, fmt.Errorf("cache: L1: %w", err)
+		}
+		l2, err := New(cfg.L2, false)
+		if err != nil {
+			return nil, fmt.Errorf("cache: L2: %w", err)
+		}
+		l3, err := New(cfg.L3, false)
+		if err != nil {
+			return nil, fmt.Errorf("cache: L3: %w", err)
+		}
+		l4, err := New(cfg.L4PerCore, true)
+		if err != nil {
+			return nil, fmt.Errorf("cache: L4: %w", err)
+		}
+		h.l1 = append(h.l1, l1)
+		h.l2 = append(h.l2, l2)
+		h.l3 = append(h.l3, l3)
+		h.l4 = append(h.l4, l4)
+	}
+	return h, nil
+}
+
+// MustNewHierarchy is NewHierarchy for valid configurations.
+func MustNewHierarchy(cfg HierarchyConfig) *Hierarchy {
+	h, err := NewHierarchy(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return h
+}
+
+// Cores returns the configured core count.
+func (h *Hierarchy) Cores() int { return h.cfg.Cores }
+
+// LevelStats returns per-level stats for a core (L1, L2, L3, L4).
+func (h *Hierarchy) LevelStats(core int) [4]Stats {
+	return [4]Stats{h.l1[core].Stats(), h.l2[core].Stats(), h.l3[core].Stats(), h.l4[core].Stats()}
+}
+
+// Access sends one memory access from a core down the hierarchy. data
+// carries the full line payload for stores (may be nil for loads). Lower
+// levels are exclusive-ish: a line is installed at every level on its way
+// in (inclusive), and dirty evictions propagate down level by level.
+func (h *Hierarchy) Access(core int, line uint64, write bool, data []byte) {
+	if core < 0 || core >= h.cfg.Cores {
+		panic(fmt.Sprintf("cache: core %d out of range [0,%d)", core, h.cfg.Cores))
+	}
+	levels := []*Cache{h.l1[core], h.l2[core], h.l3[core], h.l4[core]}
+
+	// Walk down until a hit; dirty evictions cascade level by level.
+	for li, c := range levels {
+		isLast := li == len(levels)-1
+		var payload []byte
+		if isLast {
+			payload = data
+		}
+		hit, ev := c.Access(line, write, payload)
+		if ev != nil && ev.Dirty {
+			h.pushDown(levels, li+1, *ev, core)
+		}
+		if hit {
+			if write && !isLast {
+				// Keep the data-holding L4 coherent: the line's
+				// payload lives there, upper levels track tags.
+				last := levels[len(levels)-1]
+				if !last.UpdatePayload(line, data) {
+					h.pushDown(levels, len(levels)-1,
+						Eviction{Line: line, Dirty: true, Data: data}, core)
+				}
+			}
+			return
+		}
+		if isLast && h.MissSink != nil && !write {
+			h.MissSink(core, line)
+		}
+	}
+}
+
+// pushDown inserts a dirty eviction into level li, cascading any dirty
+// eviction it displaces; past the last level it becomes a PCM writeback.
+func (h *Hierarchy) pushDown(levels []*Cache, li int, ev Eviction, core int) {
+	if li >= len(levels) {
+		if h.Sink != nil {
+			h.Sink(core, ev)
+		}
+		return
+	}
+	_, lev := levels[li].Access(ev.Line, true, ev.Data)
+	if lev != nil && lev.Dirty {
+		h.pushDown(levels, li+1, *lev, core)
+	}
+}
+
+// Flush drains all dirty lines of every level to the sink.
+func (h *Hierarchy) Flush() {
+	for core := 0; core < h.cfg.Cores; core++ {
+		core := core
+		levels := []*Cache{h.l1[core], h.l2[core], h.l3[core], h.l4[core]}
+		// Upper-level dirty lines funnel downward level by level.
+		for li := 0; li < 3; li++ {
+			li := li
+			levels[li].FlushAll(func(ev Eviction) {
+				h.pushDown(levels, li+1, ev, core)
+			})
+		}
+		levels[3].FlushAll(func(ev Eviction) {
+			if h.Sink != nil {
+				h.Sink(core, ev)
+			}
+		})
+	}
+}

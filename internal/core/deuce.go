@@ -1,0 +1,227 @@
+package core
+
+import (
+	"deuce/internal/bitutil"
+	"deuce/internal/fnw"
+	"deuce/internal/otp"
+	"deuce/internal/pcmdev"
+)
+
+// Deuce implements Dual Counter Encryption, the paper's primary contribution
+// (§4). Each line keeps one write counter from which two virtual counters
+// are derived:
+//
+//	LCTR (leading)  = the counter value itself
+//	TCTR (trailing) = LCTR with the low log2(EpochInterval) bits masked off
+//
+// One modified bit per tracking word records whether the word has changed
+// since the start of the current epoch. On a write, every word modified at
+// least once this epoch is re-encrypted with the LCTR pad; untouched words
+// keep their stored ciphertext, which was produced with the TCTR pad at the
+// epoch boundary. When the counter reaches an epoch boundary (LCTR == TCTR)
+// the whole line re-encrypts and the modified bits reset.
+//
+// Security is inherited from the baseline OTP scheme: a word's ciphertext
+// only ever changes under a counter value that has never been used for that
+// line before, so no pad encrypts two different values (§4.3.5).
+type Deuce struct {
+	*base
+	epochMask uint64
+}
+
+// NewDeuce constructs a DEUCE memory with the configured epoch interval and
+// tracking granularity.
+func NewDeuce(p Params) (*Deuce, error) {
+	p.setDefaults()
+	b, err := newBase(p, p.LineBytes/p.WordBytes, false)
+	if err != nil {
+		return nil, err
+	}
+	return &Deuce{base: b, epochMask: uint64(p.EpochInterval - 1)}, nil
+}
+
+// Name implements Scheme.
+func (s *Deuce) Name() string { return "DEUCE" }
+
+// OverheadBits implements Scheme.
+func (s *Deuce) OverheadBits() int { return s.words() }
+
+// tctr derives the trailing counter from a leading counter value.
+func tctr(ctr, epochMask uint64) uint64 { return ctr &^ epochMask }
+
+// dualDecrypt reconstructs the plaintext of a DEUCE-encrypted region.
+// ct is the stored ciphertext, mod the modified-bit image (bit i covers
+// word i), ctr the line counter. Words with the modified bit set decrypt
+// with the LCTR pad; the rest with the TCTR pad (Figure 7).
+func dualDecrypt(gen *otp.Generator, line, ctr, epochMask uint64, wordBytes int, ct, mod []byte) []byte {
+	lpad := gen.Pad(line, ctr, len(ct))
+	t := tctr(ctr, epochMask)
+	tpad := lpad
+	if t != ctr {
+		tpad = gen.Pad(line, t, len(ct))
+	}
+	out := make([]byte, len(ct))
+	words := len(ct) / wordBytes
+	for i := 0; i < words; i++ {
+		off := i * wordBytes
+		pad := tpad
+		if bitutil.GetBit(mod, i) {
+			pad = lpad
+		}
+		for j := off; j < off+wordBytes; j++ {
+			out[j] = ct[j] ^ pad[j]
+		}
+	}
+	return out
+}
+
+// deuceStep computes the ciphertext image and modified bits produced by one
+// DEUCE write. oldCT and oldMod describe the pre-write stored state, oldPlain
+// the pre-write plaintext, ctr the already-incremented counter. The returned
+// slices are fresh.
+func deuceStep(gen *otp.Generator, line, ctr, epochMask uint64, wordBytes int,
+	oldCT, oldMod, oldPlain, plaintext []byte) (newCT, newMod []byte) {
+
+	words := len(plaintext) / wordBytes
+	if ctr&epochMask == 0 {
+		// Epoch boundary: full re-encryption, modified bits reset
+		// (TCTR catches up to LCTR).
+		return gen.Encrypt(line, ctr, plaintext), make([]byte, metaBytes(words))
+	}
+
+	newMod = make([]byte, metaBytes(words))
+	copy(newMod, oldMod[:len(newMod)])
+	for i := 0; i < words; i++ {
+		if !bitutil.WordsEqual(oldPlain, plaintext, wordBytes, i) {
+			bitutil.SetBit(newMod, i, true)
+		}
+	}
+
+	lpad := gen.Pad(line, ctr, len(plaintext))
+	newCT = bitutil.Clone(oldCT)
+	for i := 0; i < words; i++ {
+		if bitutil.GetBit(newMod, i) {
+			off := i * wordBytes
+			for j := off; j < off+wordBytes; j++ {
+				newCT[j] = plaintext[j] ^ lpad[j]
+			}
+		}
+	}
+	return newCT, newMod
+}
+
+// Install implements Scheme. Counter 0 is an epoch boundary: the whole
+// line is encrypted with pad 0 and the modified bits are clear.
+func (s *Deuce) Install(line uint64, plaintext []byte) {
+	s.checkPlain(plaintext)
+	s.markInstalled(line)
+	s.dev.Load(line, s.gen.Encrypt(line, 0, plaintext), make([]byte, metaBytes(s.words())))
+}
+
+func (s *Deuce) initLine(line uint64) {
+	if !s.inited[line] {
+		s.Install(line, s.zeroLine())
+	}
+}
+
+// Write implements Scheme.
+func (s *Deuce) Write(line uint64, plaintext []byte) pcmdev.WriteResult {
+	s.checkPlain(plaintext)
+	s.initLine(line)
+
+	oldCT, oldMod := s.dev.Peek(line)
+	oldPlain := dualDecrypt(s.gen, line, s.ctrs.Get(line), s.epochMask, s.p.WordBytes, oldCT, oldMod)
+	ctr, _ := s.ctrs.Increment(line)
+	newCT, newMod := deuceStep(s.gen, line, ctr, s.epochMask, s.p.WordBytes, oldCT, oldMod, oldPlain, plaintext)
+	return s.dev.Write(line, newCT, newMod)
+}
+
+// Read implements Scheme.
+func (s *Deuce) Read(line uint64) []byte {
+	s.initLine(line)
+	ct, mod := s.dev.Read(line)
+	return dualDecrypt(s.gen, line, s.ctrs.Get(line), s.epochMask, s.p.WordBytes, ct, mod)
+}
+
+// DeuceFNW stacks a Flip-N-Write stage between DEUCE's ciphertext image and
+// the PCM cells, with dedicated flip bits (the paper's "DEUCE+FNW", 64 bits
+// of metadata per line, Table 3). The metadata layout is the modified bits
+// followed by the flip bits.
+type DeuceFNW struct {
+	*base
+	codec     *fnw.Codec
+	epochMask uint64
+	modBytes  int
+}
+
+// NewDeuceFNW constructs a DEUCE+FNW memory.
+func NewDeuceFNW(p Params) (*DeuceFNW, error) {
+	p.setDefaults()
+	codec, err := fnw.New(p.WordBytes)
+	if err != nil {
+		return nil, err
+	}
+	words := p.LineBytes / p.WordBytes
+	b, err := newBase(p, 2*words, false)
+	if err != nil {
+		return nil, err
+	}
+	return &DeuceFNW{
+		base:      b,
+		codec:     codec,
+		epochMask: uint64(p.EpochInterval - 1),
+		modBytes:  metaBytes(words),
+	}, nil
+}
+
+// Name implements Scheme.
+func (s *DeuceFNW) Name() string { return "DEUCE+FNW" }
+
+// OverheadBits implements Scheme.
+func (s *DeuceFNW) OverheadBits() int { return 2 * s.words() }
+
+func (s *DeuceFNW) split(meta []byte) (mod, flips []byte) {
+	return meta[:s.modBytes], meta[s.modBytes:]
+}
+
+// Install implements Scheme.
+func (s *DeuceFNW) Install(line uint64, plaintext []byte) {
+	s.checkPlain(plaintext)
+	s.markInstalled(line)
+	s.dev.Load(line, s.gen.Encrypt(line, 0, plaintext), make([]byte, 2*s.modBytes))
+}
+
+func (s *DeuceFNW) initLine(line uint64) {
+	if !s.inited[line] {
+		s.Install(line, s.zeroLine())
+	}
+}
+
+// Write implements Scheme.
+func (s *DeuceFNW) Write(line uint64, plaintext []byte) pcmdev.WriteResult {
+	s.checkPlain(plaintext)
+	s.initLine(line)
+
+	oldCells, oldMeta := s.dev.Peek(line)
+	oldMod, oldFlips := s.split(oldMeta)
+	oldCT := s.codec.Decode(oldCells, oldFlips)
+	oldPlain := dualDecrypt(s.gen, line, s.ctrs.Get(line), s.epochMask, s.p.WordBytes, oldCT, oldMod)
+
+	ctr, _ := s.ctrs.Increment(line)
+	newCT, newMod := deuceStep(s.gen, line, ctr, s.epochMask, s.p.WordBytes, oldCT, oldMod, oldPlain, plaintext)
+	newCells, newFlips := s.codec.Encode(oldCells, oldFlips, newCT)
+
+	newMeta := make([]byte, 2*s.modBytes)
+	copy(newMeta[:s.modBytes], newMod)
+	copy(newMeta[s.modBytes:], newFlips)
+	return s.dev.Write(line, newCells, newMeta)
+}
+
+// Read implements Scheme.
+func (s *DeuceFNW) Read(line uint64) []byte {
+	s.initLine(line)
+	cells, meta := s.dev.Read(line)
+	mod, flips := s.split(meta)
+	ct := s.codec.Decode(cells, flips)
+	return dualDecrypt(s.gen, line, s.ctrs.Get(line), s.epochMask, s.p.WordBytes, ct, mod)
+}

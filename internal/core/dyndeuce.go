@@ -1,0 +1,142 @@
+package core
+
+import (
+	"deuce/internal/bitutil"
+	"deuce/internal/fnw"
+	"deuce/internal/pcmdev"
+)
+
+// DynDeuce morphs between DEUCE and encrypted-FNW within an epoch (§4.6).
+// The per-line metadata is the word-tracking bits — interpreted as DEUCE
+// modified bits or as FNW flip bits depending on a single extra mode bit —
+// for a total of words+1 bits per line (33 with the default 2-byte words).
+//
+// Every epoch starts in DEUCE mode. At each write while in DEUCE mode the
+// expected cell programs under DEUCE and under full-re-encrypt-plus-FNW are
+// compared (Figure 11); if FNW is cheaper the line switches to FNW mode for
+// the remainder of the epoch. The switch is one-way because re-entering
+// DEUCE mid-epoch would require epoch-start state that was destroyed; the
+// epoch boundary restores DEUCE mode with a full re-encryption.
+type DynDeuce struct {
+	*base
+	codec      *fnw.Codec
+	epochMask  uint64
+	trackBytes int // bytes holding the dual-purpose word bits
+}
+
+// NewDynDeuce constructs a DynDEUCE memory.
+func NewDynDeuce(p Params) (*DynDeuce, error) {
+	p.setDefaults()
+	codec, err := fnw.New(p.WordBytes)
+	if err != nil {
+		return nil, err
+	}
+	words := p.LineBytes / p.WordBytes
+	// words tracking bits plus one mode bit.
+	b, err := newBase(p, words+1, false)
+	if err != nil {
+		return nil, err
+	}
+	return &DynDeuce{
+		base:       b,
+		codec:      codec,
+		epochMask:  uint64(p.EpochInterval - 1),
+		trackBytes: metaBytes(words),
+	}, nil
+}
+
+// Name implements Scheme.
+func (s *DynDeuce) Name() string { return "DynDEUCE" }
+
+// OverheadBits implements Scheme.
+func (s *DynDeuce) OverheadBits() int { return s.words() + 1 }
+
+// modeBit is the metadata bit index of the DEUCE/FNW mode flag.
+func (s *DynDeuce) modeBit() int { return s.words() }
+
+// metaLen is the metadata image size in bytes (tracking bits + mode bit).
+func (s *DynDeuce) metaLen() int { return metaBytes(s.words() + 1) }
+
+// Install implements Scheme.
+func (s *DynDeuce) Install(line uint64, plaintext []byte) {
+	s.checkPlain(plaintext)
+	s.markInstalled(line)
+	s.dev.Load(line, s.gen.Encrypt(line, 0, plaintext), make([]byte, s.metaLen()))
+}
+
+func (s *DynDeuce) initLine(line uint64) {
+	if !s.inited[line] {
+		s.Install(line, s.zeroLine())
+	}
+}
+
+// plainOf reconstructs the current plaintext from stored state.
+func (s *DynDeuce) plainOf(line uint64, cells, meta []byte) []byte {
+	ctr := s.ctrs.Get(line)
+	if bitutil.GetBit(meta, s.modeBit()) {
+		// FNW mode: cells are FNW-encoded whole-line ciphertext.
+		ct := s.codec.Decode(cells, meta)
+		return s.gen.Decrypt(line, ctr, ct)
+	}
+	return dualDecrypt(s.gen, line, ctr, s.epochMask, s.p.WordBytes, cells, meta)
+}
+
+// Write implements Scheme.
+func (s *DynDeuce) Write(line uint64, plaintext []byte) pcmdev.WriteResult {
+	s.checkPlain(plaintext)
+	s.initLine(line)
+
+	oldCells, oldMeta := s.dev.Peek(line)
+	fnwMode := bitutil.GetBit(oldMeta, s.modeBit())
+	oldPlain := s.plainOf(line, oldCells, oldMeta)
+	ctr, _ := s.ctrs.Increment(line)
+
+	newMeta := make([]byte, s.metaLen())
+	var newCells []byte
+
+	switch {
+	case ctr&s.epochMask == 0:
+		// Epoch boundary: back to DEUCE mode, full re-encryption,
+		// tracking bits and mode bit reset.
+		newCells = s.gen.Encrypt(line, ctr, plaintext)
+
+	case fnwMode:
+		// Committed to FNW for the rest of the epoch: whole-line
+		// re-encryption through the FNW stage.
+		ct := s.gen.Encrypt(line, ctr, plaintext)
+		cells, flips := s.codec.Encode(oldCells, oldMeta, ct)
+		newCells = cells
+		copy(newMeta, flips)
+		bitutil.SetBit(newMeta, s.modeBit(), true)
+
+	default:
+		// DEUCE mode: estimate both candidates and pick the cheaper
+		// (Figure 11). Costs include the tracking-bit changes so the
+		// comparison is apples to apples.
+		deuceCT, deuceMod := deuceStep(s.gen, line, ctr, s.epochMask, s.p.WordBytes,
+			oldCells, oldMeta, oldPlain, plaintext)
+		deuceCost := bitutil.Hamming(oldCells, deuceCT) +
+			bitutil.Hamming(oldMeta[:s.trackBytes], deuceMod[:s.trackBytes])
+
+		fnwCT := s.gen.Encrypt(line, ctr, plaintext)
+		fnwCost := s.codec.CountFlips(oldCells, oldMeta, fnwCT) + 1 // +1: mode bit
+
+		if fnwCost < deuceCost {
+			cells, flips := s.codec.Encode(oldCells, oldMeta, fnwCT)
+			newCells = cells
+			copy(newMeta, flips)
+			bitutil.SetBit(newMeta, s.modeBit(), true)
+		} else {
+			newCells = deuceCT
+			copy(newMeta[:s.trackBytes], deuceMod[:s.trackBytes])
+		}
+	}
+	return s.dev.Write(line, newCells, newMeta)
+}
+
+// Read implements Scheme.
+func (s *DynDeuce) Read(line uint64) []byte {
+	s.initLine(line)
+	cells, meta := s.dev.Read(line)
+	return s.plainOf(line, cells, meta)
+}

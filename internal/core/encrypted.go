@@ -1,0 +1,120 @@
+package core
+
+import (
+	"deuce/internal/fnw"
+	"deuce/internal/pcmdev"
+)
+
+// EncrDCW is the baseline secure memory of the paper (§2.2–§2.5): whole-line
+// counter-mode encryption. Every write increments the line counter and
+// re-encrypts the full line with a fresh one-time pad, so the stored image
+// re-randomizes and ~50% of cells program on every write regardless of how
+// little the plaintext changed — the problem DEUCE exists to fix.
+type EncrDCW struct {
+	*base
+}
+
+// NewEncrDCW constructs the baseline encrypted memory.
+func NewEncrDCW(p Params) (*EncrDCW, error) {
+	b, err := newBase(p, 0, false)
+	if err != nil {
+		return nil, err
+	}
+	return &EncrDCW{base: b}, nil
+}
+
+// Name implements Scheme.
+func (s *EncrDCW) Name() string { return "Encr_DCW" }
+
+// OverheadBits implements Scheme.
+func (s *EncrDCW) OverheadBits() int { return 0 }
+
+// Install implements Scheme.
+func (s *EncrDCW) Install(line uint64, plaintext []byte) {
+	s.checkPlain(plaintext)
+	s.markInstalled(line)
+	s.dev.Load(line, s.gen.Encrypt(line, 0, plaintext), nil)
+}
+
+func (s *EncrDCW) initLine(line uint64) {
+	if !s.inited[line] {
+		s.Install(line, s.zeroLine())
+	}
+}
+
+// Write implements Scheme.
+func (s *EncrDCW) Write(line uint64, plaintext []byte) pcmdev.WriteResult {
+	s.checkPlain(plaintext)
+	s.initLine(line)
+	ctr, _ := s.ctrs.Increment(line)
+	return s.dev.Write(line, s.gen.Encrypt(line, ctr, plaintext), nil)
+}
+
+// Read implements Scheme.
+func (s *EncrDCW) Read(line uint64) []byte {
+	s.initLine(line)
+	data, _ := s.dev.Read(line)
+	return s.gen.Decrypt(line, s.ctrs.Get(line), data)
+}
+
+// EncrFNW is the baseline encrypted memory with a Flip-N-Write stage between
+// the ciphertext and the array (the paper's "Encr FNW", 43% flips): since
+// the fresh ciphertext is uniformly random relative to the stored image, FNW
+// can only shave the flips from 50% to ~43%.
+type EncrFNW struct {
+	*base
+	codec *fnw.Codec
+}
+
+// NewEncrFNW constructs encrypted memory with an FNW stage.
+func NewEncrFNW(p Params) (*EncrFNW, error) {
+	p.setDefaults()
+	codec, err := fnw.New(p.WordBytes)
+	if err != nil {
+		return nil, err
+	}
+	b, err := newBase(p, codec.FlipBits(p.LineBytes), false)
+	if err != nil {
+		return nil, err
+	}
+	return &EncrFNW{base: b, codec: codec}, nil
+}
+
+// Name implements Scheme.
+func (s *EncrFNW) Name() string { return "Encr_FNW" }
+
+// OverheadBits implements Scheme.
+func (s *EncrFNW) OverheadBits() int { return s.codec.FlipBits(s.p.LineBytes) }
+
+// Install implements Scheme.
+func (s *EncrFNW) Install(line uint64, plaintext []byte) {
+	s.checkPlain(plaintext)
+	s.markInstalled(line)
+	ct := s.gen.Encrypt(line, 0, plaintext)
+	s.dev.Load(line, ct, make([]byte, metaBytes(s.codec.FlipBits(s.p.LineBytes))))
+}
+
+func (s *EncrFNW) initLine(line uint64) {
+	if !s.inited[line] {
+		s.Install(line, s.zeroLine())
+	}
+}
+
+// Write implements Scheme.
+func (s *EncrFNW) Write(line uint64, plaintext []byte) pcmdev.WriteResult {
+	s.checkPlain(plaintext)
+	s.initLine(line)
+	ctr, _ := s.ctrs.Increment(line)
+	ct := s.gen.Encrypt(line, ctr, plaintext)
+	stored, flips := s.dev.Peek(line)
+	newData, newFlips := s.codec.Encode(stored, flips, ct)
+	return s.dev.Write(line, newData, newFlips)
+}
+
+// Read implements Scheme.
+func (s *EncrFNW) Read(line uint64) []byte {
+	s.initLine(line)
+	data, flips := s.dev.Read(line)
+	ct := s.codec.Decode(data, flips)
+	return s.gen.Decrypt(line, s.ctrs.Get(line), ct)
+}

@@ -1,0 +1,215 @@
+package core
+
+import (
+	"bufio"
+	"container/list"
+	"crypto/sha256"
+	"encoding/binary"
+	"fmt"
+	"io"
+
+	"deuce/internal/pcmdev"
+)
+
+// Persistent is the power-down/power-up contract: schemes serialize the
+// state a real NVM system must keep across power loss — the array's cells
+// and metadata plus the (plain-text, non-volatile) encryption counters.
+// Restoring into a scheme with a different key, geometry or kind fails
+// loudly rather than decrypting garbage.
+//
+// Every scheme in this package implements Persistent. i-NVMM implements
+// it by first encrypting its hot set (its power-down obligation); see
+// INVMM.SaveState.
+type Persistent interface {
+	// SaveState writes the memory's persistent image to w.
+	SaveState(w io.Writer) error
+	// LoadState replaces the memory's state with an image written by
+	// SaveState on an identically-configured scheme.
+	LoadState(r io.Reader) error
+}
+
+var stateMagic = [4]byte{'D', 'S', 'T', '1'}
+
+// stateHeader pins everything that must match between save and load.
+type stateHeader struct {
+	Lines       uint64
+	LineBytes   uint64
+	Epoch       uint64
+	WordBytes   uint64
+	CounterBits uint64
+	KeyDigest   [8]byte
+}
+
+func (b *base) header(schemeName string) stateHeader {
+	sum := sha256.Sum256(append([]byte(schemeName+"\x00"), b.p.Key...))
+	var h stateHeader
+	h.Lines = uint64(b.p.Lines)
+	h.LineBytes = uint64(b.p.LineBytes)
+	h.Epoch = uint64(b.p.EpochInterval)
+	h.WordBytes = uint64(b.p.WordBytes)
+	h.CounterBits = uint64(b.p.CounterBits)
+	copy(h.KeyDigest[:], sum[:8])
+	return h
+}
+
+// device returns the raw array, rejecting wrapped configurations:
+// wear-leveler registers are controller state outside this format.
+func (b *base) device() (*pcmdev.Device, error) {
+	dev, ok := b.dev.(*pcmdev.Device)
+	if !ok {
+		return nil, fmt.Errorf("core: persistence requires a bare array (wear-leveled memories hold controller state this format does not carry)")
+	}
+	return dev, nil
+}
+
+// saveState is the shared implementation behind every scheme's SaveState.
+func (b *base) saveState(schemeName string, w io.Writer) error {
+	dev, err := b.device()
+	if err != nil {
+		return err
+	}
+	bw := bufio.NewWriter(w)
+	if _, err := bw.Write(stateMagic[:]); err != nil {
+		return fmt.Errorf("core: %w", err)
+	}
+	if err := binary.Write(bw, binary.LittleEndian, b.header(schemeName)); err != nil {
+		return fmt.Errorf("core: %w", err)
+	}
+	// Touched-line bitmap (lazily-installed lines must stay lazy).
+	bits := make([]byte, (len(b.inited)+7)/8)
+	for i, v := range b.inited {
+		if v {
+			bits[i/8] |= 1 << (uint(i) % 8)
+		}
+	}
+	if _, err := bw.Write(bits); err != nil {
+		return fmt.Errorf("core: %w", err)
+	}
+	if err := bw.Flush(); err != nil {
+		return fmt.Errorf("core: %w", err)
+	}
+	if err := b.ctrs.Serialize(w); err != nil {
+		return err
+	}
+	return dev.Serialize(w)
+}
+
+// loadState is the shared implementation behind every scheme's LoadState.
+func (b *base) loadState(schemeName string, r io.Reader) error {
+	dev, err := b.device()
+	if err != nil {
+		return err
+	}
+	br := bufio.NewReader(r)
+	var magic [4]byte
+	if _, err := io.ReadFull(br, magic[:]); err != nil {
+		return fmt.Errorf("core: reading state header: %w", err)
+	}
+	if magic != stateMagic {
+		return fmt.Errorf("core: bad state magic %q", magic)
+	}
+	var h stateHeader
+	if err := binary.Read(br, binary.LittleEndian, &h); err != nil {
+		return fmt.Errorf("core: %w", err)
+	}
+	want := b.header(schemeName)
+	if h != want {
+		return fmt.Errorf("core: state mismatch (scheme, key, or geometry differ)")
+	}
+	bits := make([]byte, (len(b.inited)+7)/8)
+	if _, err := io.ReadFull(br, bits); err != nil {
+		return fmt.Errorf("core: %w", err)
+	}
+	for i := range b.inited {
+		b.inited[i] = bits[i/8]&(1<<(uint(i)%8)) != 0
+	}
+	if err := b.ctrs.Restore(br); err != nil {
+		return err
+	}
+	return dev.Restore(br)
+}
+
+// SaveState / LoadState implementations. Each scheme names itself so a
+// snapshot cannot be restored into a different protocol.
+
+// SaveState implements Persistent.
+func (s *PlainDCW) SaveState(w io.Writer) error { return s.saveState(s.Name(), w) }
+
+// LoadState implements Persistent.
+func (s *PlainDCW) LoadState(r io.Reader) error { return s.loadState(s.Name(), r) }
+
+// SaveState implements Persistent.
+func (s *PlainFNW) SaveState(w io.Writer) error { return s.saveState(s.Name(), w) }
+
+// LoadState implements Persistent.
+func (s *PlainFNW) LoadState(r io.Reader) error { return s.loadState(s.Name(), r) }
+
+// SaveState implements Persistent.
+func (s *EncrDCW) SaveState(w io.Writer) error { return s.saveState(s.Name(), w) }
+
+// LoadState implements Persistent.
+func (s *EncrDCW) LoadState(r io.Reader) error { return s.loadState(s.Name(), r) }
+
+// SaveState implements Persistent.
+func (s *EncrFNW) SaveState(w io.Writer) error { return s.saveState(s.Name(), w) }
+
+// LoadState implements Persistent.
+func (s *EncrFNW) LoadState(r io.Reader) error { return s.loadState(s.Name(), r) }
+
+// SaveState implements Persistent.
+func (s *Deuce) SaveState(w io.Writer) error { return s.saveState(s.Name(), w) }
+
+// LoadState implements Persistent.
+func (s *Deuce) LoadState(r io.Reader) error { return s.loadState(s.Name(), r) }
+
+// SaveState implements Persistent.
+func (s *DeuceFNW) SaveState(w io.Writer) error { return s.saveState(s.Name(), w) }
+
+// LoadState implements Persistent.
+func (s *DeuceFNW) LoadState(r io.Reader) error { return s.loadState(s.Name(), r) }
+
+// SaveState implements Persistent.
+func (s *DynDeuce) SaveState(w io.Writer) error { return s.saveState(s.Name(), w) }
+
+// LoadState implements Persistent.
+func (s *DynDeuce) LoadState(r io.Reader) error { return s.loadState(s.Name(), r) }
+
+// SaveState implements Persistent.
+func (s *BLE) SaveState(w io.Writer) error { return s.saveState(s.Name(), w) }
+
+// LoadState implements Persistent.
+func (s *BLE) LoadState(r io.Reader) error { return s.loadState(s.Name(), r) }
+
+// SaveState implements Persistent.
+func (s *BLEDeuce) SaveState(w io.Writer) error { return s.saveState(s.Name(), w) }
+
+// LoadState implements Persistent.
+func (s *BLEDeuce) LoadState(r io.Reader) error { return s.loadState(s.Name(), r) }
+
+// SaveState implements Persistent.
+func (s *AddrPad) SaveState(w io.Writer) error { return s.saveState(s.Name(), w) }
+
+// LoadState implements Persistent.
+func (s *AddrPad) LoadState(r io.Reader) error { return s.loadState(s.Name(), r) }
+
+// SaveState implements Persistent: i-NVMM must encrypt its hot set before
+// the image is durable (the power-down obligation of §7.2) — a snapshot
+// with plain-text lines would defeat the stolen-DIMM protection the
+// scheme exists for.
+func (s *INVMM) SaveState(w io.Writer) error {
+	if _, err := s.PowerDown(); err != nil {
+		return err
+	}
+	return s.saveState(s.Name(), w)
+}
+
+// LoadState implements Persistent. After a power cycle every line is cold
+// (encrypted), which is exactly the post-PowerDown state SaveState wrote.
+func (s *INVMM) LoadState(r io.Reader) error {
+	if err := s.loadState(s.Name(), r); err != nil {
+		return err
+	}
+	s.lru.Init()
+	s.hot = make(map[uint64]*list.Element)
+	return nil
+}

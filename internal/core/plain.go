@@ -1,0 +1,99 @@
+package core
+
+import (
+	"deuce/internal/fnw"
+	"deuce/internal/pcmdev"
+)
+
+// PlainDCW is unencrypted memory with Data Comparison Write: the stored
+// image is the plaintext itself and the device programs only changed cells.
+// This is the paper's "NoEncr DCW" reference (Figure 5), the lower bound
+// every other scheme is measured against.
+type PlainDCW struct {
+	*base
+}
+
+// NewPlainDCW constructs an unencrypted DCW memory.
+func NewPlainDCW(p Params) (*PlainDCW, error) {
+	b, err := newBase(p, 0, false)
+	if err != nil {
+		return nil, err
+	}
+	return &PlainDCW{base: b}, nil
+}
+
+// Name implements Scheme.
+func (s *PlainDCW) Name() string { return "NoEncr_DCW" }
+
+// OverheadBits implements Scheme.
+func (s *PlainDCW) OverheadBits() int { return 0 }
+
+// Install implements Scheme.
+func (s *PlainDCW) Install(line uint64, plaintext []byte) {
+	s.checkPlain(plaintext)
+	s.markInstalled(line)
+	s.dev.Load(line, plaintext, nil)
+}
+
+// Write implements Scheme.
+func (s *PlainDCW) Write(line uint64, plaintext []byte) pcmdev.WriteResult {
+	s.checkPlain(plaintext)
+	s.inited[line] = true
+	return s.dev.Write(line, plaintext, nil)
+}
+
+// Read implements Scheme.
+func (s *PlainDCW) Read(line uint64) []byte {
+	data, _ := s.dev.Read(line)
+	return data
+}
+
+// PlainFNW is unencrypted memory with Flip-N-Write at the configured word
+// granularity — the paper's "NoEncr FNW" reference (Figures 5 and 10),
+// representing the best a write-optimized but insecure PCM system achieves.
+type PlainFNW struct {
+	*base
+	codec *fnw.Codec
+}
+
+// NewPlainFNW constructs an unencrypted FNW memory.
+func NewPlainFNW(p Params) (*PlainFNW, error) {
+	p.setDefaults()
+	codec, err := fnw.New(p.WordBytes)
+	if err != nil {
+		return nil, err
+	}
+	b, err := newBase(p, codec.FlipBits(p.LineBytes), false)
+	if err != nil {
+		return nil, err
+	}
+	return &PlainFNW{base: b, codec: codec}, nil
+}
+
+// Name implements Scheme.
+func (s *PlainFNW) Name() string { return "NoEncr_FNW" }
+
+// OverheadBits implements Scheme.
+func (s *PlainFNW) OverheadBits() int { return s.codec.FlipBits(s.p.LineBytes) }
+
+// Install implements Scheme.
+func (s *PlainFNW) Install(line uint64, plaintext []byte) {
+	s.checkPlain(plaintext)
+	s.markInstalled(line)
+	s.dev.Load(line, plaintext, make([]byte, metaBytes(s.codec.FlipBits(s.p.LineBytes))))
+}
+
+// Write implements Scheme.
+func (s *PlainFNW) Write(line uint64, plaintext []byte) pcmdev.WriteResult {
+	s.checkPlain(plaintext)
+	s.inited[line] = true
+	stored, flips := s.dev.Peek(line)
+	newData, newFlips := s.codec.Encode(stored, flips, plaintext)
+	return s.dev.Write(line, newData, newFlips)
+}
+
+// Read implements Scheme.
+func (s *PlainFNW) Read(line uint64) []byte {
+	data, flips := s.dev.Read(line)
+	return s.codec.Decode(data, flips)
+}

@@ -1,0 +1,63 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Kind identifies a scheme for construction by name (CLI flags, experiment
+// tables).
+type Kind string
+
+// The scheme kinds, named as in the paper's figures.
+const (
+	KindPlainDCW Kind = "noencr-dcw"
+	KindPlainFNW Kind = "noencr-fnw"
+	KindEncrDCW  Kind = "encr-dcw"
+	KindEncrFNW  Kind = "encr-fnw"
+	KindDeuce    Kind = "deuce"
+	KindDeuceFNW Kind = "deuce-fnw"
+	KindDynDeuce Kind = "dyndeuce"
+	KindBLE      Kind = "ble"
+	KindBLEDeuce Kind = "ble-deuce"
+)
+
+var constructors = map[Kind]func(Params) (Scheme, error){
+	KindPlainDCW: func(p Params) (Scheme, error) { return NewPlainDCW(p) },
+	KindPlainFNW: func(p Params) (Scheme, error) { return NewPlainFNW(p) },
+	KindEncrDCW:  func(p Params) (Scheme, error) { return NewEncrDCW(p) },
+	KindEncrFNW:  func(p Params) (Scheme, error) { return NewEncrFNW(p) },
+	KindDeuce:    func(p Params) (Scheme, error) { return NewDeuce(p) },
+	KindDeuceFNW: func(p Params) (Scheme, error) { return NewDeuceFNW(p) },
+	KindDynDeuce: func(p Params) (Scheme, error) { return NewDynDeuce(p) },
+	KindBLE:      func(p Params) (Scheme, error) { return NewBLE(p) },
+	KindBLEDeuce: func(p Params) (Scheme, error) { return NewBLEDeuce(p) },
+}
+
+// New constructs a scheme by kind.
+func New(k Kind, p Params) (Scheme, error) {
+	ctor, ok := constructors[k]
+	if !ok {
+		return nil, fmt.Errorf("core: unknown scheme %q (known: %v)", k, Kinds())
+	}
+	return ctor(p)
+}
+
+// MustNew is New for kinds and params known to be valid.
+func MustNew(k Kind, p Params) Scheme {
+	s, err := New(k, p)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// Kinds returns all registered scheme kinds in sorted order.
+func Kinds() []Kind {
+	out := make([]Kind, 0, len(constructors))
+	for k := range constructors {
+		out = append(out, k)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}

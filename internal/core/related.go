@@ -1,0 +1,232 @@
+package core
+
+import (
+	"container/list"
+
+	"deuce/internal/bitutil"
+	"deuce/internal/pcmdev"
+)
+
+// AddrPad is the weaker design the paper sketches in §7.2 for systems that
+// only need protection against the stolen-DIMM attack: drop the counter
+// from counter-mode encryption and derive each line's pad from the secret
+// key and line address alone. The pad never changes, so XOR-ing preserves
+// Hamming distances and every write costs exactly what unencrypted DCW
+// costs — zero write overhead from encryption.
+//
+// The trade-off is deliberate and documented: because pads repeat across
+// writes, a bus snooper learns when a line's value recurs and can build
+// same-line dictionaries over time. examples/snoop demonstrates the leak.
+type AddrPad struct {
+	*base
+}
+
+// NewAddrPad constructs an address-keyed encrypted memory.
+func NewAddrPad(p Params) (*AddrPad, error) {
+	b, err := newBase(p, 0, false)
+	if err != nil {
+		return nil, err
+	}
+	return &AddrPad{base: b}, nil
+}
+
+// Name implements Scheme.
+func (s *AddrPad) Name() string { return "AddrPad" }
+
+// OverheadBits implements Scheme. AddrPad needs no counters at all, but
+// the baseline accounting treats counter storage as given, so the
+// scheme-specific overhead is zero.
+func (s *AddrPad) OverheadBits() int { return 0 }
+
+// pad returns the line's fixed pad.
+func (s *AddrPad) pad(line uint64) []byte {
+	return s.gen.Pad(line, 0, s.p.LineBytes)
+}
+
+// Install implements Scheme.
+func (s *AddrPad) Install(line uint64, plaintext []byte) {
+	s.checkPlain(plaintext)
+	s.markInstalled(line)
+	ct := make([]byte, s.p.LineBytes)
+	bitutil.XOR(ct, plaintext, s.pad(line))
+	s.dev.Load(line, ct, nil)
+}
+
+func (s *AddrPad) initLine(line uint64) {
+	if !s.inited[line] {
+		s.Install(line, s.zeroLine())
+	}
+}
+
+// Write implements Scheme.
+func (s *AddrPad) Write(line uint64, plaintext []byte) pcmdev.WriteResult {
+	s.checkPlain(plaintext)
+	s.initLine(line)
+	ct := make([]byte, s.p.LineBytes)
+	bitutil.XOR(ct, plaintext, s.pad(line))
+	return s.dev.Write(line, ct, nil)
+}
+
+// Read implements Scheme.
+func (s *AddrPad) Read(line uint64) []byte {
+	s.initLine(line)
+	ct, _ := s.dev.Read(line)
+	out := make([]byte, len(ct))
+	bitutil.XOR(out, ct, s.pad(line))
+	return out
+}
+
+// INVMM models i-NVMM (Chhabra & Solihin, ISCA 2011 — paper §7.2, ref
+// [17]): keep the hot working set in plain text for zero encryption write
+// overhead, encrypt lines as they cool, and encrypt everything on power
+// down. The paper's critique — writebacks to hot lines cross the bus (and
+// sit in the array) unencrypted, so bus snooping and an unlucky power cut
+// are unprotected — is inherent to the design and reproduced here.
+//
+// Hotness is tracked at line granularity with an LRU set of HotCapacity
+// lines (the real system works on pages with an idle-time predictor; LRU
+// at line grain preserves the cost structure: hot writes are DCW-cheap,
+// cooling a line costs a full re-encryption).
+type INVMM struct {
+	*base
+	capacity int
+	lru      *list.List               // front = most recently written hot line
+	hot      map[uint64]*list.Element // line -> lru node
+}
+
+// NewINVMM constructs an i-NVMM-style partially encrypted memory. The hot
+// set defaults to 1/8 of the lines.
+func NewINVMM(p Params) (*INVMM, error) {
+	b, err := newBase(p, 0, false)
+	if err != nil {
+		return nil, err
+	}
+	capacity := b.p.HotCapacity
+	if capacity == 0 {
+		capacity = b.p.Lines / 8
+	}
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &INVMM{
+		base:     b,
+		capacity: capacity,
+		lru:      list.New(),
+		hot:      make(map[uint64]*list.Element),
+	}, nil
+}
+
+// Name implements Scheme.
+func (s *INVMM) Name() string { return "i-NVMM" }
+
+// OverheadBits implements Scheme: one controller-side hotness bit per line
+// (kept off-array, like the counters).
+func (s *INVMM) OverheadBits() int { return 0 }
+
+// HotLines returns the current number of plaintext-resident lines.
+func (s *INVMM) HotLines() int { return s.lru.Len() }
+
+// Install implements Scheme: initial placement is encrypted (cold).
+func (s *INVMM) Install(line uint64, plaintext []byte) {
+	s.checkPlain(plaintext)
+	s.markInstalled(line)
+	s.dev.Load(line, s.gen.Encrypt(line, s.ctrs.Get(line), plaintext), nil)
+}
+
+func (s *INVMM) initLine(line uint64) {
+	if !s.inited[line] {
+		s.Install(line, s.zeroLine())
+	}
+}
+
+// Write implements Scheme: the written line joins the hot set and is
+// stored in plain text; a line displaced from the hot set re-encrypts
+// with a fresh counter.
+func (s *INVMM) Write(line uint64, plaintext []byte) pcmdev.WriteResult {
+	s.checkPlain(plaintext)
+	s.initLine(line)
+
+	res := s.dev.Write(line, plaintext, nil) // hot lines live in plain text
+	s.touch(line)
+
+	if s.lru.Len() > s.capacity {
+		victim := s.lru.Back()
+		vline := victim.Value.(uint64)
+		s.lru.Remove(victim)
+		delete(s.hot, vline)
+		// Cooling: encrypt the victim in place. The re-encryption
+		// programs cells like any write and is part of the scheme's
+		// cost.
+		plainV, _ := s.dev.Peek(vline)
+		ctr, _ := s.ctrs.Increment(vline)
+		cool := s.dev.Write(vline, s.gen.Encrypt(vline, ctr, plainV), nil)
+		res.DataFlips += cool.DataFlips
+		res.MetaFlips += cool.MetaFlips
+		res.Slots += cool.Slots
+		res.SlotFlips = append(res.SlotFlips, cool.SlotFlips...)
+	}
+	return res
+}
+
+func (s *INVMM) touch(line uint64) {
+	if el, ok := s.hot[line]; ok {
+		s.lru.MoveToFront(el)
+		return
+	}
+	s.hot[line] = s.lru.PushFront(line)
+}
+
+// Read implements Scheme.
+func (s *INVMM) Read(line uint64) []byte {
+	s.initLine(line)
+	data, _ := s.dev.Read(line)
+	if _, isHot := s.hot[line]; isHot {
+		return data
+	}
+	return s.gen.Decrypt(line, s.ctrs.Get(line), data)
+}
+
+// PowerDown encrypts every hot line (i-NVMM's shutdown obligation) and
+// returns the total cells programmed doing so — the cost, and the window
+// of vulnerability, that incremental encryption defers to power-off.
+func (s *INVMM) PowerDown() (flips int, err error) {
+	for s.lru.Len() > 0 {
+		el := s.lru.Front()
+		line := el.Value.(uint64)
+		s.lru.Remove(el)
+		delete(s.hot, line)
+		plain, _ := s.dev.Peek(line)
+		ctr, _ := s.ctrs.Increment(line)
+		res := s.dev.Write(line, s.gen.Encrypt(line, ctr, plain), nil)
+		flips += res.TotalFlips()
+	}
+	return flips, nil
+}
+
+// Exposed reports whether a line currently sits in the array in plain text
+// — the stolen-DIMM exposure window examples and tests assert on.
+func (s *INVMM) Exposed(line uint64) bool {
+	_, isHot := s.hot[line]
+	return isHot
+}
+
+var (
+	_ Scheme = (*AddrPad)(nil)
+	_ Scheme = (*INVMM)(nil)
+)
+
+func init() {
+	// Registered here rather than in registry.go to keep the paper's
+	// schemes and the related-work reproductions visually separate.
+	constructors[KindAddrPad] = func(p Params) (Scheme, error) { return NewAddrPad(p) }
+	constructors[KindINVMM] = func(p Params) (Scheme, error) { return NewINVMM(p) }
+}
+
+// Related-work scheme kinds (§7.2).
+const (
+	// KindAddrPad is address-keyed encryption without counters: zero
+	// write overhead, stolen-DIMM-safe, bus-snooping-unsafe.
+	KindAddrPad Kind = "addr-pad"
+	// KindINVMM is i-NVMM-style partial encryption: hot lines plain.
+	KindINVMM Kind = "invmm"
+)

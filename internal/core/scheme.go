@@ -1,0 +1,217 @@
+// Package core implements the paper's primary contribution — DEUCE,
+// DynDEUCE and their combinations — together with every write scheme the
+// evaluation compares against: unencrypted DCW and Flip-N-Write, baseline
+// counter-mode encrypted memory (with and without FNW), Block-Level
+// Encryption, and BLE+DEUCE.
+//
+// Every scheme presents the same contract: a plaintext cache line goes in
+// on Write, the same plaintext comes back on Read, and the backing
+// pcmdev.Device records exactly how many cells each write programmed. The
+// schemes differ only in the stored image they choose, which is the entire
+// subject of the paper.
+//
+// All lines are lazily initialized on first touch to the encrypted (or
+// plain) image of the all-zero line at counter zero, modelling the paper's
+// assumption that pages are encrypted as they are first placed in memory.
+// Initialization bypasses cost accounting (pcmdev.Load).
+package core
+
+import (
+	"fmt"
+
+	"deuce/internal/bitutil"
+	"deuce/internal/ctrstore"
+	"deuce/internal/otp"
+	"deuce/internal/pcmdev"
+)
+
+// Scheme is a write/read policy over a simulated PCM array.
+type Scheme interface {
+	// Name returns the scheme's display name as used in the paper's
+	// figures (e.g. "DEUCE", "Encr_FNW").
+	Name() string
+
+	// Write stores the 64-byte plaintext into the line and returns the
+	// exact device cost of doing so.
+	Write(line uint64, plaintext []byte) pcmdev.WriteResult
+
+	// Read returns the current plaintext of the line.
+	Read(line uint64) []byte
+
+	// Install places initial content into a line without any write-cost
+	// accounting, modelling §3.1's assumption that pages are brought
+	// into memory and initially encrypted by the memory controller
+	// before the measured run. It must be called at most once per line,
+	// before any Write or Read touches it; it panics otherwise.
+	Install(line uint64, plaintext []byte)
+
+	// OverheadBits returns the per-line metadata storage the scheme adds
+	// on top of the baseline encrypted memory (Table 3). The per-line
+	// encryption counter itself is part of the baseline and not counted.
+	OverheadBits() int
+
+	// Device exposes the backing PCM array for statistics collection.
+	Device() pcmdev.Array
+}
+
+// Params configures scheme construction.
+type Params struct {
+	// Lines is the number of cache lines in the simulated array.
+	Lines int
+	// LineBytes is the cache line size; 0 means 64.
+	LineBytes int
+	// Key is the 16-byte AES-128 key for encrypted schemes. Nil selects
+	// a fixed development key (the simulator measures write costs, not
+	// secrecy, but examples may supply a real key).
+	Key []byte
+	// EpochInterval is the DEUCE epoch length in writes (power of two).
+	// 0 means 32, the paper's default (§4.5).
+	EpochInterval int
+	// WordBytes is the DEUCE/FNW tracking granularity. 0 means 2, the
+	// paper's default (§4.4).
+	WordBytes int
+	// CounterBits is the per-line counter width. 0 means 28 (Table 1).
+	CounterBits uint
+	// TrackPerLineWear forwards to pcmdev.Config.
+	TrackPerLineWear bool
+	// HotCapacity is the i-NVMM hot-set size in lines (0 means Lines/8).
+	// Writes to hot lines cost plain DCW; displacing a line from the hot
+	// set costs a full re-encryption, so an undersized hot set pushes
+	// i-NVMM's write cost toward the encrypted baseline.
+	HotCapacity int
+	// PadCacheEntries enables memoization of recently generated one-time
+	// pads, modelling the counter/pad caches real secure-memory
+	// controllers keep next to the AES pipelines. 0 disables. This is a
+	// pure simulation speedup ablation: results are bit-identical.
+	PadCacheEntries int
+	// MakeArray, when non-nil, builds the storage the scheme writes to.
+	// It receives the geometry the scheme needs (lines, line size,
+	// metadata bits) and may return a wrapped array — this is how the
+	// wear-leveling shifters of internal/wear are interposed. Nil means
+	// a bare pcmdev.Device.
+	MakeArray func(pcmdev.Config) (pcmdev.Array, error)
+}
+
+func (p *Params) setDefaults() {
+	if p.LineBytes == 0 {
+		p.LineBytes = pcmdev.DefaultLineBytes
+	}
+	if p.Key == nil {
+		p.Key = []byte("deuce-asplos2015")
+	}
+	if p.EpochInterval == 0 {
+		p.EpochInterval = 32
+	}
+	if p.WordBytes == 0 {
+		p.WordBytes = 2
+	}
+	if p.CounterBits == 0 {
+		p.CounterBits = ctrstore.DefaultBits
+	}
+}
+
+func (p *Params) validate() error {
+	if p.Lines <= 0 {
+		return fmt.Errorf("core: Lines must be positive, got %d", p.Lines)
+	}
+	if p.EpochInterval < 1 || p.EpochInterval&(p.EpochInterval-1) != 0 {
+		return fmt.Errorf("core: EpochInterval must be a power of two, got %d", p.EpochInterval)
+	}
+	switch p.WordBytes {
+	case 1, 2, 4, 8:
+	default:
+		return fmt.Errorf("core: WordBytes must be 1, 2, 4 or 8, got %d", p.WordBytes)
+	}
+	if p.LineBytes%otp.BlockSize != 0 {
+		return fmt.Errorf("core: LineBytes must be a multiple of %d, got %d", otp.BlockSize, p.LineBytes)
+	}
+	return nil
+}
+
+// base carries the plumbing shared by every scheme.
+type base struct {
+	p    Params
+	dev  pcmdev.Array
+	gen  *otp.Generator
+	ctrs *ctrstore.Store
+
+	inited []bool // lazily-initialized lines
+}
+
+func newBase(p Params, metaBits int, blockCtrs bool) (*base, error) {
+	p.setDefaults()
+	if err := p.validate(); err != nil {
+		return nil, err
+	}
+	devCfg := pcmdev.Config{
+		Lines:            p.Lines,
+		LineBytes:        p.LineBytes,
+		MetaBits:         metaBits,
+		TrackPerLineWear: p.TrackPerLineWear,
+	}
+	var dev pcmdev.Array
+	var err error
+	if p.MakeArray != nil {
+		dev, err = p.MakeArray(devCfg)
+	} else {
+		dev, err = pcmdev.New(devCfg)
+	}
+	if err != nil {
+		return nil, err
+	}
+	gen, err := otp.NewGenerator(p.Key)
+	if err != nil {
+		return nil, err
+	}
+	if p.PadCacheEntries > 0 {
+		gen.EnableCache(p.PadCacheEntries)
+	}
+	var ctrs *ctrstore.Store
+	if blockCtrs {
+		ctrs, err = ctrstore.NewBlock(p.Lines, p.LineBytes/otp.BlockSize, p.CounterBits)
+	} else {
+		ctrs, err = ctrstore.New(p.Lines, p.CounterBits)
+	}
+	if err != nil {
+		return nil, err
+	}
+	return &base{p: p, dev: dev, gen: gen, ctrs: ctrs, inited: make([]bool, p.Lines)}, nil
+}
+
+func (b *base) Device() pcmdev.Array { return b.dev }
+
+// markInstalled flags a line as placed, enforcing the Install contract.
+func (b *base) markInstalled(line uint64) {
+	if b.inited[line] {
+		panic(fmt.Sprintf("core: Install on already-touched line %d", line))
+	}
+	b.inited[line] = true
+}
+
+func (b *base) checkPlain(plaintext []byte) {
+	if len(plaintext) != b.p.LineBytes {
+		panic(fmt.Sprintf("core: plaintext of %d bytes for %d-byte line", len(plaintext), b.p.LineBytes))
+	}
+}
+
+// words returns the number of tracking words per line.
+func (b *base) words() int { return b.p.LineBytes / b.p.WordBytes }
+
+// metaBytes returns ceil(n/8) for building metadata images.
+func metaBytes(bits int) int { return (bits + 7) / 8 }
+
+// zeroLine returns a fresh all-zero line buffer of the configured size.
+func (b *base) zeroLine() []byte { return make([]byte, b.p.LineBytes) }
+
+// changedWords returns a bitmap (one bit per word of width w) of the words
+// that differ between old and new.
+func changedWords(old, new []byte, w int) *bitutil.Vector {
+	words := len(old) / w
+	v := bitutil.NewVector(words)
+	for i := 0; i < words; i++ {
+		if !bitutil.WordsEqual(old, new, w, i) {
+			v.Set(i, true)
+		}
+	}
+	return v
+}

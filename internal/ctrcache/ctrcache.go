@@ -1,0 +1,146 @@
+// Package ctrcache models the memory controller's counter cache. Counter
+// -mode encryption (§2.4) stores per-line write counters in memory; the
+// controller keeps the hot ones in a small SRAM cache because every read
+// or write needs its line's counter *before* the pad can be generated. A
+// counter-cache miss therefore costs an extra memory read on the critical
+// path — the structural overhead of counter-mode encryption that is
+// invisible in flip counts but visible in performance.
+//
+// Counters are small (28 bits), so a 64-byte memory line holds a block of
+// 16 of them; the cache tracks counter blocks, and spatial locality over
+// line addresses translates into counter-block hits.
+package ctrcache
+
+import "fmt"
+
+// CountersPerBlock is how many 28-bit counters pack into one 64-byte
+// memory line (with slack for ECC).
+const CountersPerBlock = 16
+
+// Config sizes the counter cache.
+type Config struct {
+	// Blocks is the capacity in counter blocks; 0 means 1024 (a 64 KB
+	// SRAM: typical for secure-memory controllers).
+	Blocks int
+	// Ways is the associativity; 0 means 8.
+	Ways int
+}
+
+func (c *Config) setDefaults() {
+	if c.Blocks == 0 {
+		c.Blocks = 1024
+	}
+	if c.Ways == 0 {
+		c.Ways = 8
+	}
+}
+
+func (c Config) validate() error {
+	if c.Blocks < 1 || c.Ways < 1 {
+		return fmt.Errorf("ctrcache: non-positive geometry %+v", c)
+	}
+	if c.Blocks%c.Ways != 0 {
+		return fmt.Errorf("ctrcache: %d blocks not divisible by %d ways", c.Blocks, c.Ways)
+	}
+	sets := c.Blocks / c.Ways
+	if sets&(sets-1) != 0 {
+		return fmt.Errorf("ctrcache: set count %d not a power of two", sets)
+	}
+	return nil
+}
+
+// Stats counts cache activity.
+type Stats struct {
+	Hits   uint64
+	Misses uint64
+}
+
+// HitRate returns hits/(hits+misses).
+func (s Stats) HitRate() float64 {
+	if s.Hits+s.Misses == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(s.Hits+s.Misses)
+}
+
+type way struct {
+	valid bool
+	tag   uint64
+	lru   uint64
+}
+
+// Cache is an LRU set-associative counter-block cache.
+type Cache struct {
+	cfg     Config
+	sets    [][]way
+	setMask uint64
+	clock   uint64
+	stats   Stats
+}
+
+// New builds a counter cache.
+func New(cfg Config) (*Cache, error) {
+	cfg.setDefaults()
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	sets := cfg.Blocks / cfg.Ways
+	c := &Cache{cfg: cfg, sets: make([][]way, sets), setMask: uint64(sets - 1)}
+	for i := range c.sets {
+		c.sets[i] = make([]way, cfg.Ways)
+	}
+	return c, nil
+}
+
+// MustNew is New for valid configurations.
+func MustNew(cfg Config) *Cache {
+	c, err := New(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+// BlockOf maps a data-line address to its counter block.
+func BlockOf(line uint64) uint64 { return line / CountersPerBlock }
+
+// Access looks up (and on miss, fills) the counter block covering the
+// data line. It returns whether the counter was already resident.
+func (c *Cache) Access(line uint64) (hit bool) {
+	block := BlockOf(line)
+	set := c.sets[block&c.setMask]
+	tag := block >> uint(bitsOf(c.setMask))
+	c.clock++
+	for i := range set {
+		if set[i].valid && set[i].tag == tag {
+			set[i].lru = c.clock
+			c.stats.Hits++
+			return true
+		}
+	}
+	c.stats.Misses++
+	victim := 0
+	for i := range set {
+		if !set[i].valid {
+			victim = i
+			break
+		}
+		if set[i].lru < set[victim].lru {
+			victim = i
+		}
+	}
+	set[victim] = way{valid: true, tag: tag, lru: c.clock}
+	return false
+}
+
+// Stats returns activity counters.
+func (c *Cache) Stats() Stats { return c.stats }
+
+func bitsOf(mask uint64) int {
+	n := 0
+	for mask != 0 {
+		mask >>= 1
+		n++
+	}
+	return n
+}

@@ -1,0 +1,148 @@
+package ctrcache
+
+import (
+	"errors"
+	"io"
+	"math/rand"
+	"testing"
+
+	"deuce/internal/trace"
+)
+
+func TestConfigValidation(t *testing.T) {
+	if _, err := New(Config{Blocks: -1}); err == nil {
+		t.Error("negative blocks accepted")
+	}
+	if _, err := New(Config{Blocks: 12, Ways: 8}); err == nil {
+		t.Error("non-divisible geometry accepted")
+	}
+	if _, err := New(Config{Blocks: 24, Ways: 8}); err == nil {
+		t.Error("non-power-of-two sets accepted")
+	}
+	if _, err := New(Config{}); err != nil {
+		t.Errorf("defaults rejected: %v", err)
+	}
+}
+
+func TestBlockOf(t *testing.T) {
+	if BlockOf(0) != 0 || BlockOf(15) != 0 || BlockOf(16) != 1 {
+		t.Error("BlockOf mapping wrong")
+	}
+}
+
+func TestSpatialLocalityHits(t *testing.T) {
+	c := MustNew(Config{})
+	// 16 consecutive lines share one counter block: 1 miss + 15 hits.
+	for line := uint64(0); line < 16; line++ {
+		c.Access(line)
+	}
+	st := c.Stats()
+	if st.Misses != 1 || st.Hits != 15 {
+		t.Errorf("stats = %+v, want 1 miss / 15 hits", st)
+	}
+	if st.HitRate() < 0.9 {
+		t.Errorf("hit rate = %.2f", st.HitRate())
+	}
+}
+
+func TestLRUWithinSet(t *testing.T) {
+	// 2 blocks, 2 ways, 1 set.
+	c := MustNew(Config{Blocks: 2, Ways: 2})
+	c.Access(0 * 16) // block 0
+	c.Access(1 * 16) // block 1
+	c.Access(0 * 16) // refresh block 0
+	c.Access(2 * 16) // evicts block 1
+	if !c.Access(0 * 16) {
+		t.Error("block 0 evicted despite recency")
+	}
+	if c.Access(1 * 16) {
+		t.Error("block 1 still resident")
+	}
+}
+
+func TestEmptyStats(t *testing.T) {
+	var s Stats
+	if s.HitRate() != 0 {
+		t.Error("empty hit rate not 0")
+	}
+}
+
+type sliceSrc struct {
+	evs []trace.Event
+	i   int
+}
+
+func (s *sliceSrc) Next() (trace.Event, error) {
+	if s.i >= len(s.evs) {
+		return trace.Event{}, io.EOF
+	}
+	e := s.evs[s.i]
+	s.i++
+	return e, nil
+}
+
+func TestFetchSourceInjectsOnMiss(t *testing.T) {
+	evs := []trace.Event{
+		{Kind: trace.Writeback, Line: 0, Gap: 10, Data: make([]byte, 64)},
+		{Kind: trace.Read, Line: 1, Gap: 20},   // same counter block: hit
+		{Kind: trace.Read, Line: 100, Gap: 30}, // new block: miss
+	}
+	f := NewFetchSource(&sliceSrc{evs: evs}, MustNew(Config{}), 1000)
+
+	var got []trace.Event
+	for {
+		e, err := f.Next()
+		if errors.Is(err, io.EOF) {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		got = append(got, e)
+	}
+	// Expect: fetch(block0), wb0, read1, fetch(block6), read100.
+	if len(got) != 5 {
+		t.Fatalf("got %d events, want 5: %v", len(got), got)
+	}
+	if got[0].Kind != trace.Read || got[0].Line != 1000+0 || got[0].Gap != 10 {
+		t.Errorf("first fetch = %+v", got[0])
+	}
+	if got[1].Kind != trace.Writeback || got[1].Gap != 0 {
+		t.Errorf("data after fetch should have zero gap: %+v", got[1])
+	}
+	if got[2].Kind != trace.Read || got[2].Line != 1 {
+		t.Errorf("hit request altered: %+v", got[2])
+	}
+	if got[3].Line != 1000+uint64(100/16) {
+		t.Errorf("second fetch = %+v", got[3])
+	}
+	if f.Fetches() != 2 {
+		t.Errorf("Fetches = %d, want 2", f.Fetches())
+	}
+}
+
+// A tiny counter cache under a large working set injects many fetches; a
+// large one injects almost none.
+func TestFetchRateTracksCacheSize(t *testing.T) {
+	mk := func(blocks int) float64 {
+		rng := rand.New(rand.NewSource(1))
+		var evs []trace.Event
+		for i := 0; i < 20000; i++ {
+			evs = append(evs, trace.Event{Kind: trace.Read, Line: uint64(rng.Intn(1 << 16))})
+		}
+		f := NewFetchSource(&sliceSrc{evs: evs}, MustNew(Config{Blocks: blocks, Ways: 8}), 1<<20)
+		for {
+			if _, err := f.Next(); err != nil {
+				break
+			}
+		}
+		return float64(f.Fetches()) / 20000
+	}
+	small, large := mk(16), mk(8192)
+	if small < 0.5 {
+		t.Errorf("tiny cache fetch rate = %.2f, want high", small)
+	}
+	if large > small/2 {
+		t.Errorf("large cache fetch rate %.2f not well below small %.2f", large, small)
+	}
+}

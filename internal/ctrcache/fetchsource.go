@@ -1,0 +1,61 @@
+package ctrcache
+
+import "deuce/internal/trace"
+
+// FetchSource wraps a trace source, injecting the counter-fetch reads a
+// memory controller issues on counter-cache misses: each data request
+// whose counter block is not resident is preceded by an extra read to the
+// counter region of memory. This is the glue that makes counter-cache
+// behaviour visible to the timing model without the model knowing about
+// encryption at all.
+type FetchSource struct {
+	inner trace.Source
+	cache *Cache
+	// ctrBase is the line address where the counter region starts
+	// (above both the data and read-miss regions of the trace).
+	ctrBase uint64
+
+	pending *trace.Event
+	fetches uint64
+}
+
+// NewFetchSource wraps src. ctrBase must point above every line address
+// the trace uses.
+func NewFetchSource(src trace.Source, cache *Cache, ctrBase uint64) *FetchSource {
+	return &FetchSource{inner: src, cache: cache, ctrBase: ctrBase}
+}
+
+// Fetches returns how many counter-fetch reads were injected.
+func (f *FetchSource) Fetches() uint64 { return f.fetches }
+
+// Next implements trace.Source.
+func (f *FetchSource) Next() (trace.Event, error) {
+	if f.pending != nil {
+		e := *f.pending
+		f.pending = nil
+		return e, nil
+	}
+	e, err := f.inner.Next()
+	if err != nil {
+		return trace.Event{}, err
+	}
+	if f.cache.Access(e.Line) {
+		return e, nil
+	}
+	// Miss: the counter block must be fetched first. The fetch inherits
+	// the original event's compute gap; the data request follows with no
+	// further compute in between.
+	fetch := trace.Event{
+		Kind: trace.Read,
+		Line: f.ctrBase + BlockOf(e.Line),
+		CPU:  e.CPU,
+		Gap:  e.Gap,
+	}
+	data := e
+	data.Gap = 0
+	f.pending = &data
+	f.fetches++
+	return fetch, nil
+}
+
+var _ trace.Source = (*FetchSource)(nil)

@@ -1,0 +1,111 @@
+package ctrstore
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(0, 28); err == nil {
+		t.Error("expected error for zero lines")
+	}
+	if _, err := New(4, 0); err == nil {
+		t.Error("expected error for zero-width counters")
+	}
+	if _, err := New(4, 57); err == nil {
+		t.Error("expected error for counters wider than the OTP tweak field")
+	}
+	if _, err := New(4, 56); err != nil {
+		t.Errorf("56-bit counters rejected: %v", err)
+	}
+}
+
+func TestIncrementSequence(t *testing.T) {
+	s := MustNew(2, 28)
+	if s.Get(0) != 0 {
+		t.Fatalf("fresh counter = %d", s.Get(0))
+	}
+	for i := 1; i <= 5; i++ {
+		v, wrapped := s.Increment(0)
+		if wrapped {
+			t.Fatal("unexpected wrap")
+		}
+		if v != uint64(i) {
+			t.Fatalf("after %d increments got %d", i, v)
+		}
+	}
+	if s.Get(1) != 0 {
+		t.Error("increment leaked to another line")
+	}
+}
+
+func TestWrapAround(t *testing.T) {
+	s := MustNew(1, 4) // wraps at 16
+	s.Set(0, 15)
+	v, wrapped := s.Increment(0)
+	if !wrapped || v != 0 {
+		t.Errorf("Increment at max = (%d,%v), want (0,true)", v, wrapped)
+	}
+	if s.Overflows() != 1 {
+		t.Errorf("Overflows = %d, want 1", s.Overflows())
+	}
+}
+
+func TestSetMasksValue(t *testing.T) {
+	s := MustNew(1, 4)
+	s.Set(0, 0xff)
+	if s.Get(0) != 0xf {
+		t.Errorf("Set did not mask: %d", s.Get(0))
+	}
+}
+
+func TestBlockStore(t *testing.T) {
+	s, err := NewBlock(8, 4, 28)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Len() != 32 {
+		t.Fatalf("Len = %d, want 32", s.Len())
+	}
+	idx := BlockIndex(3, 4, 2)
+	if idx != 14 {
+		t.Fatalf("BlockIndex = %d, want 14", idx)
+	}
+	s.Increment(idx)
+	if s.Get(idx) != 1 {
+		t.Error("block counter not incremented")
+	}
+	if s.Get(BlockIndex(3, 4, 1)) != 0 {
+		t.Error("neighbouring block counter changed")
+	}
+}
+
+func TestNewBlockValidation(t *testing.T) {
+	if _, err := NewBlock(8, 0, 28); err == nil {
+		t.Error("expected error for zero blocks per line")
+	}
+}
+
+func TestStorageBits(t *testing.T) {
+	s := MustNew(100, 28)
+	if s.StorageBits() != 2800 {
+		t.Errorf("StorageBits = %d, want 2800", s.StorageBits())
+	}
+}
+
+// Property: counters count — after n increments from zero the value is
+// n mod 2^bits.
+func TestIncrementIsModularCount(t *testing.T) {
+	f := func(nRaw uint16, bitsRaw uint8) bool {
+		bits := uint(bitsRaw%8) + 1 // 1..8
+		n := int(nRaw % 1000)
+		s := MustNew(1, bits)
+		for i := 0; i < n; i++ {
+			s.Increment(0)
+		}
+		return s.Get(0) == uint64(n)%(1<<bits)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

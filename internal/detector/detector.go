@@ -1,0 +1,207 @@
+// Package detector implements online detection of endurance attacks
+// (paper §7.3, ref [23]): PCM's limited write endurance lets a malicious
+// program wear out a targeted line by writing it repeatedly, and wear
+// leveling only spreads — not bounds — such abuse. The practical defence
+// the paper cites tracks write rates online and flags address streams
+// whose concentration could only come from an attack.
+//
+// The detector keeps a small table of the most write-intensive lines using
+// the Space-Saving algorithm (a counter-based heavy-hitter sketch with a
+// provable over-estimate bound), plus a decaying total. A line is flagged
+// when its estimated share of recent writes exceeds a threshold that no
+// cache-filtered benign workload sustains: writebacks from an L4 arrive at
+// most once per eviction, so a benign line's long-run share is bounded by
+// working-set churn, while an attacker pinning a line needs a share orders
+// of magnitude higher to make wear-out progress.
+package detector
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Config tunes the detector.
+type Config struct {
+	// TableSize is the number of heavy-hitter counters; 0 means 64.
+	TableSize int
+	// WindowWrites is the decay window: counters halve every this many
+	// writes, so the detector measures rate, not history; 0 means 1<<16.
+	WindowWrites uint64
+	// Threshold is the share of window writes to one line that triggers
+	// a report; 0 means 0.05 (5% of all memory writes to a single line
+	// is far outside benign writeback behaviour).
+	Threshold float64
+}
+
+func (c *Config) setDefaults() {
+	if c.TableSize == 0 {
+		c.TableSize = 64
+	}
+	if c.WindowWrites == 0 {
+		c.WindowWrites = 1 << 16
+	}
+	if c.Threshold == 0 {
+		c.Threshold = 0.05
+	}
+}
+
+func (c Config) validate() error {
+	if c.TableSize < 1 {
+		return fmt.Errorf("detector: TableSize must be positive, got %d", c.TableSize)
+	}
+	if c.Threshold < 0 || c.Threshold > 1 {
+		return fmt.Errorf("detector: Threshold %v out of [0,1]", c.Threshold)
+	}
+	return nil
+}
+
+// entry is one heavy-hitter counter.
+type entry struct {
+	line  uint64
+	count uint64
+	err   uint64 // max over-estimate inherited on replacement
+}
+
+// Suspect is a flagged line.
+type Suspect struct {
+	// Line is the flagged address.
+	Line uint64
+	// Share is its estimated fraction of writes in the current window.
+	Share float64
+}
+
+// Detector watches a write-address stream.
+type Detector struct {
+	cfg Config
+
+	table map[uint64]*entry
+	total uint64 // writes since last decay
+	all   uint64 // lifetime writes
+
+	// OnSuspect is invoked (at most once per window per line) when a
+	// line crosses the threshold. Nil disables callbacks; Suspects()
+	// still reports.
+	OnSuspect func(Suspect)
+
+	flagged map[uint64]bool
+}
+
+// New builds a Detector.
+func New(cfg Config) (*Detector, error) {
+	cfg.setDefaults()
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	return &Detector{
+		cfg:     cfg,
+		table:   make(map[uint64]*entry, cfg.TableSize),
+		flagged: make(map[uint64]bool),
+	}, nil
+}
+
+// MustNew is New for configurations known to be valid.
+func MustNew(cfg Config) *Detector {
+	d, err := New(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return d
+}
+
+// Observe records one write to a line. It returns a non-nil Suspect when
+// this write pushes the line over the threshold for the first time in the
+// current window.
+func (d *Detector) Observe(line uint64) *Suspect {
+	d.total++
+	d.all++
+
+	e, ok := d.table[line]
+	switch {
+	case ok:
+		e.count++
+	case len(d.table) < d.cfg.TableSize:
+		e = &entry{line: line, count: 1}
+		d.table[line] = e
+	default:
+		// Space-Saving: replace the minimum counter, inheriting its
+		// count as the new entry's error bound.
+		min := d.minEntry()
+		delete(d.table, min.line)
+		e = &entry{line: line, count: min.count + 1, err: min.count}
+		d.table[line] = e
+	}
+
+	var out *Suspect
+	if share := float64(e.count) / float64(d.windowFloor()); share >= d.cfg.Threshold && !d.flagged[line] {
+		d.flagged[line] = true
+		s := Suspect{Line: line, Share: share}
+		out = &s
+		if d.OnSuspect != nil {
+			d.OnSuspect(s)
+		}
+	}
+
+	if d.total >= d.cfg.WindowWrites {
+		d.decay()
+	}
+	return out
+}
+
+// windowFloor avoids early-window false positives: shares are computed
+// against at least a quarter window of traffic.
+func (d *Detector) windowFloor() uint64 {
+	if d.total < d.cfg.WindowWrites/4 {
+		return d.cfg.WindowWrites / 4
+	}
+	return d.total
+}
+
+func (d *Detector) minEntry() *entry {
+	var min *entry
+	for _, e := range d.table {
+		if min == nil || e.count < min.count {
+			min = e
+		}
+	}
+	return min
+}
+
+// decay halves every counter and resets the window, so sustained pressure
+// is required to stay flagged.
+func (d *Detector) decay() {
+	for line, e := range d.table {
+		e.count /= 2
+		e.err /= 2
+		if e.count == 0 {
+			delete(d.table, line)
+		}
+	}
+	d.total = 0
+	d.flagged = make(map[uint64]bool)
+}
+
+// Suspects returns the lines currently over threshold, hottest first.
+func (d *Detector) Suspects() []Suspect {
+	var out []Suspect
+	floor := d.windowFloor()
+	for _, e := range d.table {
+		share := float64(e.count) / float64(floor)
+		if share >= d.cfg.Threshold {
+			out = append(out, Suspect{Line: e.line, Share: share})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Share > out[j].Share })
+	return out
+}
+
+// TotalWrites returns lifetime observed writes.
+func (d *Detector) TotalWrites() uint64 { return d.all }
+
+// Estimate returns the detector's count estimate and error bound for a
+// line (0,0 if untracked). The true count is in [count-err, count].
+func (d *Detector) Estimate(line uint64) (count, err uint64) {
+	if e, ok := d.table[line]; ok {
+		return e.count, e.err
+	}
+	return 0, 0
+}

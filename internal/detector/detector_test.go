@@ -1,0 +1,146 @@
+package detector
+
+import (
+	"math/rand"
+	"testing"
+
+	"deuce/internal/workload"
+)
+
+func TestConfigValidation(t *testing.T) {
+	if _, err := New(Config{TableSize: -1}); err == nil {
+		t.Error("negative table accepted")
+	}
+	if _, err := New(Config{Threshold: 1.5}); err == nil {
+		t.Error("threshold > 1 accepted")
+	}
+	if _, err := New(Config{}); err != nil {
+		t.Errorf("defaults rejected: %v", err)
+	}
+}
+
+func TestDetectsPinnedLine(t *testing.T) {
+	d := MustNew(Config{WindowWrites: 4096, Threshold: 0.05})
+	rng := rand.New(rand.NewSource(1))
+	var caught *Suspect
+	for i := 0; i < 20000 && caught == nil; i++ {
+		// Attack: 20% of writes hammer line 7; the rest look benign.
+		if rng.Intn(5) == 0 {
+			caught = d.Observe(7)
+		} else {
+			caught = d.Observe(uint64(rng.Intn(100000)))
+		}
+	}
+	if caught == nil {
+		t.Fatal("pinned line never flagged")
+	}
+	if caught.Line != 7 {
+		t.Fatalf("flagged line %d, want 7", caught.Line)
+	}
+	if caught.Share < 0.05 {
+		t.Errorf("share %.3f below threshold", caught.Share)
+	}
+}
+
+func TestNoFalsePositivesOnBenignWorkloads(t *testing.T) {
+	for _, name := range []string{"mcf", "libq", "Gems"} {
+		prof, err := workload.ByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		gen := workload.MustNew(prof, workload.Config{Seed: 2, LinesPerCPU: 2048})
+		d := MustNew(Config{})
+		for i := 0; i < 60000; i++ {
+			line, _ := gen.NextWriteback(0)
+			if s := d.Observe(line); s != nil {
+				t.Fatalf("%s: benign line %d flagged with share %.3f", name, s.Line, s.Share)
+			}
+		}
+	}
+}
+
+func TestSuspectsSortedByShare(t *testing.T) {
+	d := MustNew(Config{WindowWrites: 8192, Threshold: 0.01})
+	for i := 0; i < 3000; i++ {
+		d.Observe(1)
+		if i%2 == 0 {
+			d.Observe(2)
+		}
+		d.Observe(uint64(1000 + i))
+	}
+	sus := d.Suspects()
+	if len(sus) < 2 {
+		t.Fatalf("expected both hot lines flagged, got %v", sus)
+	}
+	if sus[0].Line != 1 || sus[1].Line != 2 {
+		t.Errorf("suspects not sorted by share: %v", sus)
+	}
+	if sus[0].Share <= sus[1].Share {
+		t.Error("shares not descending")
+	}
+}
+
+func TestDecayForgetsOldPressure(t *testing.T) {
+	d := MustNew(Config{WindowWrites: 1024, Threshold: 0.05, TableSize: 8})
+	// Hammer a line for one window...
+	for i := 0; i < 600; i++ {
+		d.Observe(9)
+	}
+	if len(d.Suspects()) == 0 {
+		t.Fatal("hot line not flagged inside window")
+	}
+	// ...then go quiet: several windows of diffuse traffic.
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 8000; i++ {
+		d.Observe(uint64(rng.Intn(1 << 30)))
+	}
+	for _, s := range d.Suspects() {
+		if s.Line == 9 {
+			t.Error("stale attack still flagged after decay")
+		}
+	}
+}
+
+func TestReFlagAfterNewWindow(t *testing.T) {
+	d := MustNew(Config{WindowWrites: 512, Threshold: 0.05})
+	flags := 0
+	d.OnSuspect = func(Suspect) { flags++ }
+	for i := 0; i < 5000; i++ {
+		d.Observe(3) // sustained attack across many windows
+	}
+	if flags < 2 {
+		t.Errorf("sustained attack flagged only %d times across windows", flags)
+	}
+}
+
+// Space-Saving invariant: the estimate for any line over-counts by at most
+// its error bound, never under-counts.
+func TestEstimateBounds(t *testing.T) {
+	d := MustNew(Config{TableSize: 4, WindowWrites: 1 << 30})
+	truth := map[uint64]uint64{}
+	rng := rand.New(rand.NewSource(4))
+	for i := 0; i < 5000; i++ {
+		line := uint64(rng.Intn(32))
+		truth[line]++
+		d.Observe(line)
+	}
+	for line, actual := range truth {
+		est, errB := d.Estimate(line)
+		if est == 0 {
+			continue // evicted from the sketch: allowed
+		}
+		if est < actual-min64(errB, actual) || est > actual+errB {
+			t.Errorf("line %d: estimate %d±%d outside truth %d", line, est, errB, actual)
+		}
+	}
+	if d.TotalWrites() != 5000 {
+		t.Errorf("TotalWrites = %d", d.TotalWrites())
+	}
+}
+
+func min64(a, b uint64) uint64 {
+	if a < b {
+		return a
+	}
+	return b
+}

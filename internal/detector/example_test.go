@@ -1,0 +1,24 @@
+package detector_test
+
+import (
+	"fmt"
+
+	"deuce/internal/detector"
+)
+
+// An attacker hammering one line crosses the share threshold within a
+// window; diffuse benign traffic never does.
+func Example() {
+	d := detector.MustNew(detector.Config{WindowWrites: 4096, Threshold: 0.05})
+
+	var flagged *detector.Suspect
+	for i := uint64(0); i < 10000 && flagged == nil; i++ {
+		if i%4 == 0 {
+			flagged = d.Observe(0xdead) // the attack line
+		} else {
+			flagged = d.Observe(i) // background traffic
+		}
+	}
+	fmt.Printf("flagged line %#x with share > 5%%: %v\n", flagged.Line, flagged.Share >= 0.05)
+	// Output: flagged line 0xdead with share > 5%: true
+}

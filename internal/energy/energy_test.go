@@ -1,0 +1,68 @@
+package energy
+
+import (
+	"math"
+	"testing"
+)
+
+func TestEvaluateValidation(t *testing.T) {
+	m := Default()
+	if _, err := m.Evaluate(Usage{BitFlips: 1, Reads: 1, ExecNs: 0}); err == nil {
+		t.Error("zero exec time accepted")
+	}
+}
+
+func TestEnergyProportionalToFlips(t *testing.T) {
+	m := Model{WriteEnergyPerBitPJ: 10, ReadEnergyPerLinePJ: 0, BackgroundPowerW: 0}
+	a := m.MustEvaluate(Usage{BitFlips: 100, ExecNs: 1000})
+	b := m.MustEvaluate(Usage{BitFlips: 200, ExecNs: 1000})
+	if math.Abs(b.MemEnergyPJ/a.MemEnergyPJ-2) > 1e-12 {
+		t.Errorf("energy not proportional to flips: %v vs %v", a.MemEnergyPJ, b.MemEnergyPJ)
+	}
+}
+
+func TestPowerIsEnergyOverTime(t *testing.T) {
+	m := Model{WriteEnergyPerBitPJ: 1, ReadEnergyPerLinePJ: 0}
+	r := m.MustEvaluate(Usage{BitFlips: 1e6, ExecNs: 1e6})
+	// 1e6 pJ over 1e6 ns = 1 pJ/ns = 1 mW = 1e-3 W.
+	if math.Abs(r.MemPowerW-1e-3) > 1e-15 {
+		t.Errorf("MemPowerW = %v, want 1e-3", r.MemPowerW)
+	}
+}
+
+func TestBackgroundDominatesEDPUnderSpeedup(t *testing.T) {
+	m := Default()
+	slow := m.MustEvaluate(Usage{BitFlips: 1000, Reads: 100, ExecNs: 2000})
+	fast := m.MustEvaluate(Usage{BitFlips: 1000, Reads: 100, ExecNs: 1000})
+	if fast.EDP >= slow.EDP {
+		t.Error("speedup did not reduce EDP")
+	}
+}
+
+func TestNormalize(t *testing.T) {
+	m := Default()
+	base := m.MustEvaluate(Usage{BitFlips: 1000, Reads: 100, ExecNs: 1000})
+	half := m.MustEvaluate(Usage{BitFlips: 500, Reads: 100, ExecNs: 1000})
+	n := Normalize(half, base)
+	if n.MemEnergy >= 1 || n.MemPower >= 1 || n.EDP >= 1 {
+		t.Errorf("halving flips did not reduce normalized metrics: %+v", n)
+	}
+	self := Normalize(base, base)
+	if math.Abs(self.MemEnergy-1) > 1e-12 || math.Abs(self.EDP-1) > 1e-12 {
+		t.Errorf("self-normalization != 1: %+v", self)
+	}
+}
+
+// The calibration target: with baseline encrypted-memory activity ratios
+// (256 flips/write, ~2.3 reads/write), reads should account for roughly a
+// fifth of memory energy (see package comment).
+func TestReadShareCalibration(t *testing.T) {
+	m := Default()
+	const writes = 1000.0
+	u := Usage{BitFlips: uint64(writes * 256), Reads: uint64(writes * 2.3), ExecNs: 1e6}
+	r := m.MustEvaluate(u)
+	readShare := m.ReadEnergyPerLinePJ * float64(u.Reads) / r.MemEnergyPJ
+	if readShare < 0.12 || readShare > 0.28 {
+		t.Errorf("read share of memory energy = %.2f, want ~0.2", readShare)
+	}
+}

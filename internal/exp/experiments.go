@@ -1,0 +1,336 @@
+package exp
+
+import (
+	"fmt"
+	"sort"
+
+	"deuce/internal/core"
+	"deuce/internal/stats"
+	"deuce/internal/wear"
+	"deuce/internal/workload"
+)
+
+// An Experiment regenerates one table or figure from the paper.
+type Experiment struct {
+	// ID is the key used by cmd/deucebench (-experiment fig10).
+	ID string
+	// Paper describes what the paper reports for this experiment.
+	Paper string
+	// Run executes the experiment and renders its table.
+	Run func(RunConfig) (*Table, error)
+}
+
+// Experiments returns every reproduction experiment, in paper order.
+func Experiments() []Experiment {
+	return []Experiment{
+		{ID: "table2", Paper: "Table 2: benchmark characteristics", Run: Table2},
+		{ID: "fig5", Paper: "Figure 5: bits modified per write, NoEncr vs Encr under DCW and FNW", Run: Fig5},
+		{ID: "fig8", Paper: "Figure 8: DEUCE sensitivity to word size (epoch 32)", Run: Fig8},
+		{ID: "fig9", Paper: "Figure 9: DEUCE sensitivity to epoch interval", Run: Fig9},
+		{ID: "fig10", Paper: "Figure 10: bit flips per write across schemes", Run: Fig10},
+		{ID: "table3", Paper: "Table 3: storage overhead and effectiveness", Run: Table3},
+		{ID: "fig12", Paper: "Figure 12: per-bit-position write skew (mcf, libq)", Run: Fig12},
+		{ID: "fig14", Paper: "Figure 14: lifetime normalized to encrypted memory", Run: Fig14},
+		{ID: "fig15", Paper: "Figure 15: write slots per write request", Run: Fig15},
+		{ID: "fig16", Paper: "Figure 16: speedup over encrypted memory", Run: Fig16},
+		{ID: "fig17", Paper: "Figure 17: speedup, energy, power, EDP", Run: Fig17},
+		{ID: "fig18", Paper: "Figure 18: DEUCE combined with Block-Level Encryption", Run: Fig18},
+	}
+}
+
+// ByID returns the (paper or ablation) experiment with the given ID.
+func ByID(id string) (Experiment, error) {
+	all := append(Experiments(), Ablations()...)
+	for _, e := range all {
+		if e.ID == id {
+			return e, nil
+		}
+	}
+	var ids []string
+	for _, e := range all {
+		ids = append(ids, e.ID)
+	}
+	sort.Strings(ids)
+	return Experiment{}, fmt.Errorf("exp: unknown experiment %q (known: %v)", id, ids)
+}
+
+// pct formats a fraction as a percentage cell.
+func pct(f float64) string { return fmt.Sprintf("%.1f%%", f*100) }
+
+// Table2 reports the benchmark characteristics the generators are
+// parameterized with.
+func Table2(rc RunConfig) (*Table, error) {
+	t := &Table{
+		Title:   "Table 2: Benchmark Characteristics (8-copy rate mode)",
+		Columns: []string{"Workload", "L4 Read Miss (MPKI)", "L4 WriteBack (WBPKI)"},
+	}
+	for _, p := range workload.SPEC2006() {
+		t.AddRow(p.Name, fmt.Sprintf("%.2f", p.MPKI), fmt.Sprintf("%.2f", p.WBPKI))
+	}
+	return t, nil
+}
+
+// flipGrid runs the standard 12 workloads against the given scheme columns
+// and renders flip fractions with a final average row.
+func flipGrid(title, note string, cols []cell1, rc RunConfig) (*Table, error) {
+	profs := workload.SPEC2006()
+	grid, err := runGrid(profs, cols, rc, false)
+	if err != nil {
+		return nil, err
+	}
+	t := &Table{Title: title, Note: note, Columns: []string{"Workload"}}
+	for _, c := range cols {
+		t.Columns = append(t.Columns, c.label)
+	}
+	avgs := make([]float64, len(cols))
+	for wi, p := range profs {
+		cells := make([]interface{}, len(cols))
+		for ci := range cols {
+			cells[ci] = pct(grid[wi][ci].FlipFrac)
+			avgs[ci] += grid[wi][ci].FlipFrac
+		}
+		t.AddRow(p.Name, cells...)
+	}
+	avgCells := make([]interface{}, len(cols))
+	for ci := range cols {
+		avgCells[ci] = pct(avgs[ci] / float64(len(profs)))
+	}
+	t.AddRow("AVERAGE", avgCells...)
+	return t, nil
+}
+
+// Fig5 compares unencrypted and encrypted memory under DCW and FNW.
+func Fig5(rc RunConfig) (*Table, error) {
+	cols := []cell1{
+		{label: "NoEncr_DCW", kind: core.KindPlainDCW},
+		{label: "NoEncr_FNW", kind: core.KindPlainFNW},
+		{label: "Encr_DCW", kind: core.KindEncrDCW},
+		{label: "Encr_FNW", kind: core.KindEncrFNW},
+	}
+	return flipGrid(
+		"Figure 5: average modified bits per write (paper: 12.2% / 10.5% / 50% / 43%)",
+		"fraction of line cells incl. scheme metadata programmed per writeback",
+		cols, rc)
+}
+
+// Fig8 sweeps the DEUCE tracking granularity at epoch 32.
+func Fig8(rc RunConfig) (*Table, error) {
+	var cols []cell1
+	for _, wb := range []int{1, 2, 4, 8} {
+		cols = append(cols, cell1{
+			label:  fmt.Sprintf("DEUCE_%dB", wb),
+			kind:   core.KindDeuce,
+			params: core.Params{WordBytes: wb, EpochInterval: 32},
+		})
+	}
+	return flipGrid(
+		"Figure 8: DEUCE bit flips vs tracking word size (paper: 21.4% / 23.7% / 26.8% / 32.2%)",
+		"epoch interval 32", cols, rc)
+}
+
+// Fig9 sweeps the DEUCE epoch interval at the default 2-byte words.
+func Fig9(rc RunConfig) (*Table, error) {
+	var cols []cell1
+	for _, e := range []int{8, 16, 32} {
+		cols = append(cols, cell1{
+			label:  fmt.Sprintf("Epoch_%d", e),
+			kind:   core.KindDeuce,
+			params: core.Params{EpochInterval: e},
+		})
+	}
+	return flipGrid(
+		"Figure 9: DEUCE bit flips vs epoch interval (paper: 24.8% / 24.0% / 23.7%)",
+		"word size 2 bytes", cols, rc)
+}
+
+// Fig10 is the headline scheme comparison.
+func Fig10(rc RunConfig) (*Table, error) {
+	cols := []cell1{
+		{label: "Encr_FNW", kind: core.KindEncrFNW},
+		{label: "DEUCE", kind: core.KindDeuce},
+		{label: "DynDEUCE", kind: core.KindDynDeuce},
+		{label: "DEUCE+FNW", kind: core.KindDeuceFNW},
+		{label: "NoEncr_FNW", kind: core.KindPlainFNW},
+	}
+	return flipGrid(
+		"Figure 10: bit flips per write (paper: 43% / 23.7% / 22.0% / 20.3% / 10.5%)",
+		"epoch 32, 2-byte words", cols, rc)
+}
+
+// Table3 reports storage overhead against average flips.
+func Table3(rc RunConfig) (*Table, error) {
+	cols := []cell1{
+		{label: "FNW", kind: core.KindEncrFNW},
+		{label: "DEUCE", kind: core.KindDeuce},
+		{label: "DynDEUCE", kind: core.KindDynDeuce},
+		{label: "DEUCE+FNW", kind: core.KindDeuceFNW},
+	}
+	profs := workload.SPEC2006()
+	grid, err := runGrid(profs, cols, rc, false)
+	if err != nil {
+		return nil, err
+	}
+	t := &Table{
+		Title:   "Table 3: storage overhead and effectiveness (paper: 42.7% / 23.7% / 22.0% / 20.3%)",
+		Columns: []string{"Scheme", "Overhead", "Avg Bit Flips Per Write"},
+	}
+	for ci, c := range cols {
+		s, err := core.New(c.kind, withLines(c.params, 16))
+		if err != nil {
+			return nil, err
+		}
+		sum := 0.0
+		for wi := range profs {
+			sum += grid[wi][ci].FlipFrac
+		}
+		t.AddRow(c.label,
+			fmt.Sprintf("%d bits/line", s.OverheadBits()),
+			pct(sum/float64(len(profs))))
+	}
+	return t, nil
+}
+
+func withLines(p core.Params, lines int) core.Params {
+	p.Lines = lines
+	return p
+}
+
+// Fig12 measures per-bit-position write skew for mcf and libquantum on
+// unencrypted memory.
+func Fig12(rc RunConfig) (*Table, error) {
+	t := &Table{
+		Title:   "Figure 12: writes per bit position, max/avg skew (paper: ~6x mcf, ~27x libq)",
+		Columns: []string{"Workload", "Max/Avg", "P99/Avg", "Median/Avg"},
+	}
+	for _, name := range []string{"mcf", "libq"} {
+		prof, err := workload.ByName(name)
+		if err != nil {
+			return nil, err
+		}
+		res, err := RunFlips(prof, core.KindPlainDCW, core.Params{}, rc, true)
+		if err != nil {
+			return nil, err
+		}
+		norm := wear.NormalizedProfile(res.PositionWrites[:512]) // data cells only
+		t.AddRow(name,
+			fmt.Sprintf("%.1fx", maxOf(norm)),
+			fmt.Sprintf("%.1fx", stats.Percentile(norm, 99)),
+			fmt.Sprintf("%.1fx", stats.Percentile(norm, 50)))
+	}
+	return t, nil
+}
+
+func maxOf(xs []float64) float64 {
+	m := xs[0]
+	for _, x := range xs[1:] {
+		if x > m {
+			m = x
+		}
+	}
+	return m
+}
+
+// Fig14 reports lifetime normalized to the encrypted baseline for FNW,
+// DEUCE without HWL, and DEUCE with HWL.
+func Fig14(rc RunConfig) (*Table, error) {
+	profs := workload.SPEC2006()
+	type col struct {
+		label string
+		kind  core.Kind
+		mode  wear.Mode
+	}
+	cols := []col{
+		{"FNW", core.KindEncrFNW, wear.VWLOnly},
+		{"DEUCE", core.KindDeuce, wear.VWLOnly},
+		{"DEUCE-HWL", core.KindDeuce, wear.HWL},
+	}
+	t := &Table{
+		Title:   "Figure 14: lifetime normalized to encrypted memory (paper: 1.14x / 1.11x / 2.0x)",
+		Note:    "lifetime = endurance / max per-bit-position write rate; Start-Gap psi=1, 64-line array",
+		Columns: []string{"Workload", "FNW", "DEUCE", "DEUCE-HWL"},
+	}
+	// The Start register must traverse all ~544 bit positions for HWL to
+	// reach steady state, as it does (hundreds of thousands of times) in
+	// a full-length run: scale the array down and the gap rate up so
+	// rounds ≈ writes/(lines+1) exceeds the line's bit count.
+	const psi = 1
+	rc.setDefaults()
+	rc.Lines = 64
+	if rc.Writebacks < 40000 {
+		rc.Writebacks = 40000
+	}
+	geos := make([][]float64, len(cols))
+	for wi := range profs {
+		base, err := RunWear(profs[wi], core.KindEncrDCW, core.Params{}, wear.VWLOnly, psi, rc)
+		if err != nil {
+			return nil, err
+		}
+		cells := make([]interface{}, len(cols))
+		for ci, c := range cols {
+			r, err := RunWear(profs[wi], c.kind, core.Params{}, c.mode, psi, rc)
+			if err != nil {
+				return nil, err
+			}
+			rel := r.Profile.RelativeLifetime(base.Profile)
+			cells[ci] = fmt.Sprintf("%.2fx", rel)
+			geos[ci] = append(geos[ci], rel)
+		}
+		t.AddRow(profs[wi].Name, cells...)
+	}
+	avg := make([]interface{}, len(cols))
+	for ci := range cols {
+		avg[ci] = fmt.Sprintf("%.2fx", stats.GeoMean(geos[ci]))
+	}
+	t.AddRow("GEOMEAN", avg...)
+	return t, nil
+}
+
+// Fig15 reports average write slots per write request.
+func Fig15(rc RunConfig) (*Table, error) {
+	cols := []cell1{
+		{label: "Encr_DCW", kind: core.KindEncrDCW},
+		{label: "Encr_FNW", kind: core.KindEncrFNW},
+		{label: "DEUCE", kind: core.KindDeuce},
+		{label: "NoEncr_DCW", kind: core.KindPlainDCW},
+	}
+	profs := workload.SPEC2006()
+	grid, err := runGrid(profs, cols, rc, false)
+	if err != nil {
+		return nil, err
+	}
+	t := &Table{
+		Title:   "Figure 15: write slots used per write request (paper: 4.0 / ~3.97 / 2.64 / 1.92)",
+		Note:    "128-bit slots, a slot is consumed when any of its cells program",
+		Columns: []string{"Workload"},
+	}
+	for _, c := range cols {
+		t.Columns = append(t.Columns, c.label)
+	}
+	avgs := make([]float64, len(cols))
+	for wi, p := range profs {
+		cells := make([]interface{}, len(cols))
+		for ci := range cols {
+			cells[ci] = fmt.Sprintf("%.2f", grid[wi][ci].SlotAvg)
+			avgs[ci] += grid[wi][ci].SlotAvg
+		}
+		t.AddRow(p.Name, cells...)
+	}
+	avgCells := make([]interface{}, len(cols))
+	for ci := range cols {
+		avgCells[ci] = fmt.Sprintf("%.2f", avgs[ci]/float64(len(profs)))
+	}
+	t.AddRow("AVERAGE", avgCells...)
+	return t, nil
+}
+
+// Fig18 compares DEUCE against and combined with Block-Level Encryption.
+func Fig18(rc RunConfig) (*Table, error) {
+	cols := []cell1{
+		{label: "BLE", kind: core.KindBLE},
+		{label: "DEUCE", kind: core.KindDeuce},
+		{label: "BLE+DEUCE", kind: core.KindBLEDeuce},
+	}
+	return flipGrid(
+		"Figure 18: bit flips with BLE and DEUCE (paper: 33% / 24% / 19.9%)",
+		"16-byte AES blocks with per-block counters", cols, rc)
+}

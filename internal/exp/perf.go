@@ -1,0 +1,236 @@
+package exp
+
+import (
+	"fmt"
+	"io"
+	"sync"
+
+	"deuce/internal/core"
+	"deuce/internal/ctrcache"
+	"deuce/internal/energy"
+	"deuce/internal/stats"
+	"deuce/internal/timing"
+	"deuce/internal/trace"
+	"deuce/internal/workload"
+)
+
+// PerfResult is the outcome of one timed run: a full read+writeback event
+// stream pushed through a scheme and the memory-controller timing model.
+type PerfResult struct {
+	Workload string
+	Scheme   string
+	Timing   timing.Result
+	// BitFlips is the total cells programmed during the timed window.
+	BitFlips uint64
+}
+
+// RunPerf simulates one workload on one scheme with the 8-core machine of
+// Table 1 and returns execution time and activity.
+func RunPerf(prof workload.Profile, kind core.Kind, params core.Params, rc RunConfig) (PerfResult, error) {
+	rc.setDefaults()
+	const cpus = 8
+	var s core.Scheme
+	gen, err := workload.New(prof, workload.Config{
+		Seed:        rc.Seed,
+		CPUs:        cpus,
+		LinesPerCPU: rc.Lines / 2, // 8 cores: keep total memory bounded
+		FirstTouch:  func(line uint64, initial []byte) { s.Install(line, initial) },
+	})
+	if err != nil {
+		return PerfResult{}, err
+	}
+	params.Lines = gen.Lines()
+	s, err = core.New(kind, params)
+	if err != nil {
+		return PerfResult{}, err
+	}
+
+	// Warm the epoch/footprint state so the timed window is steady-state.
+	for i := 0; i < rc.Warmup; i++ {
+		line, data := gen.NextWriteback(i % cpus)
+		s.Write(line, data)
+	}
+	s.Device().ResetStats()
+
+	coster := timing.SlotCosterFunc(func(line uint64, data []byte) int {
+		return s.Write(line, data).Slots
+	})
+	// The workload budget is counted at the source, before any injected
+	// counter-fetch traffic, so configurations stay comparable: every run
+	// performs the same data requests.
+	events := int(float64(rc.Writebacks) * (prof.MPKI + prof.WBPKI) / prof.WBPKI)
+	var src trace.Source = &limitSource{inner: gen, remaining: events}
+	if rc.CounterCacheBlocks > 0 {
+		cc, err := ctrcache.New(ctrcache.Config{Blocks: rc.CounterCacheBlocks})
+		if err != nil {
+			return PerfResult{}, err
+		}
+		// Counter region sits above both the writeback and read-miss
+		// regions of the generator's address space.
+		src = ctrcache.NewFetchSource(src, cc, uint64(2*gen.Lines()))
+	}
+	sim, err := timing.NewSimulator(timing.Config{
+		Cores:              cpus,
+		MaxConcurrentSlots: budgetSlots,
+		WritePausing:       rc.WritePausing,
+		ReadLatencyNs:      rc.ReadLatencyNs,
+	}, src, coster)
+	if err != nil {
+		return PerfResult{}, err
+	}
+	res, err := sim.Run(1 << 30) // the source enforces the budget
+	if err != nil {
+		return PerfResult{}, err
+	}
+	return PerfResult{
+		Workload: prof.Name,
+		Scheme:   s.Name(),
+		Timing:   res,
+		BitFlips: s.Device().Stats().TotalFlips(),
+	}, nil
+}
+
+// perfGrid runs the 12 workloads against baseline EncrDCW plus the given
+// scheme columns, in parallel. Results: [workload][0] is the baseline,
+// [workload][1+i] the i-th column.
+func perfGrid(cols []cell1, rc RunConfig) ([]workload.Profile, [][]PerfResult, error) {
+	profs := workload.SPEC2006()
+	results := make([][]PerfResult, len(profs))
+	errs := make([]error, len(profs))
+	var wg sync.WaitGroup
+	for wi := range profs {
+		wi := wi
+		results[wi] = make([]PerfResult, len(cols)+1)
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			base, err := RunPerf(profs[wi], core.KindEncrDCW, core.Params{}, rc)
+			if err != nil {
+				errs[wi] = fmt.Errorf("%s/baseline: %w", profs[wi].Name, err)
+				return
+			}
+			results[wi][0] = base
+			for ci, c := range cols {
+				r, err := RunPerf(profs[wi], c.kind, c.params, rc)
+				if err != nil {
+					errs[wi] = fmt.Errorf("%s/%s: %w", profs[wi].Name, c.kind, err)
+					return
+				}
+				results[wi][ci+1] = r
+			}
+		}()
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, nil, err
+		}
+	}
+	return profs, results, nil
+}
+
+// limitSource caps the number of events drawn from an endless source.
+type limitSource struct {
+	inner     trace.Source
+	remaining int
+}
+
+// Next implements trace.Source.
+func (l *limitSource) Next() (trace.Event, error) {
+	if l.remaining <= 0 {
+		return trace.Event{}, io.EOF
+	}
+	l.remaining--
+	return l.inner.Next()
+}
+
+var perfCols = []cell1{
+	{label: "Encr_FNW", kind: core.KindEncrFNW},
+	{label: "DEUCE", kind: core.KindDeuce},
+	{label: "NoEncr_FNW", kind: core.KindPlainFNW},
+}
+
+// Fig16 reports per-workload speedup over the encrypted baseline.
+func Fig16(rc RunConfig) (*Table, error) {
+	profs, grid, err := perfGrid(perfCols, rc)
+	if err != nil {
+		return nil, err
+	}
+	t := &Table{
+		Title:   "Figure 16: speedup over encrypted memory (paper: ~1.0 / 1.27 / 1.40 avg)",
+		Note:    "8 cores, 32 banks, 75ns reads, 150ns write slots, 15-slot current budget",
+		Columns: []string{"Workload"},
+	}
+	for _, c := range perfCols {
+		t.Columns = append(t.Columns, c.label)
+	}
+	geo := make([][]float64, len(perfCols))
+	for wi, p := range profs {
+		base := grid[wi][0].Timing
+		cells := make([]interface{}, len(perfCols))
+		for ci := range perfCols {
+			// Equal event counts per run, so time ratio is speedup.
+			sp := base.ExecNs / grid[wi][ci+1].Timing.ExecNs
+			cells[ci] = fmt.Sprintf("%.2f", sp)
+			geo[ci] = append(geo[ci], sp)
+		}
+		t.AddRow(p.Name, cells...)
+	}
+	avg := make([]interface{}, len(perfCols))
+	for ci := range perfCols {
+		avg[ci] = fmt.Sprintf("%.2f", stats.GeoMean(geo[ci]))
+	}
+	t.AddRow("GEOMEAN", avg...)
+	return t, nil
+}
+
+// Fig17 reports speedup, memory energy, memory power and system EDP,
+// normalized to the encrypted baseline and aggregated over workloads.
+func Fig17(rc RunConfig) (*Table, error) {
+	profs, grid, err := perfGrid(perfCols, rc)
+	if err != nil {
+		return nil, err
+	}
+	model := energy.Default()
+	t := &Table{
+		Title:   "Figure 17: normalized speedup / memory energy / memory power / system EDP",
+		Note:    "paper: DEUCE 1.27 / 0.57 / 0.72 / 0.57; Encr_FNW ~1.0 / 0.89 / ~0.89 / 0.96",
+		Columns: []string{"Scheme", "Speedup", "Mem Energy", "Mem Power", "System EDP"},
+	}
+	for ci, c := range perfCols {
+		var sp, en, pw, edp []float64
+		for wi := range profs {
+			base := grid[wi][0]
+			r := grid[wi][ci+1]
+			baseRep, err := model.Evaluate(energy.Usage{
+				BitFlips: base.BitFlips, Reads: base.Timing.Reads, ExecNs: base.Timing.ExecNs,
+			})
+			if err != nil {
+				return nil, err
+			}
+			rep, err := model.Evaluate(energy.Usage{
+				BitFlips: r.BitFlips, Reads: r.Timing.Reads, ExecNs: r.Timing.ExecNs,
+			})
+			if err != nil {
+				return nil, err
+			}
+			n := energy.Normalize(rep, baseRep)
+			sp = append(sp, base.Timing.ExecNs/r.Timing.ExecNs)
+			en = append(en, n.MemEnergy)
+			pw = append(pw, n.MemPower)
+			edp = append(edp, n.EDP)
+		}
+		// Speedup aggregates as a geometric mean (ratio metric); the
+		// energy metrics average arithmetically, as in the paper.
+		t.AddRow(c.label,
+			fmt.Sprintf("%.2f", stats.GeoMean(sp)),
+			fmt.Sprintf("%.2f", stats.Mean(en)),
+			fmt.Sprintf("%.2f", stats.Mean(pw)),
+			fmt.Sprintf("%.2f", stats.Mean(edp)))
+	}
+	return t, nil
+}
+
+// budgetSlots is the global write-current budget used by the performance
+// experiments, calibrated against Figure 16 (see EXPERIMENTS.md).
+const budgetSlots = 15

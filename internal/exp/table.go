@@ -1,0 +1,116 @@
+// Package exp defines one reproducible experiment per table and figure in
+// the paper's evaluation, runs workloads against schemes, and renders the
+// results as aligned text tables whose rows and series match what the paper
+// reports. cmd/deucebench and the repository-level benchmarks are thin
+// wrappers around this package.
+package exp
+
+import (
+	"encoding/csv"
+	"fmt"
+	"strings"
+)
+
+// Table is a rendered experiment result: a titled grid with one row per
+// workload (or configuration) and one column per scheme/series.
+type Table struct {
+	// Title names the experiment, e.g. "Figure 10: bit flips per write".
+	Title string
+	// Note is an optional caption (parameters, normalization).
+	Note string
+	// Columns holds the column headers; Columns[0] labels the row key.
+	Columns []string
+	// Rows holds the data; each row must have len(Columns) cells.
+	Rows [][]string
+}
+
+// AddRow appends a row, formatting each value with the table's cell rules:
+// strings pass through, float64 renders with 3 significant decimals.
+func (t *Table) AddRow(key string, values ...interface{}) {
+	row := make([]string, 0, len(values)+1)
+	row = append(row, key)
+	for _, v := range values {
+		switch x := v.(type) {
+		case string:
+			row = append(row, x)
+		case float64:
+			row = append(row, fmt.Sprintf("%.3f", x))
+		case int:
+			row = append(row, fmt.Sprintf("%d", x))
+		case uint64:
+			row = append(row, fmt.Sprintf("%d", x))
+		default:
+			row = append(row, fmt.Sprint(x))
+		}
+	}
+	t.Rows = append(t.Rows, row)
+}
+
+// Render formats the table as aligned text.
+func (t *Table) Render() string {
+	var b strings.Builder
+	b.WriteString(t.Title)
+	b.WriteByte('\n')
+	if t.Note != "" {
+		fmt.Fprintf(&b, "  (%s)\n", t.Note)
+	}
+
+	widths := make([]int, len(t.Columns))
+	for i, c := range t.Columns {
+		widths[i] = len(c)
+	}
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+
+	writeRow := func(cells []string) {
+		for i, cell := range cells {
+			if i == 0 {
+				fmt.Fprintf(&b, "  %-*s", widths[i], cell)
+			} else {
+				fmt.Fprintf(&b, "  %*s", widths[i], cell)
+			}
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.Columns)
+	total := 2
+	for _, w := range widths {
+		total += w + 2
+	}
+	b.WriteString("  " + strings.Repeat("-", total-2) + "\n")
+	for _, row := range t.Rows {
+		writeRow(row)
+	}
+	return b.String()
+}
+
+// CSV renders the table as RFC-4180 CSV (header row first), for plotting
+// pipelines. The title and note travel as leading comment lines.
+func (t *Table) CSV() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "# %s\n", t.Title)
+	if t.Note != "" {
+		fmt.Fprintf(&b, "# %s\n", t.Note)
+	}
+	w := csv.NewWriter(&b)
+	// Percent and ratio suffixes are stripped so columns parse as
+	// numbers directly.
+	clean := func(cells []string) []string {
+		out := make([]string, len(cells))
+		for i, c := range cells {
+			out[i] = strings.TrimSuffix(strings.TrimSuffix(c, "%"), "x")
+		}
+		return out
+	}
+	_ = w.Write(t.Columns)
+	for _, row := range t.Rows {
+		_ = w.Write(clean(row))
+	}
+	w.Flush()
+	return b.String()
+}

@@ -1,0 +1,25 @@
+package integrity_test
+
+import (
+	"fmt"
+
+	"deuce/internal/integrity"
+)
+
+// A Merkle tree over per-line state: updates move the root, proofs verify
+// leaves against it, and stale (rolled-back) state fails verification.
+func Example() {
+	tree := integrity.MustNewTree(8)
+
+	tree.Update(3, []byte("counter=1"))
+	oldProof, _ := tree.Prove(3)
+
+	tree.Update(3, []byte("counter=2"))
+	proof, _ := tree.Prove(3)
+
+	fmt.Println("current state verifies:", integrity.Verify(tree.Root(), 8, proof, []byte("counter=2")))
+	fmt.Println("rolled-back state verifies:", integrity.Verify(tree.Root(), 8, oldProof, []byte("counter=1")))
+	// Output:
+	// current state verifies: true
+	// rolled-back state verifies: false
+}

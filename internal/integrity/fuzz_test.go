@@ -1,0 +1,52 @@
+package integrity
+
+import (
+	"testing"
+)
+
+// FuzzVerifyRejectsForgeries mutates valid proofs and payloads: any
+// modification must make verification fail, and no input may panic the
+// verifier.
+func FuzzVerifyRejectsForgeries(f *testing.F) {
+	f.Add(uint64(0), []byte("payload"), 0, byte(0))
+	f.Add(uint64(5), []byte(""), 3, byte(7))
+	f.Fuzz(func(t *testing.T, leaf uint64, payload []byte, flipAt int, flipBit byte) {
+		const leaves = 8
+		tr := MustNewTree(leaves)
+		leaf %= leaves
+		if err := tr.Update(leaf, payload); err != nil {
+			t.Fatal(err)
+		}
+		proof, err := tr.Prove(leaf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		root := tr.Root()
+		if !Verify(root, leaves, proof, payload) {
+			t.Fatal("valid proof rejected")
+		}
+
+		// Forge one bit somewhere in the proof path.
+		forged := proof
+		forged.Siblings = append([]Digest(nil), proof.Siblings...)
+		i := ((flipAt % len(forged.Siblings)) + len(forged.Siblings)) % len(forged.Siblings)
+		forged.Siblings[i][int(flipBit)%HashSize] ^= 1 << (flipBit % 8)
+		if Verify(root, leaves, forged, payload) {
+			t.Fatal("forged sibling accepted")
+		}
+
+		// Forge the payload.
+		fp := append([]byte(nil), payload...)
+		fp = append(fp, 0x01)
+		if Verify(root, leaves, proof, fp) {
+			t.Fatal("forged payload accepted")
+		}
+
+		// Wrong leaf index.
+		wrong := proof
+		wrong.Leaf = (leaf + 1) % leaves
+		if Verify(root, leaves, wrong, payload) {
+			t.Fatal("relocated proof accepted")
+		}
+	})
+}

@@ -1,0 +1,173 @@
+// Package otp implements the counter-mode one-time-pad generation that all
+// encrypted-memory schemes in this repository share (paper §2.3-§2.4).
+//
+// A pad is the output of a block cipher (AES-128) applied to a tweak built
+// from the secret key, the line address, the per-line write counter, and the
+// index of the 16-byte AES block inside the cache line:
+//
+//	pad_block = AES_K( lineAddr ‖ counter ‖ blockIdx )
+//
+// The pad is XORed with the plaintext to encrypt and with the ciphertext to
+// decrypt. Security rests entirely on pad uniqueness: the same
+// (key, lineAddr, counter, blockIdx) tuple must never encrypt two different
+// values. The schemes in internal/core are responsible for incrementing
+// counters appropriately; this package guarantees only that distinct tuples
+// give independent pseudorandom pads.
+//
+// The paper's hardware has dedicated AES pipelines that produce pads in
+// parallel with the PCM array access. In this simulator pad generation is
+// a function call; the latency aspect is modelled separately by
+// internal/timing.
+package otp
+
+import (
+	"crypto/aes"
+	"crypto/cipher"
+	"encoding/binary"
+	"fmt"
+)
+
+// BlockSize is the AES block size in bytes. Pads are generated in units of
+// this size; a 64-byte cache line needs four blocks.
+const BlockSize = 16
+
+// Generator produces one-time pads for a fixed secret key.
+//
+// A Generator is safe for concurrent use by multiple goroutines: the
+// underlying cipher.Block is stateless after key expansion and the optional
+// cache is guarded internally by the caller owning distinct generators.
+// (The experiment harness gives each goroutine its own Generator.)
+type Generator struct {
+	block cipher.Block
+
+	// cache memoizes the most recent pad per line to model the pad
+	// locality a hardware implementation would get from counter caches.
+	// It is a correctness-neutral speedup: entries are keyed by the full
+	// (addr, counter) tuple, so a hit returns exactly the pad that would
+	// have been recomputed.
+	cache     map[cacheKey][]byte
+	cacheCap  int
+	cacheHits uint64
+	cacheMiss uint64
+}
+
+type cacheKey struct {
+	addr uint64
+	ctr  uint64
+}
+
+// NewGenerator returns a Generator for the given 16-byte AES-128 key.
+func NewGenerator(key []byte) (*Generator, error) {
+	if len(key) != 16 {
+		return nil, fmt.Errorf("otp: key must be 16 bytes for AES-128, got %d", len(key))
+	}
+	b, err := aes.NewCipher(key)
+	if err != nil {
+		return nil, fmt.Errorf("otp: %w", err)
+	}
+	return &Generator{block: b}, nil
+}
+
+// MustNewGenerator is NewGenerator for static keys known to be valid.
+func MustNewGenerator(key []byte) *Generator {
+	g, err := NewGenerator(key)
+	if err != nil {
+		panic(err)
+	}
+	return g
+}
+
+// EnableCache turns on pad memoization with the given maximum entry count.
+// capacity <= 0 disables the cache. The cache is evicted wholesale when full
+// (pads are cheap to regenerate; this keeps the model simple and allocation
+// bounded).
+func (g *Generator) EnableCache(capacity int) {
+	if capacity <= 0 {
+		g.cache = nil
+		g.cacheCap = 0
+		return
+	}
+	g.cache = make(map[cacheKey][]byte, capacity)
+	g.cacheCap = capacity
+}
+
+// CacheStats returns the number of cache hits and misses since creation.
+func (g *Generator) CacheStats() (hits, misses uint64) {
+	return g.cacheHits, g.cacheMiss
+}
+
+// Pad returns an n-byte pad for (lineAddr, counter). n must be a multiple of
+// BlockSize. Block i of the result is AES_K(lineAddr ‖ counter ‖ i).
+func (g *Generator) Pad(lineAddr, counter uint64, n int) []byte {
+	if n%BlockSize != 0 {
+		panic(fmt.Sprintf("otp: pad length %d not a multiple of %d", n, BlockSize))
+	}
+	if g.cache != nil {
+		k := cacheKey{lineAddr, counter}
+		if p, ok := g.cache[k]; ok && len(p) >= n {
+			g.cacheHits++
+			out := make([]byte, n)
+			copy(out, p[:n])
+			return out
+		}
+		g.cacheMiss++
+		p := g.generate(lineAddr, counter, n)
+		if len(g.cache) >= g.cacheCap {
+			g.cache = make(map[cacheKey][]byte, g.cacheCap)
+		}
+		g.cache[k] = p
+		out := make([]byte, n)
+		copy(out, p)
+		return out
+	}
+	return g.generate(lineAddr, counter, n)
+}
+
+// BlockPad returns the single 16-byte pad for AES block blockIdx of the line,
+// used by Block-Level Encryption where each 16-byte block carries its own
+// counter. It equals Pad(lineAddr, counter, (blockIdx+1)*16)[blockIdx*16:].
+func (g *Generator) BlockPad(lineAddr, counter uint64, blockIdx int) []byte {
+	out := make([]byte, BlockSize)
+	g.fillBlock(out, lineAddr, counter, blockIdx)
+	return out
+}
+
+func (g *Generator) generate(lineAddr, counter uint64, n int) []byte {
+	out := make([]byte, n)
+	for i := 0; i < n/BlockSize; i++ {
+		g.fillBlock(out[i*BlockSize:(i+1)*BlockSize], lineAddr, counter, i)
+	}
+	return out
+}
+
+func (g *Generator) fillBlock(dst []byte, lineAddr, counter uint64, blockIdx int) {
+	var tweak [BlockSize]byte
+	binary.LittleEndian.PutUint64(tweak[0:8], lineAddr)
+	// 56 bits of counter and 8 bits of block index. Line counters in the
+	// paper are 28 bits, so 56 is ample headroom.
+	binary.LittleEndian.PutUint64(tweak[8:16], counter<<8|uint64(blockIdx)&0xff)
+	g.block.Encrypt(dst, tweak[:])
+}
+
+// Encrypt XORs plaintext with the pad for (lineAddr, counter) and returns the
+// ciphertext. Convenience for schemes that re-encrypt whole lines.
+func (g *Generator) Encrypt(lineAddr, counter uint64, plaintext []byte) []byte {
+	pad := g.Pad(lineAddr, counter, padLen(len(plaintext)))
+	out := make([]byte, len(plaintext))
+	for i := range plaintext {
+		out[i] = plaintext[i] ^ pad[i]
+	}
+	return out
+}
+
+// Decrypt is the inverse of Encrypt (XOR with the same pad).
+func (g *Generator) Decrypt(lineAddr, counter uint64, ciphertext []byte) []byte {
+	return g.Encrypt(lineAddr, counter, ciphertext)
+}
+
+func padLen(n int) int {
+	if n%BlockSize == 0 {
+		return n
+	}
+	return (n/BlockSize + 1) * BlockSize
+}

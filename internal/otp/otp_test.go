@@ -1,0 +1,207 @@
+package otp
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"deuce/internal/bitutil"
+)
+
+var testKey = []byte("0123456789abcdef")
+
+func gen(t testing.TB) *Generator {
+	t.Helper()
+	g, err := NewGenerator(testKey)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestNewGeneratorKeyLength(t *testing.T) {
+	if _, err := NewGenerator([]byte("short")); err == nil {
+		t.Error("expected error for short key")
+	}
+	if _, err := NewGenerator(make([]byte, 32)); err == nil {
+		t.Error("expected error for 32-byte key (this package is AES-128 only)")
+	}
+	if _, err := NewGenerator(make([]byte, 16)); err != nil {
+		t.Errorf("unexpected error for 16-byte key: %v", err)
+	}
+}
+
+func TestMustNewGeneratorPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustNewGenerator did not panic on bad key")
+		}
+	}()
+	MustNewGenerator([]byte("bad"))
+}
+
+func TestPadDeterministic(t *testing.T) {
+	g := gen(t)
+	a := g.Pad(42, 7, 64)
+	b := g.Pad(42, 7, 64)
+	if !bytes.Equal(a, b) {
+		t.Error("same tuple produced different pads")
+	}
+	if len(a) != 64 {
+		t.Errorf("pad length = %d", len(a))
+	}
+}
+
+func TestPadUniquePerTuple(t *testing.T) {
+	g := gen(t)
+	seen := make(map[string][2]uint64)
+	for addr := uint64(0); addr < 32; addr++ {
+		for ctr := uint64(0); ctr < 32; ctr++ {
+			p := string(g.Pad(addr, ctr, 16))
+			if prev, dup := seen[p]; dup {
+				t.Fatalf("pad collision between (%d,%d) and (%d,%d)", addr, ctr, prev[0], prev[1])
+			}
+			seen[p] = [2]uint64{addr, ctr}
+		}
+	}
+}
+
+// Each 16-byte block within a line pad must itself be unique — this is what
+// lets BLE and DEUCE treat blocks independently.
+func TestPadBlocksDistinct(t *testing.T) {
+	g := gen(t)
+	p := g.Pad(1, 1, 64)
+	for i := 0; i < 4; i++ {
+		for j := i + 1; j < 4; j++ {
+			if bytes.Equal(p[i*16:(i+1)*16], p[j*16:(j+1)*16]) {
+				t.Errorf("blocks %d and %d identical", i, j)
+			}
+		}
+	}
+}
+
+func TestBlockPadMatchesPadSlice(t *testing.T) {
+	g := gen(t)
+	full := g.Pad(99, 123, 64)
+	for i := 0; i < 4; i++ {
+		if !bytes.Equal(g.BlockPad(99, 123, i), full[i*16:(i+1)*16]) {
+			t.Errorf("BlockPad(%d) disagrees with Pad slice", i)
+		}
+	}
+}
+
+func TestPadLengthMustBeBlockMultiple(t *testing.T) {
+	g := gen(t)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Pad(…, 10) did not panic")
+		}
+	}()
+	g.Pad(0, 0, 10)
+}
+
+// Property: Decrypt(Encrypt(x)) == x for arbitrary data and tuples.
+func TestEncryptRoundTrip(t *testing.T) {
+	g := gen(t)
+	f := func(addr, ctr uint64, data []byte) bool {
+		if len(data) == 0 {
+			return true
+		}
+		return bytes.Equal(g.Decrypt(addr, ctr, g.Encrypt(addr, ctr, data)), data)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// The avalanche property the paper depends on: incrementing the counter
+// re-randomizes ~half the bits of the ciphertext.
+func TestAvalancheOnCounterIncrement(t *testing.T) {
+	g := gen(t)
+	data := make([]byte, 64)
+	rand.New(rand.NewSource(3)).Read(data)
+	total := 0
+	const trials = 200
+	for i := 0; i < trials; i++ {
+		c1 := g.Encrypt(uint64(i), 10, data)
+		c2 := g.Encrypt(uint64(i), 11, data)
+		total += bitutil.Hamming(c1, c2)
+	}
+	avg := float64(total) / trials / 512
+	if avg < 0.45 || avg > 0.55 {
+		t.Errorf("avalanche fraction = %.3f, want ~0.5", avg)
+	}
+}
+
+func TestDifferentKeysDifferentPads(t *testing.T) {
+	g1 := MustNewGenerator([]byte("0123456789abcdef"))
+	g2 := MustNewGenerator([]byte("fedcba9876543210"))
+	if bytes.Equal(g1.Pad(5, 5, 16), g2.Pad(5, 5, 16)) {
+		t.Error("different keys produced identical pads")
+	}
+}
+
+func TestCacheCorrectness(t *testing.T) {
+	g := gen(t)
+	ref := gen(t)
+	g.EnableCache(8)
+	rng := rand.New(rand.NewSource(11))
+	for i := 0; i < 500; i++ {
+		addr, ctr := uint64(rng.Intn(16)), uint64(rng.Intn(4))
+		if !bytes.Equal(g.Pad(addr, ctr, 64), ref.Pad(addr, ctr, 64)) {
+			t.Fatalf("cached pad differs at (%d,%d)", addr, ctr)
+		}
+	}
+	hits, misses := g.CacheStats()
+	if hits == 0 {
+		t.Error("expected some cache hits")
+	}
+	if hits+misses != 500 {
+		t.Errorf("hits+misses = %d, want 500", hits+misses)
+	}
+}
+
+func TestCacheDisable(t *testing.T) {
+	g := gen(t)
+	g.EnableCache(8)
+	g.Pad(1, 1, 64)
+	g.EnableCache(0) // disable
+	g.Pad(1, 1, 64)
+	hits, _ := g.CacheStats()
+	if hits != 0 {
+		t.Errorf("hits after disable = %d, want 0", hits)
+	}
+}
+
+// Mutating a returned pad must not corrupt future results (no aliasing of
+// cache internals).
+func TestCacheReturnsCopies(t *testing.T) {
+	g := gen(t)
+	g.EnableCache(8)
+	a := g.Pad(7, 7, 64)
+	want := bitutil.Clone(a)
+	for i := range a {
+		a[i] = 0
+	}
+	if !bytes.Equal(g.Pad(7, 7, 64), want) {
+		t.Error("mutating a returned pad corrupted the cache")
+	}
+}
+
+func BenchmarkPad64(b *testing.B) {
+	g := MustNewGenerator(testKey)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		g.Pad(uint64(i), uint64(i), 64)
+	}
+}
+
+func BenchmarkPad64Cached(b *testing.B) {
+	g := MustNewGenerator(testKey)
+	g.EnableCache(1024)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		g.Pad(uint64(i%512), 3, 64)
+	}
+}

@@ -1,0 +1,27 @@
+package pcmdev
+
+// Array is the contract between write schemes and the storage they target.
+// *Device implements it directly; internal/wear wraps a Device with
+// Start-Gap remapping and Horizontal Wear Leveling rotation while schemes
+// stay oblivious — exactly the hardware layering the paper describes (§5.3:
+// "the memory is equipped with shifters").
+type Array interface {
+	// Write stores data and metadata with differential-write accounting.
+	Write(line uint64, data, meta []byte) WriteResult
+	// Read returns copies of the stored data and metadata.
+	Read(line uint64) (data, meta []byte)
+	// Peek is Read without read-statistics side effects.
+	Peek(line uint64) (data, meta []byte)
+	// Load stores without cost accounting (initial placement).
+	Load(line uint64, data, meta []byte)
+	// Config reports the logical geometry visible to the caller.
+	Config() Config
+	// Stats returns device activity counters.
+	Stats() Stats
+	// ResetStats clears counters and wear profiles, keeping contents.
+	ResetStats()
+	// PositionWrites returns per-bit-position program counts.
+	PositionWrites() []uint64
+}
+
+var _ Array = (*Device)(nil)

@@ -1,0 +1,331 @@
+// Package pcmdev models a Phase Change Memory array at bit granularity.
+//
+// The device is where the paper's figure of merit is measured: every line
+// write is applied differentially (Data Comparison Write, paper ref [7]) so
+// only cells whose value changes are programmed, and the device counts those
+// cell programs ("bit flips") exactly. The device also accounts for:
+//
+//   - metadata cells per line (FNW flip bits, DEUCE modified bits, DynDEUCE
+//     mode bit) whose flips are included in the figure of merit per §3.3;
+//   - write slots: PCM prototypes program at most 128 bits per write slot
+//     (§6.1, ref [19]), with internal Flip-N-Write provisioning for up to 64
+//     flips per slot, so a 64-byte line takes 1-4 slots depending on which
+//     128-bit chunks contain flipped cells;
+//   - per-bit-position wear: how many times each cell position of a line has
+//     been programmed, aggregated across lines (Figure 12) and optionally per
+//     line, which drives the endurance/lifetime model in internal/wear.
+//
+// The device knows nothing about encryption: schemes in internal/core decide
+// what ciphertext and metadata image to store, the device stores it and
+// reports the cost.
+package pcmdev
+
+import (
+	"fmt"
+
+	"deuce/internal/bitutil"
+)
+
+// Default geometry constants matching the paper's configuration (Table 1).
+const (
+	DefaultLineBytes = 64  // cache line size
+	SlotBits         = 128 // write-slot width, from the 8Gb PCM prototype [19]
+	MaxFlipsPerSlot  = 64  // internal FNW provisioning per slot [22]
+)
+
+// Config describes a simulated PCM array.
+type Config struct {
+	// Lines is the number of cache lines in the array.
+	Lines int
+	// LineBytes is the data payload per line (default 64).
+	LineBytes int
+	// MetaBits is the number of per-line metadata cells stored alongside
+	// the data (flip bits, modified bits, mode bit). May be zero.
+	MetaBits int
+	// TrackPerLineWear enables per-line per-bit wear counters in addition
+	// to the aggregate per-position profile. Costs Lines×(bits) memory.
+	TrackPerLineWear bool
+}
+
+func (c *Config) setDefaults() {
+	if c.LineBytes == 0 {
+		c.LineBytes = DefaultLineBytes
+	}
+}
+
+// LineBits returns the number of data cells per line.
+func (c Config) LineBits() int { return c.LineBytes * 8 }
+
+// TotalBitsPerLine returns data plus metadata cells per line.
+func (c Config) TotalBitsPerLine() int { return c.LineBytes*8 + c.MetaBits }
+
+// Stats aggregates device activity since creation (or the last ResetStats).
+type Stats struct {
+	Writes     uint64 // line write operations
+	Reads      uint64 // line read operations
+	DataFlips  uint64 // data cells programmed
+	MetaFlips  uint64 // metadata cells programmed
+	SlotsUsed  uint64 // total write slots consumed
+	ZeroWrites uint64 // writes that programmed no cell at all
+}
+
+// TotalFlips returns data plus metadata cell programs.
+func (s Stats) TotalFlips() uint64 { return s.DataFlips + s.MetaFlips }
+
+// AvgFlipsPerWrite returns the mean number of cells programmed per line
+// write, the paper's figure of merit (§3.3), including metadata cells.
+func (s Stats) AvgFlipsPerWrite() float64 {
+	if s.Writes == 0 {
+		return 0
+	}
+	return float64(s.TotalFlips()) / float64(s.Writes)
+}
+
+// AvgSlotsPerWrite returns the mean write slots per line write (Figure 15).
+func (s Stats) AvgSlotsPerWrite() float64 {
+	if s.Writes == 0 {
+		return 0
+	}
+	return float64(s.SlotsUsed) / float64(s.Writes)
+}
+
+// WriteResult reports the cost of a single line write.
+type WriteResult struct {
+	DataFlips int   // data cells programmed by this write
+	MetaFlips int   // metadata cells programmed by this write
+	Slots     int   // write slots consumed (0 if nothing changed)
+	SlotFlips []int // flips in each consumed slot, for power scheduling
+}
+
+// TotalFlips returns data plus metadata flips for the write.
+func (r WriteResult) TotalFlips() int { return r.DataFlips + r.MetaFlips }
+
+// Device is a simulated PCM array. It is not safe for concurrent use; the
+// experiment harness runs one device per goroutine.
+type Device struct {
+	cfg  Config
+	data [][]byte // raw stored cells, Lines × LineBytes
+	meta [][]byte // metadata cells, Lines × ceil(MetaBits/8)
+
+	stats Stats
+
+	// posWrites[p] counts programs of bit position p (0..LineBits-1 data,
+	// then MetaBits metadata positions), aggregated over all lines. This
+	// is exactly the Figure 12 profile.
+	posWrites []uint64
+
+	// lineWrites[l] counts write operations per physical line — the
+	// inter-line wear profile that vertical wear leveling flattens.
+	lineWrites []uint64
+
+	// lineWear[line][p] is the per-line analogue, enabled by
+	// Config.TrackPerLineWear.
+	lineWear [][]uint32
+}
+
+// New creates a PCM array with all cells zero.
+func New(cfg Config) (*Device, error) {
+	cfg.setDefaults()
+	if cfg.Lines <= 0 {
+		return nil, fmt.Errorf("pcmdev: Lines must be positive, got %d", cfg.Lines)
+	}
+	if cfg.LineBytes <= 0 || cfg.LineBytes%(SlotBits/8) != 0 {
+		return nil, fmt.Errorf("pcmdev: LineBytes must be a positive multiple of %d, got %d", SlotBits/8, cfg.LineBytes)
+	}
+	if cfg.MetaBits < 0 {
+		return nil, fmt.Errorf("pcmdev: negative MetaBits %d", cfg.MetaBits)
+	}
+	d := &Device{
+		cfg:        cfg,
+		data:       make([][]byte, cfg.Lines),
+		meta:       make([][]byte, cfg.Lines),
+		posWrites:  make([]uint64, cfg.TotalBitsPerLine()),
+		lineWrites: make([]uint64, cfg.Lines),
+	}
+	metaBytes := (cfg.MetaBits + 7) / 8
+	for i := range d.data {
+		d.data[i] = make([]byte, cfg.LineBytes)
+		d.meta[i] = make([]byte, metaBytes)
+	}
+	if cfg.TrackPerLineWear {
+		d.lineWear = make([][]uint32, cfg.Lines)
+		for i := range d.lineWear {
+			d.lineWear[i] = make([]uint32, cfg.TotalBitsPerLine())
+		}
+	}
+	return d, nil
+}
+
+// MustNew is New for configurations known to be valid.
+func MustNew(cfg Config) *Device {
+	d, err := New(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return d
+}
+
+// Config returns the device geometry.
+func (d *Device) Config() Config { return d.cfg }
+
+// Lines returns the number of lines in the array.
+func (d *Device) Lines() int { return d.cfg.Lines }
+
+// Read returns copies of the stored data and metadata for the line.
+func (d *Device) Read(line uint64) (data, meta []byte) {
+	d.checkLine(line)
+	d.stats.Reads++
+	return bitutil.Clone(d.data[line]), bitutil.Clone(d.meta[line])
+}
+
+// Peek is Read without statistics side effects, for schemes that must
+// inspect the stored image while computing a write (read-modify-write is
+// already accounted by the caller).
+func (d *Device) Peek(line uint64) (data, meta []byte) {
+	d.checkLine(line)
+	return bitutil.Clone(d.data[line]), bitutil.Clone(d.meta[line])
+}
+
+// Write stores newData and newMeta into the line using Data Comparison
+// Write: only cells that differ from the stored image are programmed. It
+// returns the exact cost. newMeta may be nil when MetaBits is zero.
+func (d *Device) Write(line uint64, newData, newMeta []byte) WriteResult {
+	d.checkLine(line)
+	if len(newData) != d.cfg.LineBytes {
+		panic(fmt.Sprintf("pcmdev: write of %d bytes to %d-byte line", len(newData), d.cfg.LineBytes))
+	}
+	if d.cfg.MetaBits > 0 && len(newMeta) != len(d.meta[line]) {
+		panic(fmt.Sprintf("pcmdev: metadata write of %d bytes, want %d", len(newMeta), len(d.meta[line])))
+	}
+
+	old := d.data[line]
+	res := WriteResult{}
+
+	// Per-slot flip accounting over 128-bit chunks of the data payload.
+	slotBytes := SlotBits / 8
+	for s := 0; s*slotBytes < d.cfg.LineBytes; s++ {
+		off := s * slotBytes
+		f := bitutil.HammingRange(old, newData, off, slotBytes)
+		if f > 0 {
+			res.Slots++
+			res.SlotFlips = append(res.SlotFlips, f)
+			res.DataFlips += f
+		}
+	}
+
+	// Wear bookkeeping for flipped data cells.
+	if res.DataFlips > 0 {
+		for i := 0; i < d.cfg.LineBits(); i++ {
+			if bitutil.GetBit(old, i) != bitutil.GetBit(newData, i) {
+				d.posWrites[i]++
+				if d.lineWear != nil {
+					d.lineWear[line][i]++
+				}
+			}
+		}
+		copy(old, newData)
+	}
+
+	// Metadata cells, same DCW treatment.
+	if d.cfg.MetaBits > 0 {
+		oldMeta := d.meta[line]
+		for i := 0; i < d.cfg.MetaBits; i++ {
+			if bitutil.GetBit(oldMeta, i) != bitutil.GetBit(newMeta, i) {
+				res.MetaFlips++
+				d.posWrites[d.cfg.LineBits()+i]++
+				if d.lineWear != nil {
+					d.lineWear[line][d.cfg.LineBits()+i]++
+				}
+			}
+		}
+		if res.MetaFlips > 0 {
+			copy(oldMeta, newMeta)
+		}
+	}
+
+	d.stats.Writes++
+	d.lineWrites[line]++
+	d.stats.DataFlips += uint64(res.DataFlips)
+	d.stats.MetaFlips += uint64(res.MetaFlips)
+	d.stats.SlotsUsed += uint64(res.Slots)
+	if res.DataFlips+res.MetaFlips == 0 {
+		d.stats.ZeroWrites++
+	}
+	return res
+}
+
+// Load stores data (and metadata, which may be nil) into the line without
+// any cost accounting. It models the initial placement of pages into memory
+// by the memory controller (paper §3.1: "relevant pages have already been
+// brought into memory and been initially encrypted"), which is excluded from
+// the figure of merit.
+func (d *Device) Load(line uint64, data, meta []byte) {
+	d.checkLine(line)
+	if len(data) != d.cfg.LineBytes {
+		panic(fmt.Sprintf("pcmdev: load of %d bytes to %d-byte line", len(data), d.cfg.LineBytes))
+	}
+	copy(d.data[line], data)
+	if meta != nil {
+		if len(meta) != len(d.meta[line]) {
+			panic(fmt.Sprintf("pcmdev: metadata load of %d bytes, want %d", len(meta), len(d.meta[line])))
+		}
+		copy(d.meta[line], meta)
+	}
+}
+
+// Stats returns a snapshot of the device counters.
+func (d *Device) Stats() Stats { return d.stats }
+
+// ResetStats zeroes the activity counters and the wear profile. Stored cell
+// contents are preserved (useful for warm-up phases: fill the array, reset,
+// then measure).
+func (d *Device) ResetStats() {
+	d.stats = Stats{}
+	for i := range d.posWrites {
+		d.posWrites[i] = 0
+	}
+	for i := range d.lineWrites {
+		d.lineWrites[i] = 0
+	}
+	for _, lw := range d.lineWear {
+		for i := range lw {
+			lw[i] = 0
+		}
+	}
+}
+
+// PositionWrites returns a copy of the per-bit-position program counts,
+// aggregated over all lines. Indices [0,LineBits) are data cells; indices
+// [LineBits, LineBits+MetaBits) are metadata cells.
+func (d *Device) PositionWrites() []uint64 {
+	out := make([]uint64, len(d.posWrites))
+	copy(out, d.posWrites)
+	return out
+}
+
+// LineWrites returns a copy of the per-physical-line write counts — the
+// distribution vertical wear leveling (Start-Gap, Security Refresh) exists
+// to flatten.
+func (d *Device) LineWrites() []uint64 {
+	out := make([]uint64, len(d.lineWrites))
+	copy(out, d.lineWrites)
+	return out
+}
+
+// LineWear returns a copy of the per-bit wear counters for one line.
+// It panics unless Config.TrackPerLineWear was set.
+func (d *Device) LineWear(line uint64) []uint32 {
+	d.checkLine(line)
+	if d.lineWear == nil {
+		panic("pcmdev: LineWear requires Config.TrackPerLineWear")
+	}
+	out := make([]uint32, len(d.lineWear[line]))
+	copy(out, d.lineWear[line])
+	return out
+}
+
+func (d *Device) checkLine(line uint64) {
+	if line >= uint64(d.cfg.Lines) {
+		panic(fmt.Sprintf("pcmdev: line %d out of range [0,%d)", line, d.cfg.Lines))
+	}
+}

@@ -1,0 +1,73 @@
+package pcmdev
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+)
+
+// serialization format magic, versioned.
+var devMagic = [4]byte{'P', 'C', 'M', '1'}
+
+// Serialize writes the array's persistent state — the stored cells and
+// metadata cells, exactly what survives power-down on a real DIMM — to w.
+// Statistics and wear counters are volatile controller state and are not
+// serialized.
+func (d *Device) Serialize(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.Write(devMagic[:]); err != nil {
+		return fmt.Errorf("pcmdev: %w", err)
+	}
+	hdr := []uint64{uint64(d.cfg.Lines), uint64(d.cfg.LineBytes), uint64(d.cfg.MetaBits)}
+	for _, v := range hdr {
+		if err := binary.Write(bw, binary.LittleEndian, v); err != nil {
+			return fmt.Errorf("pcmdev: %w", err)
+		}
+	}
+	for line := 0; line < d.cfg.Lines; line++ {
+		if _, err := bw.Write(d.data[line]); err != nil {
+			return fmt.Errorf("pcmdev: line %d: %w", line, err)
+		}
+		if len(d.meta[line]) > 0 {
+			if _, err := bw.Write(d.meta[line]); err != nil {
+				return fmt.Errorf("pcmdev: line %d meta: %w", line, err)
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// Restore loads state written by Serialize into this array. The geometry
+// must match exactly; contents are replaced, statistics are untouched.
+func (d *Device) Restore(r io.Reader) error {
+	br := bufio.NewReader(r)
+	var magic [4]byte
+	if _, err := io.ReadFull(br, magic[:]); err != nil {
+		return fmt.Errorf("pcmdev: reading header: %w", err)
+	}
+	if magic != devMagic {
+		return fmt.Errorf("pcmdev: bad magic %q", magic)
+	}
+	var lines, lineBytes, metaBits uint64
+	for _, p := range []*uint64{&lines, &lineBytes, &metaBits} {
+		if err := binary.Read(br, binary.LittleEndian, p); err != nil {
+			return fmt.Errorf("pcmdev: %w", err)
+		}
+	}
+	if int(lines) != d.cfg.Lines || int(lineBytes) != d.cfg.LineBytes || int(metaBits) != d.cfg.MetaBits {
+		return fmt.Errorf("pcmdev: geometry mismatch: snapshot %dx%dB+%db, device %dx%dB+%db",
+			lines, lineBytes, metaBits, d.cfg.Lines, d.cfg.LineBytes, d.cfg.MetaBits)
+	}
+	for line := 0; line < d.cfg.Lines; line++ {
+		if _, err := io.ReadFull(br, d.data[line]); err != nil {
+			return fmt.Errorf("pcmdev: line %d: %w", line, err)
+		}
+		if len(d.meta[line]) > 0 {
+			if _, err := io.ReadFull(br, d.meta[line]); err != nil {
+				return fmt.Errorf("pcmdev: line %d meta: %w", line, err)
+			}
+		}
+	}
+	return nil
+}

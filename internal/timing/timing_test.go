@@ -1,0 +1,367 @@
+package timing
+
+import (
+	"io"
+	"math"
+	"strings"
+	"testing"
+
+	"deuce/internal/trace"
+)
+
+// sliceSource replays a fixed event slice.
+type sliceSource struct {
+	events []trace.Event
+	i      int
+}
+
+func (s *sliceSource) Next() (trace.Event, error) {
+	if s.i >= len(s.events) {
+		return trace.Event{}, io.EOF
+	}
+	e := s.events[s.i]
+	s.i++
+	return e, nil
+}
+
+func fixedSlots(n int) SlotCoster {
+	return SlotCosterFunc(func(uint64, []byte) int { return n })
+}
+
+func wb(line uint64, cpu uint8, gap uint32) trace.Event {
+	return trace.Event{Kind: trace.Writeback, Line: line, CPU: cpu, Gap: gap, Data: make([]byte, 64)}
+}
+
+func rd(line uint64, cpu uint8, gap uint32) trace.Event {
+	return trace.Event{Kind: trace.Read, Line: line, CPU: cpu, Gap: gap}
+}
+
+func TestConfigValidation(t *testing.T) {
+	src := &sliceSource{}
+	if _, err := NewSimulator(Config{Cores: -1}, src, fixedSlots(1)); err == nil {
+		t.Error("negative cores accepted")
+	}
+	if _, err := NewSimulator(Config{}, nil, fixedSlots(1)); err == nil {
+		t.Error("nil source accepted")
+	}
+	if _, err := NewSimulator(Config{}, src, nil); err == nil {
+		t.Error("nil coster accepted")
+	}
+}
+
+func TestRunRejectsZeroEvents(t *testing.T) {
+	s, err := NewSimulator(Config{Cores: 1}, &sliceSource{}, fixedSlots(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Run(0); err == nil {
+		t.Error("zero maxEvents accepted")
+	}
+}
+
+// A single read on an idle machine takes exactly gap-compute + read latency.
+func TestSingleReadLatency(t *testing.T) {
+	src := &sliceSource{events: []trace.Event{rd(0, 0, 1600)}}
+	s, _ := NewSimulator(Config{Cores: 1}, src, fixedSlots(1))
+	res, err := s.Run(10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 1600 instructions at IPC4 x 4GHz = 100ns, plus 75ns read.
+	want := 100.0 + 75.0
+	if math.Abs(res.ExecNs-want) > 1e-9 {
+		t.Errorf("ExecNs = %v, want %v", res.ExecNs, want)
+	}
+	if res.Reads != 1 || res.AvgReadLatencyNs != 75 {
+		t.Errorf("reads=%d lat=%v", res.Reads, res.AvgReadLatencyNs)
+	}
+}
+
+// Posted writes do not stall the core while the buffer has room, but the
+// simulation still accounts for the slots.
+func TestPostedWrite(t *testing.T) {
+	src := &sliceSource{events: []trace.Event{wb(0, 0, 1600), rd(1, 0, 1600)}}
+	s, _ := NewSimulator(Config{Cores: 1, Banks: 2}, src, fixedSlots(4))
+	res, err := s.Run(10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The write goes to bank 0, the read to bank 1: no interference.
+	want := 200.0 + 75.0
+	if math.Abs(res.ExecNs-want) > 1e-9 {
+		t.Errorf("ExecNs = %v, want %v (write should be posted)", res.ExecNs, want)
+	}
+	if res.SlotsIssued != 4 {
+		t.Errorf("SlotsIssued = %d, want 4", res.SlotsIssued)
+	}
+}
+
+// A read behind an in-flight write slot waits for at most one slot, not the
+// whole line write: slot-granularity scheduling (the paper's mechanism).
+func TestReadPriorityOverRemainingSlots(t *testing.T) {
+	src := &sliceSource{events: []trace.Event{
+		wb(0, 0, 0),  // 4 slots to bank 0 at t=0
+		rd(0, 0, 16), // read to bank 0 at t=1ns
+	}}
+	s, _ := NewSimulator(Config{Cores: 1, Banks: 1}, src, fixedSlots(4))
+	res, err := s.Run(10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Slot 1 occupies [0,150). The read arrives at 1, starts at 150,
+	// finishes at 225. Remaining 3 slots follow: 225+450 = 675.
+	if math.Abs(res.AvgReadLatencyNs-224) > 1e-9 {
+		t.Errorf("read latency = %v, want 224 (wait one slot only)", res.AvgReadLatencyNs)
+	}
+	if math.Abs(res.ExecNs-225) > 1e-9 {
+		// Core finishes at read completion; remaining slots drain
+		// in the background but ExecNs tracks core time.
+		t.Errorf("ExecNs = %v, want 225", res.ExecNs)
+	}
+}
+
+// More slots per write must not make execution faster under a write-bound
+// load, and fewer slots must help.
+func TestSlotCountMonotonicity(t *testing.T) {
+	mkTrace := func() trace.Source {
+		var evs []trace.Event
+		for i := 0; i < 400; i++ {
+			evs = append(evs, wb(uint64(i), 0, 16))
+			evs = append(evs, rd(uint64(i), 0, 16))
+		}
+		return &sliceSource{events: evs}
+	}
+	exec := func(slots int) float64 {
+		// One bank so the write service time is on the critical path.
+		s, _ := NewSimulator(Config{Cores: 1, Banks: 1, MaxConcurrentSlots: 4, WriteBufferSlots: 8}, mkTrace(), fixedSlots(slots))
+		res, err := s.Run(1 << 20)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.ExecNs
+	}
+	t1, t2, t4 := exec(1), exec(2), exec(4)
+	if !(t1 < t2 && t2 < t4) {
+		t.Errorf("exec times not monotone in slots: %v, %v, %v", t1, t2, t4)
+	}
+	if t4/t1 < 1.5 {
+		t.Errorf("4-slot writes only %.2fx slower than 1-slot under write-bound load", t4/t1)
+	}
+}
+
+// A tighter global write-current budget must slow a parallel write load.
+func TestPowerBudgetConstrains(t *testing.T) {
+	mkTrace := func() trace.Source {
+		var evs []trace.Event
+		for i := 0; i < 200; i++ {
+			for c := uint8(0); c < 8; c++ {
+				evs = append(evs, wb(uint64(i*8+int(c)), c, 16))
+			}
+		}
+		return &sliceSource{events: evs}
+	}
+	exec := func(budget int) float64 {
+		s, _ := NewSimulator(Config{Cores: 8, Banks: 32, MaxConcurrentSlots: budget, WriteBufferSlots: 8}, mkTrace(), fixedSlots(4))
+		res, err := s.Run(1 << 20)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.ExecNs
+	}
+	wide, tight := exec(32), exec(2)
+	if tight <= wide {
+		t.Errorf("tight budget (%v ns) not slower than wide (%v ns)", tight, wide)
+	}
+}
+
+// Full write buffers must stall cores and account the stall.
+func TestWriteBufferBackpressure(t *testing.T) {
+	var evs []trace.Event
+	for i := 0; i < 50; i++ {
+		evs = append(evs, wb(0, 0, 0)) // all to bank 0, no compute gaps
+	}
+	s, _ := NewSimulator(Config{Cores: 1, Banks: 1, WriteBufferSlots: 4, MaxConcurrentSlots: 4}, &sliceSource{events: evs}, fixedSlots(4))
+	res, err := s.Run(1 << 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.WriteStallNs == 0 {
+		t.Error("expected write-buffer stalls on a saturated bank")
+	}
+	// All slots must eventually issue.
+	if res.SlotsIssued != 200 {
+		t.Errorf("SlotsIssued = %d, want 200", res.SlotsIssued)
+	}
+}
+
+// Zero-slot writes (nothing changed) cost nothing.
+func TestZeroSlotWriteIsFree(t *testing.T) {
+	src := &sliceSource{events: []trace.Event{wb(0, 0, 1600)}}
+	s, _ := NewSimulator(Config{Cores: 1}, src, fixedSlots(0))
+	res, err := s.Run(10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.SlotsIssued != 0 {
+		t.Errorf("SlotsIssued = %d", res.SlotsIssued)
+	}
+	if math.Abs(res.ExecNs-100) > 1e-9 {
+		t.Errorf("ExecNs = %v, want 100", res.ExecNs)
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	mk := func() *Simulator {
+		var evs []trace.Event
+		for i := 0; i < 300; i++ {
+			if i%3 == 0 {
+				evs = append(evs, rd(uint64(i), uint8(i%4), uint32(i%100)))
+			} else {
+				evs = append(evs, wb(uint64(i), uint8(i%4), uint32(i%100)))
+			}
+		}
+		s, _ := NewSimulator(Config{Cores: 4}, &sliceSource{events: evs}, fixedSlots(3))
+		return s
+	}
+	r1, err1 := mk().Run(1000)
+	r2, err2 := mk().Run(1000)
+	if err1 != nil || err2 != nil {
+		t.Fatal(err1, err2)
+	}
+	if r1 != r2 {
+		t.Errorf("nondeterministic results: %+v vs %+v", r1, r2)
+	}
+}
+
+func TestInstructionAccounting(t *testing.T) {
+	src := &sliceSource{events: []trace.Event{rd(0, 0, 100), rd(1, 0, 200), rd(2, 0, 300)}}
+	s, _ := NewSimulator(Config{Cores: 1}, src, fixedSlots(1))
+	res, err := s.Run(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Instructions != 600 {
+		t.Errorf("Instructions = %d, want 600", res.Instructions)
+	}
+	if res.IPCAggregate() <= 0 {
+		t.Error("IPCAggregate should be positive")
+	}
+}
+
+func TestDumpState(t *testing.T) {
+	s, _ := NewSimulator(Config{Cores: 1}, &sliceSource{}, fixedSlots(1))
+	var b strings.Builder
+	s.DumpState(&b)
+	if b.Len() == 0 {
+		t.Error("DumpState wrote nothing")
+	}
+}
+
+// Write pausing must cut the read latency behind a write burst to near the
+// raw array latency, at the cost of redone slot work.
+func TestWritePausing(t *testing.T) {
+	mkTrace := func() trace.Source {
+		return &sliceSource{events: []trace.Event{
+			wb(0, 0, 0),  // 4 slots to bank 0
+			rd(0, 0, 16), // read arrives 1ns later
+		}}
+	}
+	run := func(pausing bool) Result {
+		s, _ := NewSimulator(Config{Cores: 1, Banks: 1, WritePausing: pausing}, mkTrace(), fixedSlots(4))
+		res, err := s.Run(10)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	base := run(false)
+	paused := run(true)
+	// Without pausing the read waits out the in-flight slot (224ns
+	// latency, from TestReadPriorityOverRemainingSlots); with pausing it
+	// starts immediately (~76ns).
+	if paused.AvgReadLatencyNs >= base.AvgReadLatencyNs {
+		t.Errorf("pausing did not reduce read latency: %v vs %v",
+			paused.AvgReadLatencyNs, base.AvgReadLatencyNs)
+	}
+	if paused.AvgReadLatencyNs > 80 {
+		t.Errorf("paused read latency = %v, want ~76", paused.AvgReadLatencyNs)
+	}
+	if paused.PausedSlots != 1 {
+		t.Errorf("PausedSlots = %d, want 1", paused.PausedSlots)
+	}
+	if base.PausedSlots != 0 {
+		t.Errorf("baseline PausedSlots = %d, want 0", base.PausedSlots)
+	}
+	// All four slots still complete (the cancelled one retries).
+	if paused.SlotsIssued != 4 {
+		t.Errorf("SlotsIssued = %d, want 4", paused.SlotsIssued)
+	}
+}
+
+// Cancelled slots must actually retry: a paused-heavy run still drains its
+// entire write backlog.
+func TestWritePausingDrainsBacklog(t *testing.T) {
+	var evs []trace.Event
+	for i := 0; i < 100; i++ {
+		evs = append(evs, wb(0, 0, 8))
+		evs = append(evs, rd(0, 0, 8))
+	}
+	s, _ := NewSimulator(Config{Cores: 1, Banks: 1, WritePausing: true, WriteBufferSlots: 1 << 20}, &sliceSource{events: evs}, fixedSlots(2))
+	res, err := s.Run(1 << 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Writes != 100 || res.Reads != 100 {
+		t.Fatalf("traffic lost: %d writes, %d reads", res.Writes, res.Reads)
+	}
+	s.DumpState(discard{})
+}
+
+type discard struct{}
+
+func (discard) Write(p []byte) (int, error) { return len(p), nil }
+
+// Two cores with identical demand on disjoint banks must finish together:
+// no starvation from event ordering.
+func TestMultiCoreFairness(t *testing.T) {
+	var evs []trace.Event
+	for i := 0; i < 200; i++ {
+		evs = append(evs, rd(uint64(i*2), 0, 100))   // core 0 -> even banks
+		evs = append(evs, rd(uint64(i*2+1), 1, 100)) // core 1 -> odd banks
+	}
+	s, _ := NewSimulator(Config{Cores: 2, Banks: 2}, &sliceSource{events: evs}, fixedSlots(1))
+	res, err := s.Run(1 << 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Reads != 400 {
+		t.Fatalf("reads = %d", res.Reads)
+	}
+	// Per-core service is identical, so total time ~= one core's serial
+	// time: 200*(100*0.0625 + 75) = 16250ns.
+	want := 200 * (100*0.0625 + 75.0)
+	if res.ExecNs < want*0.99 || res.ExecNs > want*1.01 {
+		t.Errorf("ExecNs = %v, want ~%v (fair, uncontended)", res.ExecNs, want)
+	}
+}
+
+// Bank conflicts between cores serialize reads: same trace, one bank.
+func TestBankConflictSerializesReads(t *testing.T) {
+	mk := func(banks int) float64 {
+		var evs []trace.Event
+		for i := 0; i < 100; i++ {
+			evs = append(evs, rd(0, 0, 0))
+			evs = append(evs, rd(1, 1, 0)) // bank 1 if banks=2, bank 0's twin if banks=1
+		}
+		s, _ := NewSimulator(Config{Cores: 2, Banks: banks}, &sliceSource{events: evs}, fixedSlots(1))
+		res, err := s.Run(1 << 20)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.ExecNs
+	}
+	conflicted, parallel := mk(1), mk(2)
+	if conflicted < parallel*1.8 {
+		t.Errorf("bank conflict only %.2fx slower (%v vs %v)", conflicted/parallel, conflicted, parallel)
+	}
+}

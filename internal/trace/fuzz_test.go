@@ -1,0 +1,73 @@
+package trace
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"testing"
+
+	"deuce/internal/bitutil"
+)
+
+// FuzzReader throws arbitrary bytes at the decoder: it must return an
+// error or EOF, never panic, and never allocate absurd payloads.
+func FuzzReader(f *testing.F) {
+	// Seed with a valid single-event trace.
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	_ = w.Write(Event{Kind: Writeback, Line: 3, CPU: 1, Gap: 9, Data: make([]byte, 64)})
+	_ = w.Flush()
+	f.Add(buf.Bytes())
+	f.Add([]byte("DTR1"))
+	f.Add([]byte{})
+
+	f.Fuzz(func(t *testing.T, raw []byte) {
+		r := NewReader(bytes.NewReader(raw))
+		for i := 0; i < 1000; i++ {
+			_, err := r.Read()
+			if err != nil {
+				if !errors.Is(err, io.EOF) && err == nil {
+					t.Fatal("nil error with failure")
+				}
+				return
+			}
+		}
+	})
+}
+
+// FuzzRoundTrip encodes fuzz-shaped events and decodes them back.
+func FuzzRoundTrip(f *testing.F) {
+	f.Add(uint64(1), uint8(0), uint32(5), []byte("0123456789abcdef0123456789abcdef0123456789abcdef0123456789abcdef"))
+	f.Fuzz(func(t *testing.T, line uint64, cpu uint8, gap uint32, payload []byte) {
+		if len(payload) == 0 || len(payload) > 1<<16 {
+			return
+		}
+		events := []Event{
+			{Kind: Read, Line: line, CPU: cpu, Gap: gap},
+			{Kind: Writeback, Line: line ^ 1, CPU: cpu, Gap: gap / 2, Data: payload},
+		}
+		var buf bytes.Buffer
+		w := NewWriter(&buf)
+		for _, e := range events {
+			if err := w.Write(e); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := w.Flush(); err != nil {
+			t.Fatal(err)
+		}
+		r := NewReader(&buf)
+		for _, want := range events {
+			got, err := r.Read()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got.Kind != want.Kind || got.Line != want.Line || got.CPU != want.CPU || got.Gap != want.Gap {
+				t.Fatalf("got %+v, want %+v", got, want)
+			}
+			if want.Kind == Writeback && !bitutil.Equal(got.Data, want.Data) {
+				t.Fatal("payload mismatch")
+			}
+		}
+	})
+}

@@ -1,0 +1,209 @@
+// Package trace defines the memory-event stream that connects workload
+// generators, the cache hierarchy, the write schemes, and the timing model,
+// plus a compact binary codec so traces can be generated once (cmd/tracegen)
+// and replayed deterministically.
+//
+// An event is either a read miss arriving at PCM or a dirty-line writeback
+// leaving the L4. Each event carries the number of instructions the issuing
+// core executed since its previous event, which is what the timing model
+// needs to convert a trace into execution time.
+package trace
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// Kind discriminates event types.
+type Kind uint8
+
+// Event kinds.
+const (
+	// Read is a read miss serviced by PCM.
+	Read Kind = iota
+	// Writeback is a dirty-line eviction written to PCM.
+	Writeback
+)
+
+// String implements fmt.Stringer.
+func (k Kind) String() string {
+	switch k {
+	case Read:
+		return "R"
+	case Writeback:
+		return "W"
+	default:
+		return fmt.Sprintf("Kind(%d)", uint8(k))
+	}
+}
+
+// Event is one memory request.
+type Event struct {
+	// Kind says whether this is a read miss or a writeback.
+	Kind Kind
+	// Line is the cache-line address (line index, not byte address).
+	Line uint64
+	// CPU is the issuing core, for multi-core timing.
+	CPU uint8
+	// Gap is the number of instructions the issuing core executed
+	// since its previous event.
+	Gap uint32
+	// Data is the 64-byte payload for writebacks; nil for reads.
+	Data []byte
+}
+
+// String implements fmt.Stringer for debugging.
+func (e Event) String() string {
+	return fmt.Sprintf("%s cpu%d line=%d gap=%d", e.Kind, e.CPU, e.Line, e.Gap)
+}
+
+// magic identifies the binary trace format, versioned for forward breaks.
+var magic = [4]byte{'D', 'T', 'R', '1'}
+
+// Writer encodes events to a stream. Call Flush before closing the
+// underlying writer.
+type Writer struct {
+	w     *bufio.Writer
+	began bool
+}
+
+// NewWriter returns a Writer over w.
+func NewWriter(w io.Writer) *Writer {
+	return &Writer{w: bufio.NewWriter(w)}
+}
+
+// Write appends one event.
+func (tw *Writer) Write(e Event) error {
+	if !tw.began {
+		if _, err := tw.w.Write(magic[:]); err != nil {
+			return fmt.Errorf("trace: writing header: %w", err)
+		}
+		tw.began = true
+	}
+	var buf [binary.MaxVarintLen64]byte
+	put := func(v uint64) error {
+		n := binary.PutUvarint(buf[:], v)
+		_, err := tw.w.Write(buf[:n])
+		return err
+	}
+	if err := tw.w.WriteByte(byte(e.Kind)); err != nil {
+		return fmt.Errorf("trace: %w", err)
+	}
+	if err := put(e.Line); err != nil {
+		return fmt.Errorf("trace: %w", err)
+	}
+	if err := tw.w.WriteByte(e.CPU); err != nil {
+		return fmt.Errorf("trace: %w", err)
+	}
+	if err := put(uint64(e.Gap)); err != nil {
+		return fmt.Errorf("trace: %w", err)
+	}
+	if e.Kind == Writeback {
+		if len(e.Data) == 0 {
+			return errors.New("trace: writeback event without data")
+		}
+		if err := put(uint64(len(e.Data))); err != nil {
+			return fmt.Errorf("trace: %w", err)
+		}
+		if _, err := tw.w.Write(e.Data); err != nil {
+			return fmt.Errorf("trace: %w", err)
+		}
+	}
+	return nil
+}
+
+// Flush drains buffered bytes to the underlying writer.
+func (tw *Writer) Flush() error {
+	if !tw.began {
+		// An empty trace still carries a header so readers can
+		// distinguish "empty" from "garbage".
+		if _, err := tw.w.Write(magic[:]); err != nil {
+			return fmt.Errorf("trace: writing header: %w", err)
+		}
+		tw.began = true
+	}
+	return tw.w.Flush()
+}
+
+// Reader decodes events written by Writer.
+type Reader struct {
+	r     *bufio.Reader
+	began bool
+}
+
+// NewReader returns a Reader over r.
+func NewReader(r io.Reader) *Reader {
+	return &Reader{r: bufio.NewReader(r)}
+}
+
+// Read returns the next event, or io.EOF at end of trace.
+func (tr *Reader) Read() (Event, error) {
+	if !tr.began {
+		var got [4]byte
+		if _, err := io.ReadFull(tr.r, got[:]); err != nil {
+			return Event{}, fmt.Errorf("trace: reading header: %w", err)
+		}
+		if got != magic {
+			return Event{}, fmt.Errorf("trace: bad magic %q", got)
+		}
+		tr.began = true
+	}
+	kindB, err := tr.r.ReadByte()
+	if err != nil {
+		if errors.Is(err, io.EOF) {
+			return Event{}, io.EOF
+		}
+		return Event{}, fmt.Errorf("trace: %w", err)
+	}
+	e := Event{Kind: Kind(kindB)}
+	if e.Kind != Read && e.Kind != Writeback {
+		return Event{}, fmt.Errorf("trace: unknown event kind %d", kindB)
+	}
+	if e.Line, err = binary.ReadUvarint(tr.r); err != nil {
+		return Event{}, fmt.Errorf("trace: %w", err)
+	}
+	cpu, err := tr.r.ReadByte()
+	if err != nil {
+		return Event{}, fmt.Errorf("trace: %w", err)
+	}
+	e.CPU = cpu
+	gap, err := binary.ReadUvarint(tr.r)
+	if err != nil {
+		return Event{}, fmt.Errorf("trace: %w", err)
+	}
+	if gap > 1<<32-1 {
+		return Event{}, fmt.Errorf("trace: gap %d overflows uint32", gap)
+	}
+	e.Gap = uint32(gap)
+	if e.Kind == Writeback {
+		n, err := binary.ReadUvarint(tr.r)
+		if err != nil {
+			return Event{}, fmt.Errorf("trace: %w", err)
+		}
+		if n == 0 || n > 1<<16 {
+			return Event{}, fmt.Errorf("trace: implausible payload size %d", n)
+		}
+		e.Data = make([]byte, n)
+		if _, err := io.ReadFull(tr.r, e.Data); err != nil {
+			return Event{}, fmt.Errorf("trace: payload: %w", err)
+		}
+	}
+	return e, nil
+}
+
+// Source produces a stream of events; workload generators and Readers both
+// satisfy it, so consumers (schemes, timing model) are agnostic to whether a
+// trace is replayed from disk or synthesized on the fly.
+type Source interface {
+	// Next returns the next event, or io.EOF when the stream ends.
+	Next() (Event, error)
+}
+
+// ReaderSource adapts a Reader to the Source interface.
+type ReaderSource struct{ R *Reader }
+
+// Next implements Source.
+func (s ReaderSource) Next() (Event, error) { return s.R.Read() }

@@ -1,0 +1,180 @@
+package trace
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"math/rand"
+	"testing"
+
+	"deuce/internal/bitutil"
+)
+
+func TestRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	var events []Event
+	for i := 0; i < 500; i++ {
+		e := Event{
+			Line: uint64(rng.Intn(1 << 20)),
+			CPU:  uint8(rng.Intn(8)),
+			Gap:  uint32(rng.Intn(10000)),
+		}
+		if rng.Intn(2) == 0 {
+			e.Kind = Writeback
+			e.Data = make([]byte, 64)
+			rng.Read(e.Data)
+		}
+		events = append(events, e)
+	}
+
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	for _, e := range events {
+		if err := w.Write(e); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+
+	r := NewReader(&buf)
+	for i, want := range events {
+		got, err := r.Read()
+		if err != nil {
+			t.Fatalf("event %d: %v", i, err)
+		}
+		if got.Kind != want.Kind || got.Line != want.Line || got.CPU != want.CPU || got.Gap != want.Gap {
+			t.Fatalf("event %d: got %+v, want %+v", i, got, want)
+		}
+		if want.Kind == Writeback && !bitutil.Equal(got.Data, want.Data) {
+			t.Fatalf("event %d: payload mismatch", i)
+		}
+	}
+	if _, err := r.Read(); !errors.Is(err, io.EOF) {
+		t.Errorf("expected EOF at end, got %v", err)
+	}
+}
+
+func TestEmptyTrace(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	r := NewReader(&buf)
+	if _, err := r.Read(); !errors.Is(err, io.EOF) {
+		t.Errorf("empty trace should EOF, got %v", err)
+	}
+}
+
+func TestBadMagic(t *testing.T) {
+	r := NewReader(bytes.NewReader([]byte("XXXX....")))
+	if _, err := r.Read(); err == nil {
+		t.Error("bad magic accepted")
+	}
+}
+
+func TestTruncatedPayload(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	data := make([]byte, 64)
+	if err := w.Write(Event{Kind: Writeback, Line: 1, Data: data}); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	trunc := buf.Bytes()[:buf.Len()-10]
+	r := NewReader(bytes.NewReader(trunc))
+	if _, err := r.Read(); err == nil {
+		t.Error("truncated payload accepted")
+	}
+}
+
+func TestWritebackWithoutDataRejected(t *testing.T) {
+	w := NewWriter(&bytes.Buffer{})
+	if err := w.Write(Event{Kind: Writeback, Line: 1}); err == nil {
+		t.Error("payload-less writeback accepted")
+	}
+}
+
+func TestUnknownKindRejected(t *testing.T) {
+	var buf bytes.Buffer
+	buf.Write([]byte{'D', 'T', 'R', '1', 7}) // kind 7
+	r := NewReader(&buf)
+	if _, err := r.Read(); err == nil {
+		t.Error("unknown kind accepted")
+	}
+}
+
+func TestKindString(t *testing.T) {
+	if Read.String() != "R" || Writeback.String() != "W" {
+		t.Error("Kind.String mismatch")
+	}
+	e := Event{Kind: Read, Line: 5, CPU: 2, Gap: 100}
+	if e.String() == "" {
+		t.Error("Event.String empty")
+	}
+}
+
+func TestReaderSource(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	if err := w.Write(Event{Kind: Read, Line: 42}); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	var src Source = ReaderSource{R: NewReader(&buf)}
+	e, err := src.Next()
+	if err != nil || e.Line != 42 {
+		t.Fatalf("Next = %+v, %v", e, err)
+	}
+}
+
+func TestKindStringUnknown(t *testing.T) {
+	if Kind(9).String() == "" {
+		t.Error("unknown kind String empty")
+	}
+}
+
+// Writer must surface underlying I/O failures instead of swallowing them.
+type failWriter struct{ n int }
+
+func (f *failWriter) Write(p []byte) (int, error) {
+	f.n += len(p)
+	if f.n > 2 {
+		return 0, errors.New("disk full")
+	}
+	return len(p), nil
+}
+
+func TestWriterPropagatesIOErrors(t *testing.T) {
+	w := NewWriter(&failWriter{})
+	data := make([]byte, 64)
+	// The bufio layer absorbs small writes; flush forces the failure.
+	for i := 0; i < 10000; i++ {
+		if err := w.Write(Event{Kind: Writeback, Line: uint64(i), Data: data}); err != nil {
+			return // surfaced mid-stream: acceptable
+		}
+	}
+	if err := w.Flush(); err == nil {
+		t.Error("write errors never surfaced")
+	}
+}
+
+func TestEmptyFlushTwice(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if buf.Len() != 4 {
+		t.Errorf("double flush wrote %d bytes, want just the 4-byte header", buf.Len())
+	}
+}

@@ -1,0 +1,114 @@
+package wear
+
+import (
+	"math"
+	"testing"
+)
+
+func TestECPValidation(t *testing.T) {
+	if _, err := (ECP{Pointers: -1}).LifetimeWrites([]uint64{1}, 1, 1e7); err == nil {
+		t.Error("negative pointers accepted")
+	}
+	if _, err := ECP6.LifetimeWrites(nil, 1, 1e7); err == nil {
+		t.Error("empty profile accepted")
+	}
+	if _, err := ECP6.LifetimeWrites([]uint64{1}, 0, 1e7); err == nil {
+		t.Error("zero writes accepted")
+	}
+}
+
+func TestECPLifetimeOrder(t *testing.T) {
+	// Profile: one very hot cell, two warm, rest cold.
+	pos := make([]uint64, 16)
+	pos[0] = 100
+	pos[1] = 50
+	pos[2] = 50
+	pos[3] = 10
+	const writes = 100
+
+	l0, err := (ECP{Pointers: 0}).LifetimeWrites(pos, writes, 1e6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l1, _ := (ECP{Pointers: 1}).LifetimeWrites(pos, writes, 1e6)
+	l3, _ := (ECP{Pointers: 3}).LifetimeWrites(pos, writes, 1e6)
+
+	// ECP-0 dies with the hottest cell (rate 1.0): 1e6 writes.
+	if l0 != 1e6 {
+		t.Errorf("ECP-0 lifetime = %v, want 1e6", l0)
+	}
+	// ECP-1 survives to the second cell (rate 0.5): 2e6.
+	if l1 != 2e6 {
+		t.Errorf("ECP-1 lifetime = %v, want 2e6", l1)
+	}
+	// ECP-3 survives to the fourth cell (rate 0.1): 1e7.
+	if l3 != 1e7 {
+		t.Errorf("ECP-3 lifetime = %v, want 1e7", l3)
+	}
+}
+
+func TestECPMorePointersNeverHurt(t *testing.T) {
+	pos := []uint64{100, 90, 80, 70, 60, 50, 40, 30}
+	prev := 0.0
+	for n := 0; n < 8; n++ {
+		l, err := (ECP{Pointers: n}).LifetimeWrites(pos, 100, 1e7)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if l < prev {
+			t.Fatalf("lifetime decreased at ECP-%d: %v < %v", n, l, prev)
+		}
+		prev = l
+	}
+}
+
+func TestECPBeyondProfileSaturates(t *testing.T) {
+	pos := []uint64{10, 5}
+	l, err := (ECP{Pointers: 100}).LifetimeWrites(pos, 10, 1e7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Clamped to the last (coolest) position.
+	if l != 1e7/0.5 {
+		t.Errorf("saturated lifetime = %v, want %v", l, 1e7/0.5)
+	}
+}
+
+func TestECPInfiniteForColdTail(t *testing.T) {
+	pos := []uint64{10, 0, 0}
+	l, err := (ECP{Pointers: 1}).LifetimeWrites(pos, 10, 1e7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !math.IsInf(l, 1) {
+		t.Errorf("cold-tail lifetime = %v, want +Inf", l)
+	}
+}
+
+// The architectural point: ECP gains a lot on skewed profiles and nothing
+// on uniform ones.
+func TestECPGainTracksSkew(t *testing.T) {
+	skewed := make([]uint64, 32)
+	skewed[0] = 1000
+	for i := 1; i < 32; i++ {
+		skewed[i] = 10
+	}
+	uniform := make([]uint64, 32)
+	for i := range uniform {
+		uniform[i] = 100
+	}
+	gs, err := ECP6.Gain(skewed, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gu, err := ECP6.Gain(uniform, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gs < 50 {
+		t.Errorf("skewed-profile ECP gain = %.1f, want large", gs)
+	}
+	if gu != 1 {
+		t.Errorf("uniform-profile ECP gain = %.1f, want exactly 1", gu)
+	}
+}

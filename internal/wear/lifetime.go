@@ -1,0 +1,117 @@
+package wear
+
+import (
+	"fmt"
+	"math"
+)
+
+// DefaultEndurance is a representative PCM cell endurance in writes
+// (the 10^7-10^8 range is standard for PCM; the exact constant cancels in
+// all normalized lifetime comparisons).
+const DefaultEndurance = 1e7
+
+// Profile is the per-bit-position wear analysis of a write stream — the
+// quantity behind Figures 12 and 14.
+type Profile struct {
+	// Writes is the number of line writes the profile covers.
+	Writes uint64
+	// Positions is the number of bit positions per line (data+meta).
+	Positions int
+	// MaxRate is the highest per-position program probability per write.
+	MaxRate float64
+	// AvgRate is the mean per-position program probability per write.
+	AvgRate float64
+	// MaxPos is the bit position achieving MaxRate.
+	MaxPos int
+}
+
+// Analyze builds a Profile from per-position program counts (as returned by
+// pcmdev.Array.PositionWrites) over the given number of line writes.
+func Analyze(posWrites []uint64, writes uint64) (Profile, error) {
+	if len(posWrites) == 0 {
+		return Profile{}, fmt.Errorf("wear: empty position profile")
+	}
+	if writes == 0 {
+		return Profile{}, fmt.Errorf("wear: zero writes")
+	}
+	p := Profile{Writes: writes, Positions: len(posWrites)}
+	var sum uint64
+	var max uint64
+	for i, c := range posWrites {
+		sum += c
+		if c > max {
+			max = c
+			p.MaxPos = i
+		}
+	}
+	p.MaxRate = float64(max) / float64(writes)
+	p.AvgRate = float64(sum) / float64(len(posWrites)) / float64(writes)
+	return p, nil
+}
+
+// MustAnalyze is Analyze for inputs known to be valid.
+func MustAnalyze(posWrites []uint64, writes uint64) Profile {
+	p, err := Analyze(posWrites, writes)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// Skew returns MaxRate/AvgRate — how many times more often the hottest bit
+// position is programmed than the average position. This is the "6x for
+// mcf, 27x for libquantum" metric of Figure 12.
+func (p Profile) Skew() float64 {
+	if p.AvgRate == 0 {
+		return 0
+	}
+	return p.MaxRate / p.AvgRate
+}
+
+// LifetimeWrites returns the number of line writes until the hottest cell
+// reaches the given endurance. The first cell to die ends the line's life
+// (the paper's model; error correction slack is orthogonal).
+func (p Profile) LifetimeWrites(endurance float64) float64 {
+	if p.MaxRate == 0 {
+		return math.Inf(1)
+	}
+	return endurance / p.MaxRate
+}
+
+// RelativeLifetime returns this profile's lifetime normalized to a baseline
+// profile (Figure 14 normalizes to the encrypted memory, whose per-position
+// rate is a uniform ~0.5). Endurance cancels.
+func (p Profile) RelativeLifetime(base Profile) float64 {
+	if p.MaxRate == 0 {
+		return math.Inf(1)
+	}
+	return base.MaxRate / p.MaxRate
+}
+
+// PerfectLifetimeWrites returns the lifetime the same flip volume would
+// achieve under perfectly uniform bit writes — the upper bound HWL
+// approaches ("within 0.5% of perfect wear leveling", §5.3).
+func (p Profile) PerfectLifetimeWrites(endurance float64) float64 {
+	if p.AvgRate == 0 {
+		return math.Inf(1)
+	}
+	return endurance / p.AvgRate
+}
+
+// NormalizedProfile converts raw per-position counts into the
+// writes-relative-to-average series plotted in Figure 12.
+func NormalizedProfile(posWrites []uint64) []float64 {
+	var sum uint64
+	for _, c := range posWrites {
+		sum += c
+	}
+	out := make([]float64, len(posWrites))
+	if sum == 0 {
+		return out
+	}
+	avg := float64(sum) / float64(len(posWrites))
+	for i, c := range posWrites {
+		out[i] = float64(c) / avg
+	}
+	return out
+}

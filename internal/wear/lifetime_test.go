@@ -1,0 +1,95 @@
+package wear
+
+import (
+	"math"
+	"testing"
+)
+
+func TestAnalyzeValidation(t *testing.T) {
+	if _, err := Analyze(nil, 10); err == nil {
+		t.Error("accepted empty profile")
+	}
+	if _, err := Analyze([]uint64{1}, 0); err == nil {
+		t.Error("accepted zero writes")
+	}
+}
+
+func TestAnalyzeBasics(t *testing.T) {
+	// 4 positions over 10 writes: counts 10, 5, 5, 0.
+	p, err := Analyze([]uint64{10, 5, 5, 0}, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.MaxRate != 1.0 {
+		t.Errorf("MaxRate = %v, want 1.0", p.MaxRate)
+	}
+	if p.MaxPos != 0 {
+		t.Errorf("MaxPos = %d, want 0", p.MaxPos)
+	}
+	if p.AvgRate != 0.5 {
+		t.Errorf("AvgRate = %v, want 0.5", p.AvgRate)
+	}
+	if p.Skew() != 2.0 {
+		t.Errorf("Skew = %v, want 2.0", p.Skew())
+	}
+}
+
+func TestLifetimeWrites(t *testing.T) {
+	p := MustAnalyze([]uint64{10, 5, 5, 0}, 10)
+	if got := p.LifetimeWrites(1e7); got != 1e7 {
+		t.Errorf("LifetimeWrites = %v, want 1e7", got)
+	}
+	if got := p.PerfectLifetimeWrites(1e7); got != 2e7 {
+		t.Errorf("PerfectLifetimeWrites = %v, want 2e7", got)
+	}
+}
+
+func TestRelativeLifetime(t *testing.T) {
+	// Encrypted baseline: uniform 0.5 rate. Scheme: max rate 0.25.
+	base := MustAnalyze([]uint64{5, 5, 5, 5}, 10)
+	scheme := MustAnalyze([]uint64{2, 1, 2, 1}, 10)
+	got := scheme.RelativeLifetime(base)
+	want := 0.5 / 0.2
+	if math.Abs(got-want) > 1e-12 {
+		t.Errorf("RelativeLifetime = %v, want %v", got, want)
+	}
+}
+
+func TestZeroRateEdges(t *testing.T) {
+	p := MustAnalyze([]uint64{0, 0}, 5)
+	if !math.IsInf(p.LifetimeWrites(1e7), 1) {
+		t.Error("zero-rate lifetime should be +Inf")
+	}
+	if p.Skew() != 0 {
+		t.Error("zero-rate skew should be 0")
+	}
+}
+
+func TestNormalizedProfile(t *testing.T) {
+	got := NormalizedProfile([]uint64{4, 2, 2, 0})
+	want := []float64{2, 1, 1, 0}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("NormalizedProfile[%d] = %v, want %v", i, got[i], want[i])
+		}
+	}
+	// All-zero counts: all-zero profile, no NaN.
+	for _, v := range NormalizedProfile([]uint64{0, 0}) {
+		if v != 0 {
+			t.Error("zero counts should normalize to zeros")
+		}
+	}
+}
+
+func TestMix64Decorrelates(t *testing.T) {
+	// Consecutive inputs should not produce consecutive outputs mod a
+	// small modulus (the property the hashed HWL variant needs).
+	seen := make(map[uint64]int)
+	for i := uint64(0); i < 544; i++ {
+		seen[mix64(i, 7)%544]++
+	}
+	// With 544 draws over 544 buckets, expect a spread, not a cycle.
+	if len(seen) < 250 {
+		t.Errorf("mix64 hit only %d distinct buckets out of 544 draws", len(seen))
+	}
+}

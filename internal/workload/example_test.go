@@ -1,0 +1,24 @@
+package workload_test
+
+import (
+	"fmt"
+
+	"deuce/internal/workload"
+)
+
+// Generators turn a benchmark profile into a deterministic writeback
+// stream whose sparsity and footprint stability match the benchmark.
+func Example() {
+	prof, err := workload.ByName("mcf")
+	if err != nil {
+		panic(err)
+	}
+	gen := workload.MustNew(prof, workload.Config{Seed: 1, LinesPerCPU: 256})
+
+	line, data := gen.NextWriteback(0)
+	fmt.Println("line in range:", line < uint64(gen.Lines()))
+	fmt.Println("payload bytes:", len(data))
+	// Output:
+	// line in range: true
+	// payload bytes: 64
+}

@@ -1,0 +1,111 @@
+package workload
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// profileJSON is the serialized form of Profile. All fields are optional
+// except name; zero-valued write-shape fields fall back to a conservative
+// generic profile so a user can start from {"name": "mine", "wbpki": 2}.
+type profileJSON struct {
+	Name           string  `json:"name"`
+	MPKI           float64 `json:"mpki"`
+	WBPKI          float64 `json:"wbpki"`
+	FootprintWords int     `json:"footprint_words"`
+	WordsPerWrite  float64 `json:"words_per_write"`
+	Dense          bool    `json:"dense"`
+	Drift          float64 `json:"drift"`
+	FootprintCorr  float64 `json:"footprint_corr"`
+	BitDensity     float64 `json:"bit_density"`
+	Model          string  `json:"model"` // "random", "counter", "float"
+	HotFrac        float64 `json:"hot_frac"`
+	HotWeight      float64 `json:"hot_weight"`
+}
+
+// ParseProfile reads a user-defined benchmark profile from JSON, applying
+// generic defaults for omitted write-shape parameters. This is the hook
+// for simulating proprietary workloads without touching the built-ins:
+// characterize the writeback stream, encode it as JSON, point deucesim at
+// it.
+func ParseProfile(r io.Reader) (Profile, error) {
+	var pj profileJSON
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&pj); err != nil {
+		return Profile{}, fmt.Errorf("workload: parsing profile: %w", err)
+	}
+	p := Profile{
+		Name:           pj.Name,
+		MPKI:           pj.MPKI,
+		WBPKI:          pj.WBPKI,
+		FootprintWords: pj.FootprintWords,
+		WordsPerWrite:  pj.WordsPerWrite,
+		Dense:          pj.Dense,
+		Drift:          pj.Drift,
+		FootprintCorr:  pj.FootprintCorr,
+		BitDensity:     pj.BitDensity,
+		HotFrac:        pj.HotFrac,
+		HotWeight:      pj.HotWeight,
+	}
+	switch pj.Model {
+	case "", "random":
+		p.Model = ValueRandom
+	case "counter":
+		p.Model = ValueCounter
+	case "float":
+		p.Model = ValueFloat
+	default:
+		return Profile{}, fmt.Errorf("workload: unknown value model %q", pj.Model)
+	}
+	// Generic defaults: a moderately sparse pointer-churn workload.
+	if p.MPKI == 0 {
+		p.MPKI = 10
+	}
+	if p.WBPKI == 0 {
+		p.WBPKI = 4
+	}
+	if p.FootprintWords == 0 {
+		p.FootprintWords = 8
+	}
+	if p.WordsPerWrite == 0 {
+		p.WordsPerWrite = 3
+	}
+	if p.FootprintCorr == 0 {
+		p.FootprintCorr = 0.8
+	}
+	if p.BitDensity == 0 {
+		p.BitDensity = 0.5
+	}
+	if p.HotFrac == 0 {
+		p.HotFrac = 0.3
+	}
+	if p.HotWeight == 0 {
+		p.HotWeight = 0.75
+	}
+	if err := p.validate(); err != nil {
+		return Profile{}, err
+	}
+	return p, nil
+}
+
+// MarshalJSON round-trips a Profile into the same schema ParseProfile
+// reads, so built-in profiles can serve as templates
+// (`deucesim -dumpprofile mcf`).
+func (p Profile) MarshalJSON() ([]byte, error) {
+	return json.Marshal(profileJSON{
+		Name:           p.Name,
+		MPKI:           p.MPKI,
+		WBPKI:          p.WBPKI,
+		FootprintWords: p.FootprintWords,
+		WordsPerWrite:  p.WordsPerWrite,
+		Dense:          p.Dense,
+		Drift:          p.Drift,
+		FootprintCorr:  p.FootprintCorr,
+		BitDensity:     p.BitDensity,
+		Model:          p.Model.String(),
+		HotFrac:        p.HotFrac,
+		HotWeight:      p.HotWeight,
+	})
+}

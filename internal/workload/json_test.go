@@ -1,0 +1,80 @@
+package workload
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func TestParseProfileMinimal(t *testing.T) {
+	p, err := ParseProfile(strings.NewReader(`{"name":"mine","wbpki":2}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Name != "mine" || p.WBPKI != 2 {
+		t.Errorf("parsed %+v", p)
+	}
+	// Defaults fill everything else to a valid profile.
+	if err := p.validate(); err != nil {
+		t.Errorf("defaults invalid: %v", err)
+	}
+	// And it generates.
+	g := MustNew(p, Config{Seed: 1, LinesPerCPU: 32})
+	line, data := g.NextWriteback(0)
+	if line >= 32 || len(data) != 64 {
+		t.Error("generator from parsed profile misbehaves")
+	}
+}
+
+func TestParseProfileModels(t *testing.T) {
+	for name, want := range map[string]ValueModel{
+		"random": ValueRandom, "counter": ValueCounter, "float": ValueFloat, "": ValueRandom,
+	} {
+		js := `{"name":"x","wbpki":1,"model":"` + name + `"}`
+		if name == "" {
+			js = `{"name":"x","wbpki":1}`
+		}
+		p, err := ParseProfile(strings.NewReader(js))
+		if err != nil {
+			t.Fatalf("%q: %v", name, err)
+		}
+		if p.Model != want {
+			t.Errorf("%q: model = %v, want %v", name, p.Model, want)
+		}
+	}
+	if _, err := ParseProfile(strings.NewReader(`{"name":"x","wbpki":1,"model":"nope"}`)); err == nil {
+		t.Error("bad model accepted")
+	}
+}
+
+func TestParseProfileRejectsGarbage(t *testing.T) {
+	cases := []string{
+		`{`,
+		`{"name":"x","wbpki":1,"unknown_field":1}`,
+		`{"wbpki":1}`,                                 // no name
+		`{"name":"x","wbpki":1,"drift":2}`,            // invalid probability
+		`{"name":"x","wbpki":1,"footprint_words":40}`, // > 32
+	}
+	for _, c := range cases {
+		if _, err := ParseProfile(strings.NewReader(c)); err == nil {
+			t.Errorf("accepted %s", c)
+		}
+	}
+}
+
+func TestProfileJSONRoundTrip(t *testing.T) {
+	orig, _ := ByName("libq")
+	blob, err := json.Marshal(orig)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := ParseProfile(bytes.NewReader(blob))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Name != orig.Name || back.Model != orig.Model ||
+		back.FootprintWords != orig.FootprintWords || back.WBPKI != orig.WBPKI {
+		t.Errorf("round trip lost fields: %+v vs %+v", back, orig)
+	}
+}

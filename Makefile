@@ -1,0 +1,30 @@
+GO ?= go
+
+.PHONY: check build vet test race bench-smoke bench-writehot
+
+# check is the pre-merge gate: static checks, full tests under the race
+# detector, and a short smoke of the steady-state write benchmark so a
+# regression that reintroduces hot-path allocations fails fast.
+check: vet build test race bench-smoke
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# bench-smoke only checks that the hot-write benchmarks still run and stay
+# allocation-free; 100 iterations is too few for timing, use bench-writehot
+# for numbers.
+bench-smoke:
+	$(GO) test -run '^$$' -bench BenchmarkWriteHot -benchtime 100x .
+
+# bench-writehot regenerates the numbers behind BENCH_writehot.json.
+bench-writehot:
+	$(GO) test -run '^$$' -bench BenchmarkWriteHot -benchmem .

@@ -158,6 +158,35 @@ func BenchmarkAblationPadCache(b *testing.B) {
 	}
 }
 
+// BenchmarkWriteHot measures the steady-state write path alone: every line
+// is installed before the timer starts, so the loop exercises exactly the
+// zero-allocation scratch-buffer path that the AllocsPerRun tests in
+// internal/core pin down. This is the benchmark `make check` smokes and the
+// one BENCH_writehot.json baselines.
+func BenchmarkWriteHot(b *testing.B) {
+	for _, k := range core.Kinds() {
+		k := k
+		b.Run(string(k), func(b *testing.B) {
+			s, err := core.New(k, core.Params{Lines: 1024})
+			if err != nil {
+				b.Fatal(err)
+			}
+			rng := rand.New(rand.NewSource(1))
+			data := make([]byte, 64)
+			rng.Read(data)
+			for i := 0; i < 1024; i++ {
+				s.Write(uint64(i), data) // install, off the clock
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				data[rng.Intn(64)] = byte(rng.Int())
+				s.Write(uint64(i%1024), data)
+			}
+		})
+	}
+}
+
 // BenchmarkSchemeWrite measures per-scheme write cost for a sparse update
 // stream: the simulation-throughput companion to Figure 10.
 func BenchmarkSchemeWrite(b *testing.B) {

@@ -12,6 +12,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"time"
 
 	"deuce/internal/exp"
@@ -26,8 +28,39 @@ func main() {
 		seed       = flag.Int64("seed", 1, "workload generator seed")
 		format     = flag.String("format", "text", "output format: text or csv")
 		list       = flag.Bool("list", false, "list experiments and exit")
+		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile of the experiment runs to this file")
+		memprofile = flag.String("memprofile", "", "write a heap profile (after the runs) to this file")
 	)
 	flag.Parse()
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "deucebench:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "deucebench:", err)
+			os.Exit(1)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memprofile != "" {
+		defer func() {
+			f, err := os.Create(*memprofile)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "deucebench:", err)
+				os.Exit(1)
+			}
+			defer f.Close()
+			runtime.GC() // report live steady-state heap, not transient garbage
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "deucebench:", err)
+				os.Exit(1)
+			}
+		}()
+	}
 
 	if *list {
 		for _, e := range exp.Experiments() {

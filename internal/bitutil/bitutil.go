@@ -7,9 +7,17 @@
 // order: bit i of a line lives in byte i/8 at position i%8 (LSB first). Every
 // package that touches raw cells uses the helpers here so that the bit
 // numbering is defined in exactly one place.
+//
+// The kernels (PopCount, Hamming, XOR, Invert, WordsEqual) process eight
+// bytes per step through unaligned little-endian uint64 loads; the compiler
+// lowers binary.LittleEndian.Uint64 to a single load on little-endian
+// targets. Each kernel keeps a byte-at-a-time reference implementation
+// (popCountRef and friends) that the differential tests in bitutil_test.go
+// check the fast path against on random lengths and alignments.
 package bitutil
 
 import (
+	"encoding/binary"
 	"fmt"
 	"math/bits"
 )
@@ -17,15 +25,21 @@ import (
 // PopCount returns the number of set bits in b.
 func PopCount(b []byte) int {
 	n := 0
-	// Process 8 bytes at a time where possible.
 	i := 0
 	for ; i+8 <= len(b); i += 8 {
-		v := uint64(b[i]) | uint64(b[i+1])<<8 | uint64(b[i+2])<<16 | uint64(b[i+3])<<24 |
-			uint64(b[i+4])<<32 | uint64(b[i+5])<<40 | uint64(b[i+6])<<48 | uint64(b[i+7])<<56
-		n += bits.OnesCount64(v)
+		n += bits.OnesCount64(binary.LittleEndian.Uint64(b[i:]))
 	}
 	for ; i < len(b); i++ {
 		n += bits.OnesCount8(b[i])
+	}
+	return n
+}
+
+// popCountRef is the byte-loop reference implementation of PopCount.
+func popCountRef(b []byte) int {
+	n := 0
+	for _, v := range b {
+		n += bits.OnesCount8(v)
 	}
 	return n
 }
@@ -40,13 +54,18 @@ func Hamming(a, b []byte) int {
 	n := 0
 	i := 0
 	for ; i+8 <= len(a); i += 8 {
-		va := uint64(a[i]) | uint64(a[i+1])<<8 | uint64(a[i+2])<<16 | uint64(a[i+3])<<24 |
-			uint64(a[i+4])<<32 | uint64(a[i+5])<<40 | uint64(a[i+6])<<48 | uint64(a[i+7])<<56
-		vb := uint64(b[i]) | uint64(b[i+1])<<8 | uint64(b[i+2])<<16 | uint64(b[i+3])<<24 |
-			uint64(b[i+4])<<32 | uint64(b[i+5])<<40 | uint64(b[i+6])<<48 | uint64(b[i+7])<<56
-		n += bits.OnesCount64(va ^ vb)
+		n += bits.OnesCount64(binary.LittleEndian.Uint64(a[i:]) ^ binary.LittleEndian.Uint64(b[i:]))
 	}
 	for ; i < len(a); i++ {
+		n += bits.OnesCount8(a[i] ^ b[i])
+	}
+	return n
+}
+
+// hammingRef is the byte-loop reference implementation of Hamming.
+func hammingRef(a, b []byte) int {
+	n := 0
+	for i := range a {
 		n += bits.OnesCount8(a[i] ^ b[i])
 	}
 	return n
@@ -64,6 +83,18 @@ func XOR(dst, a, b []byte) {
 	if len(a) != len(b) || len(dst) != len(a) {
 		panic(fmt.Sprintf("bitutil: XOR on mismatched lengths %d, %d, %d", len(dst), len(a), len(b)))
 	}
+	i := 0
+	for ; i+8 <= len(dst); i += 8 {
+		binary.LittleEndian.PutUint64(dst[i:],
+			binary.LittleEndian.Uint64(a[i:])^binary.LittleEndian.Uint64(b[i:]))
+	}
+	for ; i < len(dst); i++ {
+		dst[i] = a[i] ^ b[i]
+	}
+}
+
+// xorRef is the byte-loop reference implementation of XOR.
+func xorRef(dst, a, b []byte) {
 	for i := range dst {
 		dst[i] = a[i] ^ b[i]
 	}
@@ -74,6 +105,17 @@ func Invert(dst, src []byte) {
 	if len(dst) != len(src) {
 		panic(fmt.Sprintf("bitutil: Invert on mismatched lengths %d and %d", len(dst), len(src)))
 	}
+	i := 0
+	for ; i+8 <= len(dst); i += 8 {
+		binary.LittleEndian.PutUint64(dst[i:], ^binary.LittleEndian.Uint64(src[i:]))
+	}
+	for ; i < len(dst); i++ {
+		dst[i] = ^src[i]
+	}
+}
+
+// invertRef is the byte-loop reference implementation of Invert.
+func invertRef(dst, src []byte) {
 	for i := range dst {
 		dst[i] = ^src[i]
 	}
@@ -101,6 +143,22 @@ func Word(line []byte, w, idx int) []byte {
 
 // WordsEqual reports whether word idx (of width w bytes) is identical in a and b.
 func WordsEqual(a, b []byte, w, idx int) bool {
+	off := idx * w
+	switch w {
+	case 1:
+		return a[off] == b[off]
+	case 2:
+		return binary.LittleEndian.Uint16(a[off:]) == binary.LittleEndian.Uint16(b[off:])
+	case 4:
+		return binary.LittleEndian.Uint32(a[off:]) == binary.LittleEndian.Uint32(b[off:])
+	case 8:
+		return binary.LittleEndian.Uint64(a[off:]) == binary.LittleEndian.Uint64(b[off:])
+	}
+	return wordsEqualRef(a, b, w, idx)
+}
+
+// wordsEqualRef is the byte-loop reference implementation of WordsEqual.
+func wordsEqualRef(a, b []byte, w, idx int) bool {
 	off := idx * w
 	for i := 0; i < w; i++ {
 		if a[off+i] != b[off+i] {
@@ -154,7 +212,13 @@ func Equal(a, b []byte) bool {
 	if len(a) != len(b) {
 		return false
 	}
-	for i := range a {
+	i := 0
+	for ; i+8 <= len(a); i += 8 {
+		if binary.LittleEndian.Uint64(a[i:]) != binary.LittleEndian.Uint64(b[i:]) {
+			return false
+		}
+	}
+	for ; i < len(a); i++ {
 		if a[i] != b[i] {
 			return false
 		}

@@ -1,0 +1,167 @@
+package bitutil
+
+// Differential tests: the word-parallel kernels must agree with the retained
+// byte-loop reference implementations on every length, offset and alignment.
+// Slices are deliberately taken at odd offsets into a larger backing array so
+// the eight-byte loads exercise unaligned starts and ragged tails.
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+)
+
+// randSlices returns two equal-length random slices of length n starting at
+// byte offset off inside a larger backing array (so the data is unaligned
+// whenever off is).
+func randSlices(rng *rand.Rand, off, n int) (a, b []byte) {
+	backA := make([]byte, off+n+8)
+	backB := make([]byte, off+n+8)
+	rng.Read(backA)
+	rng.Read(backB)
+	return backA[off : off+n : off+n], backB[off : off+n : off+n]
+}
+
+func TestPopCountDifferential(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 2000; trial++ {
+		off := rng.Intn(9)
+		n := rng.Intn(100)
+		a, _ := randSlices(rng, off, n)
+		if got, want := PopCount(a), popCountRef(a); got != want {
+			t.Fatalf("PopCount(len=%d off=%d) = %d, reference %d", n, off, got, want)
+		}
+	}
+}
+
+func TestHammingDifferential(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 2000; trial++ {
+		off := rng.Intn(9)
+		n := rng.Intn(100)
+		a, b := randSlices(rng, off, n)
+		if got, want := Hamming(a, b), hammingRef(a, b); got != want {
+			t.Fatalf("Hamming(len=%d off=%d) = %d, reference %d", n, off, got, want)
+		}
+	}
+}
+
+func TestXORDifferential(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 2000; trial++ {
+		off := rng.Intn(9)
+		n := rng.Intn(100)
+		a, b := randSlices(rng, off, n)
+		got := make([]byte, n)
+		want := make([]byte, n)
+		XOR(got, a, b)
+		xorRef(want, a, b)
+		if !bytes.Equal(got, want) {
+			t.Fatalf("XOR(len=%d off=%d) = %x, reference %x", n, off, got, want)
+		}
+		// Aliased destination: dst == a.
+		aliased := Clone(a)
+		XOR(aliased, aliased, b)
+		if !bytes.Equal(aliased, want) {
+			t.Fatalf("aliased XOR(len=%d off=%d) = %x, reference %x", n, off, aliased, want)
+		}
+	}
+}
+
+func TestInvertDifferential(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	for trial := 0; trial < 2000; trial++ {
+		off := rng.Intn(9)
+		n := rng.Intn(100)
+		a, _ := randSlices(rng, off, n)
+		got := make([]byte, n)
+		want := make([]byte, n)
+		Invert(got, a)
+		invertRef(want, a)
+		if !bytes.Equal(got, want) {
+			t.Fatalf("Invert(len=%d off=%d) = %x, reference %x", n, off, got, want)
+		}
+		// Aliased in-place inversion.
+		aliased := Clone(a)
+		Invert(aliased, aliased)
+		if !bytes.Equal(aliased, want) {
+			t.Fatalf("aliased Invert(len=%d off=%d) = %x, reference %x", n, off, aliased, want)
+		}
+	}
+}
+
+func TestWordsEqualDifferential(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 4000; trial++ {
+		w := []int{1, 2, 3, 4, 5, 8}[rng.Intn(6)]
+		words := 1 + rng.Intn(16)
+		a, b := randSlices(rng, rng.Intn(9), w*words)
+		if rng.Intn(2) == 0 {
+			copy(b, a) // force the equal case half the time
+		}
+		idx := rng.Intn(words)
+		if got, want := WordsEqual(a, b, w, idx), wordsEqualRef(a, b, w, idx); got != want {
+			t.Fatalf("WordsEqual(w=%d idx=%d) = %v, reference %v", w, idx, got, want)
+		}
+	}
+}
+
+func TestEqualDifferential(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	for trial := 0; trial < 2000; trial++ {
+		off := rng.Intn(9)
+		n := rng.Intn(100)
+		a, b := randSlices(rng, off, n)
+		if rng.Intn(2) == 0 {
+			copy(b, a)
+		}
+		if got, want := Equal(a, b), bytes.Equal(a, b); got != want {
+			t.Fatalf("Equal(len=%d off=%d) = %v, bytes.Equal %v", n, off, got, want)
+		}
+	}
+}
+
+// FuzzKernelsAgree cross-checks every kernel against its reference on
+// fuzzer-chosen inputs, including the offsets that make loads unaligned.
+func FuzzKernelsAgree(f *testing.F) {
+	f.Add([]byte{0x01}, []byte{0x80}, uint8(0))
+	f.Add(make([]byte, 64), make([]byte, 64), uint8(3))
+	f.Add([]byte{0xff, 0x00, 0xaa, 0x55, 1, 2, 3, 4, 5}, []byte{0, 1, 2, 3, 4, 5, 6, 7, 8}, uint8(7))
+	f.Fuzz(func(t *testing.T, a, b []byte, off uint8) {
+		o := int(off % 8)
+		if o > len(a) {
+			o = len(a)
+		}
+		a = a[o:]
+		if len(b) > len(a) {
+			b = b[:len(a)]
+		} else {
+			a = a[:len(b)]
+		}
+		if got, want := PopCount(a), popCountRef(a); got != want {
+			t.Errorf("PopCount = %d, reference %d", got, want)
+		}
+		if got, want := Hamming(a, b), hammingRef(a, b); got != want {
+			t.Errorf("Hamming = %d, reference %d", got, want)
+		}
+		got := make([]byte, len(a))
+		want := make([]byte, len(a))
+		XOR(got, a, b)
+		xorRef(want, a, b)
+		if !bytes.Equal(got, want) {
+			t.Errorf("XOR = %x, reference %x", got, want)
+		}
+		Invert(got, a)
+		invertRef(want, a)
+		if !bytes.Equal(got, want) {
+			t.Errorf("Invert = %x, reference %x", got, want)
+		}
+		for _, w := range []int{1, 2, 4, 8} {
+			for idx := 0; (idx+1)*w <= len(a); idx++ {
+				if g, r := WordsEqual(a, b, w, idx), wordsEqualRef(a, b, w, idx); g != r {
+					t.Errorf("WordsEqual(w=%d idx=%d) = %v, reference %v", w, idx, g, r)
+				}
+			}
+		}
+	})
+}

@@ -58,39 +58,50 @@ func (s *BLE) Install(line uint64, plaintext []byte) {
 }
 
 func (s *BLE) initLine(line uint64) {
-	if !s.inited[line] {
+	if !s.touched(line) {
 		s.Install(line, make([]byte, s.p.LineBytes))
 	}
 }
 
-// decryptLine reconstructs the plaintext from per-block counters.
-func (s *BLE) decryptLine(line uint64, ct []byte) []byte {
-	out := make([]byte, len(ct))
+// decryptLineInto reconstructs the plaintext from per-block counters into
+// dst, using the padL scratch for block pads. dst must not alias ct.
+func (s *BLE) decryptLineInto(dst []byte, line uint64, ct []byte) {
+	pad := s.scr.padL[:otp.BlockSize]
 	for blk := 0; blk < s.blocks; blk++ {
 		off := blk * otp.BlockSize
-		pad := s.gen.BlockPad(line, s.ctrs.Get(s.blockIdx(line, blk)), blk)
+		s.gen.BlockPadInto(pad, line, s.ctrs.Get(s.blockIdx(line, blk)), blk)
 		for j := 0; j < otp.BlockSize; j++ {
-			out[off+j] = ct[off+j] ^ pad[j]
+			dst[off+j] = ct[off+j] ^ pad[j]
 		}
 	}
+}
+
+// decryptLine is the allocating convenience for the read path.
+func (s *BLE) decryptLine(line uint64, ct []byte) []byte {
+	out := make([]byte, len(ct))
+	s.decryptLineInto(out, line, ct)
 	return out
 }
 
-// Write implements Scheme.
+// Write implements Scheme. Allocation-free in steady state.
 func (s *BLE) Write(line uint64, plaintext []byte) pcmdev.WriteResult {
 	s.checkPlain(plaintext)
 	s.initLine(line)
 
-	oldCT, _ := s.dev.Peek(line)
-	oldPlain := s.decryptLine(line, oldCT)
-	newCT := bitutil.Clone(oldCT)
+	oldCT := s.scr.oldData
+	s.dev.PeekInto(line, oldCT, nil)
+	oldPlain := s.scr.oldPlain
+	s.decryptLineInto(oldPlain, line, oldCT)
+	newCT := s.scr.newData
+	copy(newCT, oldCT)
+	pad := s.scr.padL[:otp.BlockSize]
 	for blk := 0; blk < s.blocks; blk++ {
 		off := blk * otp.BlockSize
 		if bitutil.HammingRange(oldPlain, plaintext, off, otp.BlockSize) == 0 {
 			continue // untouched block keeps its ciphertext and counter
 		}
 		ctr, _ := s.ctrs.Increment(s.blockIdx(line, blk))
-		pad := s.gen.BlockPad(line, ctr, blk)
+		s.gen.BlockPadInto(pad, line, ctr, blk)
 		for j := 0; j < otp.BlockSize; j++ {
 			newCT[off+j] = plaintext[off+j] ^ pad[j]
 		}
@@ -164,23 +175,26 @@ func (s *BLEDeuce) Install(line uint64, plaintext []byte) {
 }
 
 func (s *BLEDeuce) initLine(line uint64) {
-	if !s.inited[line] {
+	if !s.touched(line) {
 		s.Install(line, make([]byte, s.p.LineBytes))
 	}
 }
 
-// decryptLine reconstructs plaintext using per-block dual counters.
-func (s *BLEDeuce) decryptLine(line uint64, ct, mod []byte) []byte {
-	out := make([]byte, len(ct))
+// decryptLineInto reconstructs plaintext using per-block dual counters into
+// dst, using the padL/padT scratch for block pads. dst must not alias ct.
+func (s *BLEDeuce) decryptLineInto(dst []byte, line uint64, ct, mod []byte) {
 	wpb := s.wordsPerBlock()
+	lbuf := s.scr.padL[:otp.BlockSize]
+	tbuf := s.scr.padT[:otp.BlockSize]
 	for blk := 0; blk < s.blocks; blk++ {
 		off := blk * otp.BlockSize
 		ctr := s.ctrs.Get(s.blockIdx(line, blk))
-		lpad := s.gen.BlockPad(line, ctr, blk)
-		t := tctr(ctr, s.epochMask)
+		s.gen.BlockPadInto(lbuf, line, ctr, blk)
+		lpad := lbuf
 		tpad := lpad
-		if t != ctr {
-			tpad = s.gen.BlockPad(line, t, blk)
+		if t := tctr(ctr, s.epochMask); t != ctr {
+			s.gen.BlockPadInto(tbuf, line, t, blk)
+			tpad = tbuf
 		}
 		for w := 0; w < wpb; w++ {
 			pad := tpad
@@ -189,23 +203,33 @@ func (s *BLEDeuce) decryptLine(line uint64, ct, mod []byte) []byte {
 			}
 			wo := w * s.p.WordBytes
 			for j := 0; j < s.p.WordBytes; j++ {
-				out[off+wo+j] = ct[off+wo+j] ^ pad[wo+j]
+				dst[off+wo+j] = ct[off+wo+j] ^ pad[wo+j]
 			}
 		}
 	}
+}
+
+// decryptLine is the allocating convenience for the read path.
+func (s *BLEDeuce) decryptLine(line uint64, ct, mod []byte) []byte {
+	out := make([]byte, len(ct))
+	s.decryptLineInto(out, line, ct, mod)
 	return out
 }
 
-// Write implements Scheme.
+// Write implements Scheme. Allocation-free in steady state.
 func (s *BLEDeuce) Write(line uint64, plaintext []byte) pcmdev.WriteResult {
 	s.checkPlain(plaintext)
 	s.initLine(line)
 
-	oldCT, oldMod := s.dev.Peek(line)
-	oldPlain := s.decryptLine(line, oldCT, oldMod)
-	newCT := bitutil.Clone(oldCT)
-	newMod := bitutil.Clone(oldMod)
+	oldCT, oldMod := s.scr.oldData, s.scr.oldMeta
+	s.dev.PeekInto(line, oldCT, oldMod)
+	oldPlain := s.scr.oldPlain
+	s.decryptLineInto(oldPlain, line, oldCT, oldMod)
+	newCT, newMod := s.scr.newData, s.scr.newMeta
+	copy(newCT, oldCT)
+	copy(newMod, oldMod)
 	wpb := s.wordsPerBlock()
+	padBuf := s.scr.padL[:otp.BlockSize]
 
 	for blk := 0; blk < s.blocks; blk++ {
 		off := blk * otp.BlockSize
@@ -213,7 +237,8 @@ func (s *BLEDeuce) Write(line uint64, plaintext []byte) pcmdev.WriteResult {
 			continue // block untouched: counter, ciphertext, bits all keep
 		}
 		ctr, _ := s.ctrs.Increment(s.blockIdx(line, blk))
-		pad := s.gen.BlockPad(line, ctr, blk)
+		s.gen.BlockPadInto(padBuf, line, ctr, blk)
+		pad := padBuf
 		if ctr&s.epochMask == 0 {
 			// Block-local epoch boundary: re-encrypt whole block,
 			// clear its modified bits.

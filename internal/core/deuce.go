@@ -49,65 +49,83 @@ func (s *Deuce) OverheadBits() int { return s.words() }
 // tctr derives the trailing counter from a leading counter value.
 func tctr(ctr, epochMask uint64) uint64 { return ctr &^ epochMask }
 
-// dualDecrypt reconstructs the plaintext of a DEUCE-encrypted region.
-// ct is the stored ciphertext, mod the modified-bit image (bit i covers
-// word i), ctr the line counter. Words with the modified bit set decrypt
-// with the LCTR pad; the rest with the TCTR pad (Figure 7).
-func dualDecrypt(gen *otp.Generator, line, ctr, epochMask uint64, wordBytes int, ct, mod []byte) []byte {
-	lpad := gen.Pad(line, ctr, len(ct))
+// dualDecryptInto reconstructs the plaintext of a DEUCE-encrypted region
+// into dst. ct is the stored ciphertext, mod the modified-bit image (bit i
+// covers word i), ctr the line counter. Words with the modified bit set
+// decrypt with the LCTR pad; the rest with the TCTR pad (Figure 7).
+// lpadBuf and tpadBuf are caller-owned pad scratch of len(ct) bytes; their
+// contents after the call are the two pads. dst must not alias ct.
+func dualDecryptInto(dst []byte, gen *otp.Generator, line, ctr, epochMask uint64, wordBytes int, ct, mod, lpadBuf, tpadBuf []byte) {
+	gen.PadInto(lpadBuf, line, ctr)
 	t := tctr(ctr, epochMask)
-	tpad := lpad
-	if t != ctr {
-		tpad = gen.Pad(line, t, len(ct))
+	if t == ctr {
+		// Epoch boundary state: every word is LCTR-encrypted.
+		bitutil.XOR(dst, ct, lpadBuf)
+		return
 	}
-	out := make([]byte, len(ct))
+	// Decrypt the whole line with the trailing pad word-parallel, then
+	// redo the (typically few) modified words with the leading pad.
+	gen.PadInto(tpadBuf, line, t)
+	bitutil.XOR(dst, ct, tpadBuf)
 	words := len(ct) / wordBytes
 	for i := 0; i < words; i++ {
-		off := i * wordBytes
-		pad := tpad
 		if bitutil.GetBit(mod, i) {
-			pad = lpad
-		}
-		for j := off; j < off+wordBytes; j++ {
-			out[j] = ct[j] ^ pad[j]
+			off := i * wordBytes
+			for j := off; j < off+wordBytes; j++ {
+				dst[j] = ct[j] ^ lpadBuf[j]
+			}
 		}
 	}
+}
+
+// dualDecrypt is the allocating convenience over dualDecryptInto, used on
+// read paths where a fresh plaintext slice is the return value anyway.
+func dualDecrypt(gen *otp.Generator, line, ctr, epochMask uint64, wordBytes int, ct, mod []byte) []byte {
+	out := make([]byte, len(ct))
+	lpad := make([]byte, len(ct))
+	tpad := make([]byte, len(ct))
+	dualDecryptInto(out, gen, line, ctr, epochMask, wordBytes, ct, mod, lpad, tpad)
 	return out
 }
 
-// deuceStep computes the ciphertext image and modified bits produced by one
-// DEUCE write. oldCT and oldMod describe the pre-write stored state, oldPlain
-// the pre-write plaintext, ctr the already-incremented counter. The returned
-// slices are fresh.
-func deuceStep(gen *otp.Generator, line, ctr, epochMask uint64, wordBytes int,
-	oldCT, oldMod, oldPlain, plaintext []byte) (newCT, newMod []byte) {
+// deuceStepInto computes the ciphertext image and modified bits produced by
+// one DEUCE write, into caller-owned newCT (line-sized) and newMod (at least
+// metaBytes(words) bytes; exactly that prefix is written). oldCT and oldMod
+// describe the pre-write stored state, oldPlain the pre-write plaintext, ctr
+// the already-incremented counter. lpadBuf is line-sized pad scratch. newCT
+// must not alias oldCT or plaintext; newMod must not alias oldMod.
+func deuceStepInto(newCT, newMod []byte, gen *otp.Generator, line, ctr, epochMask uint64, wordBytes int,
+	oldCT, oldMod, oldPlain, plaintext, lpadBuf []byte) {
 
 	words := len(plaintext) / wordBytes
+	mb := metaBytes(words)
 	if ctr&epochMask == 0 {
 		// Epoch boundary: full re-encryption, modified bits reset
 		// (TCTR catches up to LCTR).
-		return gen.Encrypt(line, ctr, plaintext), make([]byte, metaBytes(words))
+		gen.EncryptInto(newCT, line, ctr, plaintext)
+		for i := range newMod[:mb] {
+			newMod[i] = 0
+		}
+		return
 	}
 
-	newMod = make([]byte, metaBytes(words))
-	copy(newMod, oldMod[:len(newMod)])
+	copy(newMod[:mb], oldMod[:mb])
 	for i := 0; i < words; i++ {
 		if !bitutil.WordsEqual(oldPlain, plaintext, wordBytes, i) {
 			bitutil.SetBit(newMod, i, true)
 		}
 	}
 
-	lpad := gen.Pad(line, ctr, len(plaintext))
-	newCT = bitutil.Clone(oldCT)
+	gen.PadInto(lpadBuf, line, ctr)
+	copy(newCT, oldCT)
 	for i := 0; i < words; i++ {
 		if bitutil.GetBit(newMod, i) {
 			off := i * wordBytes
 			for j := off; j < off+wordBytes; j++ {
-				newCT[j] = plaintext[j] ^ lpad[j]
+				newCT[j] = plaintext[j] ^ lpadBuf[j]
 			}
 		}
 	}
-	return newCT, newMod
 }
 
 // Install implements Scheme. Counter 0 is an epoch boundary: the whole
@@ -119,21 +137,26 @@ func (s *Deuce) Install(line uint64, plaintext []byte) {
 }
 
 func (s *Deuce) initLine(line uint64) {
-	if !s.inited[line] {
+	if !s.touched(line) {
 		s.Install(line, s.zeroLine())
 	}
 }
 
-// Write implements Scheme.
+// Write implements Scheme. The steady-state path allocates nothing: the
+// stored image, the reconstructed plaintext, the pads and the new image all
+// live in the scheme's scratch buffers.
 func (s *Deuce) Write(line uint64, plaintext []byte) pcmdev.WriteResult {
 	s.checkPlain(plaintext)
 	s.initLine(line)
 
-	oldCT, oldMod := s.dev.Peek(line)
-	oldPlain := dualDecrypt(s.gen, line, s.ctrs.Get(line), s.epochMask, s.p.WordBytes, oldCT, oldMod)
+	oldCT, oldMod := s.scr.oldData, s.scr.oldMeta
+	s.dev.PeekInto(line, oldCT, oldMod)
+	dualDecryptInto(s.scr.oldPlain, s.gen, line, s.ctrs.Get(line), s.epochMask, s.p.WordBytes,
+		oldCT, oldMod, s.scr.padL, s.scr.padT)
 	ctr, _ := s.ctrs.Increment(line)
-	newCT, newMod := deuceStep(s.gen, line, ctr, s.epochMask, s.p.WordBytes, oldCT, oldMod, oldPlain, plaintext)
-	return s.dev.Write(line, newCT, newMod)
+	deuceStepInto(s.scr.newData, s.scr.newMeta, s.gen, line, ctr, s.epochMask, s.p.WordBytes,
+		oldCT, oldMod, s.scr.oldPlain, plaintext, s.scr.padL)
+	return s.dev.Write(line, s.scr.newData, s.scr.newMeta)
 }
 
 // Read implements Scheme.
@@ -152,6 +175,12 @@ type DeuceFNW struct {
 	codec     *fnw.Codec
 	epochMask uint64
 	modBytes  int
+
+	// Extra write-path scratch beyond base.scr: the FNW layer separates
+	// the raw cells from the DEUCE ciphertext, so both images of both
+	// generations are live at once.
+	oldCTBuf []byte // FNW-decoded stored ciphertext
+	newCTBuf []byte // DEUCE output before FNW encoding
 }
 
 // NewDeuceFNW constructs a DEUCE+FNW memory.
@@ -171,6 +200,8 @@ func NewDeuceFNW(p Params) (*DeuceFNW, error) {
 		codec:     codec,
 		epochMask: uint64(p.EpochInterval - 1),
 		modBytes:  metaBytes(words),
+		oldCTBuf:  make([]byte, p.LineBytes),
+		newCTBuf:  make([]byte, p.LineBytes),
 	}, nil
 }
 
@@ -192,29 +223,31 @@ func (s *DeuceFNW) Install(line uint64, plaintext []byte) {
 }
 
 func (s *DeuceFNW) initLine(line uint64) {
-	if !s.inited[line] {
+	if !s.touched(line) {
 		s.Install(line, s.zeroLine())
 	}
 }
 
-// Write implements Scheme.
+// Write implements Scheme. Allocation-free in steady state: the DEUCE step
+// writes its modified bits straight into the first half of the metadata
+// scratch and the FNW encoder its flip bits into the second half.
 func (s *DeuceFNW) Write(line uint64, plaintext []byte) pcmdev.WriteResult {
 	s.checkPlain(plaintext)
 	s.initLine(line)
 
-	oldCells, oldMeta := s.dev.Peek(line)
+	oldCells, oldMeta := s.scr.oldData, s.scr.oldMeta
+	s.dev.PeekInto(line, oldCells, oldMeta)
 	oldMod, oldFlips := s.split(oldMeta)
-	oldCT := s.codec.Decode(oldCells, oldFlips)
-	oldPlain := dualDecrypt(s.gen, line, s.ctrs.Get(line), s.epochMask, s.p.WordBytes, oldCT, oldMod)
+	s.codec.DecodeInto(s.oldCTBuf, oldCells, oldFlips)
+	dualDecryptInto(s.scr.oldPlain, s.gen, line, s.ctrs.Get(line), s.epochMask, s.p.WordBytes,
+		s.oldCTBuf, oldMod, s.scr.padL, s.scr.padT)
 
 	ctr, _ := s.ctrs.Increment(line)
-	newCT, newMod := deuceStep(s.gen, line, ctr, s.epochMask, s.p.WordBytes, oldCT, oldMod, oldPlain, plaintext)
-	newCells, newFlips := s.codec.Encode(oldCells, oldFlips, newCT)
-
-	newMeta := make([]byte, 2*s.modBytes)
-	copy(newMeta[:s.modBytes], newMod)
-	copy(newMeta[s.modBytes:], newFlips)
-	return s.dev.Write(line, newCells, newMeta)
+	newMod, newFlips := s.split(s.scr.newMeta)
+	deuceStepInto(s.newCTBuf, newMod, s.gen, line, ctr, s.epochMask, s.p.WordBytes,
+		s.oldCTBuf, oldMod, s.scr.oldPlain, plaintext, s.scr.padL)
+	s.codec.EncodeInto(s.scr.newData, newFlips, oldCells, oldFlips, s.newCTBuf)
+	return s.dev.Write(line, s.scr.newData, s.scr.newMeta)
 }
 
 // Read implements Scheme.

@@ -22,6 +22,13 @@ type DynDeuce struct {
 	codec      *fnw.Codec
 	epochMask  uint64
 	trackBytes int // bytes holding the dual-purpose word bits
+
+	// Extra write-path scratch beyond base.scr: in DEUCE mode both
+	// candidate encodings (DEUCE step and FNW re-encrypt) are materialized
+	// before one is picked.
+	deuceCTBuf  []byte // DEUCE-candidate ciphertext
+	deuceModBuf []byte // DEUCE-candidate modified bits
+	fnwCTBuf    []byte // whole-line re-encryption for the FNW candidate
 }
 
 // NewDynDeuce constructs a DynDEUCE memory.
@@ -38,10 +45,13 @@ func NewDynDeuce(p Params) (*DynDeuce, error) {
 		return nil, err
 	}
 	return &DynDeuce{
-		base:       b,
-		codec:      codec,
-		epochMask:  uint64(p.EpochInterval - 1),
-		trackBytes: metaBytes(words),
+		base:        b,
+		codec:       codec,
+		epochMask:   uint64(p.EpochInterval - 1),
+		trackBytes:  metaBytes(words),
+		deuceCTBuf:  make([]byte, p.LineBytes),
+		deuceModBuf: make([]byte, metaBytes(words)),
+		fnwCTBuf:    make([]byte, p.LineBytes),
 	}, nil
 }
 
@@ -65,70 +75,81 @@ func (s *DynDeuce) Install(line uint64, plaintext []byte) {
 }
 
 func (s *DynDeuce) initLine(line uint64) {
-	if !s.inited[line] {
+	if !s.touched(line) {
 		s.Install(line, s.zeroLine())
 	}
 }
 
-// plainOf reconstructs the current plaintext from stored state.
-func (s *DynDeuce) plainOf(line uint64, cells, meta []byte) []byte {
+// plainOfInto reconstructs the current plaintext from stored state into dst
+// (which must not alias cells), using the base pad scratch.
+func (s *DynDeuce) plainOfInto(dst []byte, line uint64, cells, meta []byte) {
 	ctr := s.ctrs.Get(line)
 	if bitutil.GetBit(meta, s.modeBit()) {
 		// FNW mode: cells are FNW-encoded whole-line ciphertext.
-		ct := s.codec.Decode(cells, meta)
-		return s.gen.Decrypt(line, ctr, ct)
+		s.codec.DecodeInto(dst, cells, meta)
+		s.gen.DecryptInto(dst, line, ctr, dst)
+		return
 	}
-	return dualDecrypt(s.gen, line, ctr, s.epochMask, s.p.WordBytes, cells, meta)
+	dualDecryptInto(dst, s.gen, line, ctr, s.epochMask, s.p.WordBytes, cells, meta, s.scr.padL, s.scr.padT)
 }
 
-// Write implements Scheme.
+// plainOf is the allocating convenience for the read path.
+func (s *DynDeuce) plainOf(line uint64, cells, meta []byte) []byte {
+	out := make([]byte, len(cells))
+	s.plainOfInto(out, line, cells, meta)
+	return out
+}
+
+// Write implements Scheme. Allocation-free in steady state: both candidate
+// encodings live in dedicated scratch buffers and the chosen one lands in
+// the shared newData/newMeta scratch.
 func (s *DynDeuce) Write(line uint64, plaintext []byte) pcmdev.WriteResult {
 	s.checkPlain(plaintext)
 	s.initLine(line)
 
-	oldCells, oldMeta := s.dev.Peek(line)
+	oldCells, oldMeta := s.scr.oldData, s.scr.oldMeta
+	s.dev.PeekInto(line, oldCells, oldMeta)
 	fnwMode := bitutil.GetBit(oldMeta, s.modeBit())
-	oldPlain := s.plainOf(line, oldCells, oldMeta)
+	oldPlain := s.scr.oldPlain
+	s.plainOfInto(oldPlain, line, oldCells, oldMeta)
 	ctr, _ := s.ctrs.Increment(line)
 
-	newMeta := make([]byte, s.metaLen())
-	var newCells []byte
+	newCells, newMeta := s.scr.newData, s.scr.newMeta
+	for i := range newMeta {
+		newMeta[i] = 0
+	}
 
 	switch {
 	case ctr&s.epochMask == 0:
 		// Epoch boundary: back to DEUCE mode, full re-encryption,
 		// tracking bits and mode bit reset.
-		newCells = s.gen.Encrypt(line, ctr, plaintext)
+		s.gen.EncryptInto(newCells, line, ctr, plaintext)
 
 	case fnwMode:
 		// Committed to FNW for the rest of the epoch: whole-line
 		// re-encryption through the FNW stage.
-		ct := s.gen.Encrypt(line, ctr, plaintext)
-		cells, flips := s.codec.Encode(oldCells, oldMeta, ct)
-		newCells = cells
-		copy(newMeta, flips)
+		s.gen.EncryptInto(s.fnwCTBuf, line, ctr, plaintext)
+		s.codec.EncodeInto(newCells, newMeta, oldCells, oldMeta, s.fnwCTBuf)
 		bitutil.SetBit(newMeta, s.modeBit(), true)
 
 	default:
 		// DEUCE mode: estimate both candidates and pick the cheaper
 		// (Figure 11). Costs include the tracking-bit changes so the
 		// comparison is apples to apples.
-		deuceCT, deuceMod := deuceStep(s.gen, line, ctr, s.epochMask, s.p.WordBytes,
-			oldCells, oldMeta, oldPlain, plaintext)
-		deuceCost := bitutil.Hamming(oldCells, deuceCT) +
-			bitutil.Hamming(oldMeta[:s.trackBytes], deuceMod[:s.trackBytes])
+		deuceStepInto(s.deuceCTBuf, s.deuceModBuf, s.gen, line, ctr, s.epochMask, s.p.WordBytes,
+			oldCells, oldMeta, oldPlain, plaintext, s.scr.padL)
+		deuceCost := bitutil.Hamming(oldCells, s.deuceCTBuf) +
+			bitutil.Hamming(oldMeta[:s.trackBytes], s.deuceModBuf[:s.trackBytes])
 
-		fnwCT := s.gen.Encrypt(line, ctr, plaintext)
-		fnwCost := s.codec.CountFlips(oldCells, oldMeta, fnwCT) + 1 // +1: mode bit
+		s.gen.EncryptInto(s.fnwCTBuf, line, ctr, plaintext)
+		fnwCost := s.codec.CountFlips(oldCells, oldMeta, s.fnwCTBuf) + 1 // +1: mode bit
 
 		if fnwCost < deuceCost {
-			cells, flips := s.codec.Encode(oldCells, oldMeta, fnwCT)
-			newCells = cells
-			copy(newMeta, flips)
+			s.codec.EncodeInto(newCells, newMeta, oldCells, oldMeta, s.fnwCTBuf)
 			bitutil.SetBit(newMeta, s.modeBit(), true)
 		} else {
-			newCells = deuceCT
-			copy(newMeta[:s.trackBytes], deuceMod[:s.trackBytes])
+			copy(newCells, s.deuceCTBuf)
+			copy(newMeta[:s.trackBytes], s.deuceModBuf[:s.trackBytes])
 		}
 	}
 	return s.dev.Write(line, newCells, newMeta)

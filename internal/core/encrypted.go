@@ -37,17 +37,19 @@ func (s *EncrDCW) Install(line uint64, plaintext []byte) {
 }
 
 func (s *EncrDCW) initLine(line uint64) {
-	if !s.inited[line] {
+	if !s.touched(line) {
 		s.Install(line, s.zeroLine())
 	}
 }
 
-// Write implements Scheme.
+// Write implements Scheme. Allocation-free in steady state: the fresh
+// ciphertext is built in the scheme's scratch buffer.
 func (s *EncrDCW) Write(line uint64, plaintext []byte) pcmdev.WriteResult {
 	s.checkPlain(plaintext)
 	s.initLine(line)
 	ctr, _ := s.ctrs.Increment(line)
-	return s.dev.Write(line, s.gen.Encrypt(line, ctr, plaintext), nil)
+	s.gen.EncryptInto(s.scr.newData, line, ctr, plaintext)
+	return s.dev.Write(line, s.scr.newData, nil)
 }
 
 // Read implements Scheme.
@@ -95,20 +97,23 @@ func (s *EncrFNW) Install(line uint64, plaintext []byte) {
 }
 
 func (s *EncrFNW) initLine(line uint64) {
-	if !s.inited[line] {
+	if !s.touched(line) {
 		s.Install(line, s.zeroLine())
 	}
 }
 
-// Write implements Scheme.
+// Write implements Scheme. Allocation-free in steady state; the fresh
+// ciphertext borrows the otherwise-unused oldPlain scratch (nothing on this
+// path decrypts).
 func (s *EncrFNW) Write(line uint64, plaintext []byte) pcmdev.WriteResult {
 	s.checkPlain(plaintext)
 	s.initLine(line)
 	ctr, _ := s.ctrs.Increment(line)
-	ct := s.gen.Encrypt(line, ctr, plaintext)
-	stored, flips := s.dev.Peek(line)
-	newData, newFlips := s.codec.Encode(stored, flips, ct)
-	return s.dev.Write(line, newData, newFlips)
+	ct := s.scr.oldPlain
+	s.gen.EncryptInto(ct, line, ctr, plaintext)
+	s.dev.PeekInto(line, s.scr.oldData, s.scr.oldMeta)
+	s.codec.EncodeInto(s.scr.newData, s.scr.newMeta, s.scr.oldData, s.scr.oldMeta, ct)
+	return s.dev.Write(line, s.scr.newData, s.scr.newMeta)
 }
 
 // Read implements Scheme.

@@ -75,14 +75,10 @@ func (b *base) saveState(schemeName string, w io.Writer) error {
 	if err := binary.Write(bw, binary.LittleEndian, b.header(schemeName)); err != nil {
 		return fmt.Errorf("core: %w", err)
 	}
-	// Touched-line bitmap (lazily-installed lines must stay lazy).
-	bits := make([]byte, (len(b.inited)+7)/8)
-	for i, v := range b.inited {
-		if v {
-			bits[i/8] |= 1 << (uint(i) % 8)
-		}
-	}
-	if _, err := bw.Write(bits); err != nil {
+	// Touched-line bitmap (lazily-installed lines must stay lazy). The
+	// vector's backing bytes are already in the format's little-endian
+	// bit order.
+	if _, err := bw.Write(b.inited.Bytes()); err != nil {
 		return fmt.Errorf("core: %w", err)
 	}
 	if err := bw.Flush(); err != nil {
@@ -116,12 +112,8 @@ func (b *base) loadState(schemeName string, r io.Reader) error {
 	if h != want {
 		return fmt.Errorf("core: state mismatch (scheme, key, or geometry differ)")
 	}
-	bits := make([]byte, (len(b.inited)+7)/8)
-	if _, err := io.ReadFull(br, bits); err != nil {
+	if _, err := io.ReadFull(br, b.inited.Bytes()); err != nil {
 		return fmt.Errorf("core: %w", err)
-	}
-	for i := range b.inited {
-		b.inited[i] = bits[i/8]&(1<<(uint(i)%8)) != 0
 	}
 	if err := b.ctrs.Restore(br); err != nil {
 		return err

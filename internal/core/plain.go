@@ -38,7 +38,7 @@ func (s *PlainDCW) Install(line uint64, plaintext []byte) {
 // Write implements Scheme.
 func (s *PlainDCW) Write(line uint64, plaintext []byte) pcmdev.WriteResult {
 	s.checkPlain(plaintext)
-	s.inited[line] = true
+	s.inited.Set(int(line), true)
 	return s.dev.Write(line, plaintext, nil)
 }
 
@@ -83,13 +83,13 @@ func (s *PlainFNW) Install(line uint64, plaintext []byte) {
 	s.dev.Load(line, plaintext, make([]byte, metaBytes(s.codec.FlipBits(s.p.LineBytes))))
 }
 
-// Write implements Scheme.
+// Write implements Scheme. Allocation-free in steady state.
 func (s *PlainFNW) Write(line uint64, plaintext []byte) pcmdev.WriteResult {
 	s.checkPlain(plaintext)
-	s.inited[line] = true
-	stored, flips := s.dev.Peek(line)
-	newData, newFlips := s.codec.Encode(stored, flips, plaintext)
-	return s.dev.Write(line, newData, newFlips)
+	s.inited.Set(int(line), true)
+	s.dev.PeekInto(line, s.scr.oldData, s.scr.oldMeta)
+	s.codec.EncodeInto(s.scr.newData, s.scr.newMeta, s.scr.oldData, s.scr.oldMeta, plaintext)
+	return s.dev.Write(line, s.scr.newData, s.scr.newMeta)
 }
 
 // Read implements Scheme.

@@ -53,18 +53,18 @@ func (s *AddrPad) Install(line uint64, plaintext []byte) {
 }
 
 func (s *AddrPad) initLine(line uint64) {
-	if !s.inited[line] {
+	if !s.touched(line) {
 		s.Install(line, s.zeroLine())
 	}
 }
 
-// Write implements Scheme.
+// Write implements Scheme. Allocation-free in steady state.
 func (s *AddrPad) Write(line uint64, plaintext []byte) pcmdev.WriteResult {
 	s.checkPlain(plaintext)
 	s.initLine(line)
-	ct := make([]byte, s.p.LineBytes)
-	bitutil.XOR(ct, plaintext, s.pad(line))
-	return s.dev.Write(line, ct, nil)
+	s.gen.PadInto(s.scr.padL, line, 0)
+	bitutil.XOR(s.scr.newData, plaintext, s.scr.padL)
+	return s.dev.Write(line, s.scr.newData, nil)
 }
 
 // Read implements Scheme.
@@ -134,7 +134,7 @@ func (s *INVMM) Install(line uint64, plaintext []byte) {
 }
 
 func (s *INVMM) initLine(line uint64) {
-	if !s.inited[line] {
+	if !s.touched(line) {
 		s.Install(line, s.zeroLine())
 	}
 }
@@ -156,7 +156,9 @@ func (s *INVMM) Write(line uint64, plaintext []byte) pcmdev.WriteResult {
 		delete(s.hot, vline)
 		// Cooling: encrypt the victim in place. The re-encryption
 		// programs cells like any write and is part of the scheme's
-		// cost.
+		// cost. The cool write below reuses the device's SlotFlips
+		// scratch, so detach res.SlotFlips from it first.
+		res.SlotFlips = append([]int(nil), res.SlotFlips...)
 		plainV, _ := s.dev.Peek(vline)
 		ctr, _ := s.ctrs.Increment(vline)
 		cool := s.dev.Write(vline, s.gen.Encrypt(vline, ctr, plainV), nil)

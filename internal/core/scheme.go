@@ -135,7 +135,25 @@ type base struct {
 	gen  *otp.Generator
 	ctrs *ctrstore.Store
 
-	inited []bool // lazily-initialized lines
+	inited *bitutil.Vector // lazily-initialized lines
+
+	// scr holds the scheme-owned write-path scratch buffers. A Scheme is
+	// single-goroutine (like its Generator and Device), so one set per
+	// scheme suffices; see DESIGN.md "Performance" for the ownership rules.
+	scr scratch
+}
+
+// scratch is the set of reusable buffers a scheme's Write path fills on
+// every call instead of allocating. Contents are only valid within one
+// Write; nothing here may be handed to callers or retained across calls.
+type scratch struct {
+	oldData  []byte // stored cells image (LineBytes)
+	newData  []byte // image to be written (LineBytes)
+	oldPlain []byte // decrypted pre-write plaintext (LineBytes)
+	oldMeta  []byte // stored metadata image
+	newMeta  []byte // metadata image to be written
+	padL     []byte // leading-counter pad (LineBytes)
+	padT     []byte // trailing-counter pad (LineBytes)
 }
 
 func newBase(p Params, metaBits int, blockCtrs bool) (*base, error) {
@@ -175,17 +193,33 @@ func newBase(p Params, metaBits int, blockCtrs bool) (*base, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &base{p: p, dev: dev, gen: gen, ctrs: ctrs, inited: make([]bool, p.Lines)}, nil
+	mb := metaBytes(metaBits)
+	b := &base{p: p, dev: dev, gen: gen, ctrs: ctrs, inited: bitutil.NewVector(p.Lines)}
+	b.scr = scratch{
+		oldData:  make([]byte, p.LineBytes),
+		newData:  make([]byte, p.LineBytes),
+		oldPlain: make([]byte, p.LineBytes),
+		padL:     make([]byte, p.LineBytes),
+		padT:     make([]byte, p.LineBytes),
+	}
+	if mb > 0 {
+		b.scr.oldMeta = make([]byte, mb)
+		b.scr.newMeta = make([]byte, mb)
+	}
+	return b, nil
 }
 
 func (b *base) Device() pcmdev.Array { return b.dev }
 
+// touched reports whether a line has been installed.
+func (b *base) touched(line uint64) bool { return b.inited.Get(int(line)) }
+
 // markInstalled flags a line as placed, enforcing the Install contract.
 func (b *base) markInstalled(line uint64) {
-	if b.inited[line] {
+	if b.inited.Get(int(line)) {
 		panic(fmt.Sprintf("core: Install on already-touched line %d", line))
 	}
-	b.inited[line] = true
+	b.inited.Set(int(line), true)
 }
 
 func (b *base) checkPlain(plaintext []byte) {

@@ -55,15 +55,20 @@ func (s *Secret) split(meta []byte) (mod, zero []byte) {
 	return meta[:s.modBytes], meta[s.modBytes:]
 }
 
-// encodeLine produces the stored image for a plaintext under the given
+// encodeLineInto produces the stored image for a plaintext under the given
 // counter-derived pads and the epoch's modified bits: zero words store as
 // zeros, modified non-zero words as LCTR ciphertext, untouched non-zero
-// words keep their previous cells.
-func (s *Secret) encodeLine(line, ctr uint64, fullReencrypt bool, oldCells, oldMod, oldPlain, plaintext []byte) (cells, meta []byte) {
+// words keep their previous cells. cells must be line-sized and meta
+// 2*modBytes; neither may alias the inputs. The padL scratch carries the
+// LCTR pad.
+func (s *Secret) encodeLineInto(cells, meta []byte, line, ctr uint64, fullReencrypt bool, oldCells, oldMod, oldPlain, plaintext []byte) {
 	w := s.p.WordBytes
 	words := s.words()
 
-	newMod := make([]byte, s.modBytes)
+	for i := range meta {
+		meta[i] = 0
+	}
+	newMod := meta[:s.modBytes]
 	if !fullReencrypt {
 		copy(newMod, oldMod[:s.modBytes])
 		for i := 0; i < words; i++ {
@@ -72,10 +77,11 @@ func (s *Secret) encodeLine(line, ctr uint64, fullReencrypt bool, oldCells, oldM
 			}
 		}
 	}
-	newZero := make([]byte, s.modBytes)
-	lpad := s.gen.Pad(line, ctr, s.p.LineBytes)
+	newZero := meta[s.modBytes:]
+	lpad := s.scr.padL
+	s.gen.PadInto(lpad, line, ctr)
 
-	cells = bitutil.Clone(oldCells)
+	copy(cells, oldCells)
 	for i := 0; i < words; i++ {
 		off := i * w
 		isZero := true
@@ -104,26 +110,28 @@ func (s *Secret) encodeLine(line, ctr uint64, fullReencrypt bool, oldCells, oldM
 		// a word that changed from zero is marked modified. So the
 		// keep case is always valid TCTR/LCTR ciphertext.
 	}
-
-	meta = make([]byte, 2*s.modBytes)
-	copy(meta[:s.modBytes], newMod)
-	copy(meta[s.modBytes:], newZero)
-	return cells, meta
 }
 
-// decodeLine reconstructs the plaintext from stored state.
-func (s *Secret) decodeLine(line uint64, cells, meta []byte) []byte {
+// decodeLineInto reconstructs the plaintext from stored state into dst
+// (which must not alias cells), using the base pad scratch.
+func (s *Secret) decodeLineInto(dst []byte, line uint64, cells, meta []byte) {
 	mod, zero := s.split(meta)
 	ctr := s.ctrs.Get(line)
-	out := dualDecrypt(s.gen, line, ctr, s.epochMask, s.p.WordBytes, cells, mod)
+	dualDecryptInto(dst, s.gen, line, ctr, s.epochMask, s.p.WordBytes, cells, mod, s.scr.padL, s.scr.padT)
 	w := s.p.WordBytes
 	for i := 0; i < s.words(); i++ {
 		if bitutil.GetBit(zero, i) {
 			for j := i * w; j < (i+1)*w; j++ {
-				out[j] = 0
+				dst[j] = 0
 			}
 		}
 	}
+}
+
+// decodeLine is the allocating convenience for the read path.
+func (s *Secret) decodeLine(line uint64, cells, meta []byte) []byte {
+	out := make([]byte, len(cells))
+	s.decodeLineInto(out, line, cells, meta)
 	return out
 }
 
@@ -132,29 +140,32 @@ func (s *Secret) Install(line uint64, plaintext []byte) {
 	s.checkPlain(plaintext)
 	s.markInstalled(line)
 	zeroPlain := make([]byte, s.p.LineBytes)
-	cells, meta := s.encodeLine(line, 0, true, s.gen.Encrypt(line, 0, zeroPlain), nil, nil, plaintext)
+	cells := make([]byte, s.p.LineBytes)
+	meta := make([]byte, 2*s.modBytes)
+	s.encodeLineInto(cells, meta, line, 0, true, s.gen.Encrypt(line, 0, zeroPlain), nil, nil, plaintext)
 	s.dev.Load(line, cells, meta)
 }
 
 func (s *Secret) initLine(line uint64) {
-	if !s.inited[line] {
+	if !s.touched(line) {
 		s.Install(line, s.zeroLine())
 	}
 }
 
-// Write implements Scheme.
+// Write implements Scheme. Allocation-free in steady state.
 func (s *Secret) Write(line uint64, plaintext []byte) pcmdev.WriteResult {
 	s.checkPlain(plaintext)
 	s.initLine(line)
 
-	oldCells, oldMeta := s.dev.Peek(line)
+	oldCells, oldMeta := s.scr.oldData, s.scr.oldMeta
+	s.dev.PeekInto(line, oldCells, oldMeta)
 	oldMod, _ := s.split(oldMeta)
-	oldPlain := s.decodeLine(line, oldCells, oldMeta)
+	s.decodeLineInto(s.scr.oldPlain, line, oldCells, oldMeta)
 	ctr, _ := s.ctrs.Increment(line)
 
 	full := ctr&s.epochMask == 0
-	cells, meta := s.encodeLine(line, ctr, full, oldCells, oldMod, oldPlain, plaintext)
-	return s.dev.Write(line, cells, meta)
+	s.encodeLineInto(s.scr.newData, s.scr.newMeta, line, ctr, full, oldCells, oldMod, s.scr.oldPlain, plaintext)
+	return s.dev.Write(line, s.scr.newData, s.scr.newMeta)
 }
 
 // Read implements Scheme.

@@ -3,7 +3,6 @@ package exp
 import (
 	"fmt"
 	"io"
-	"sync"
 
 	"deuce/internal/core"
 	"deuce/internal/ctrcache"
@@ -91,40 +90,33 @@ func RunPerf(prof workload.Profile, kind core.Kind, params core.Params, rc RunCo
 }
 
 // perfGrid runs the 12 workloads against baseline EncrDCW plus the given
-// scheme columns, in parallel. Results: [workload][0] is the baseline,
-// [workload][1+i] the i-th column.
+// scheme columns on the work-stealing cell pool. Results: [workload][0] is
+// the baseline, [workload][1+i] the i-th column. The baseline is just
+// another cell of the flattened grid, so it overlaps with the columns
+// instead of gating them.
 func perfGrid(cols []cell1, rc RunConfig) ([]workload.Profile, [][]PerfResult, error) {
 	profs := workload.SPEC2006()
+	cells := len(cols) + 1
 	results := make([][]PerfResult, len(profs))
-	errs := make([]error, len(profs))
-	var wg sync.WaitGroup
-	for wi := range profs {
-		wi := wi
-		results[wi] = make([]PerfResult, len(cols)+1)
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			base, err := RunPerf(profs[wi], core.KindEncrDCW, core.Params{}, rc)
-			if err != nil {
-				errs[wi] = fmt.Errorf("%s/baseline: %w", profs[wi].Name, err)
-				return
-			}
-			results[wi][0] = base
-			for ci, c := range cols {
-				r, err := RunPerf(profs[wi], c.kind, c.params, rc)
-				if err != nil {
-					errs[wi] = fmt.Errorf("%s/%s: %w", profs[wi].Name, c.kind, err)
-					return
-				}
-				results[wi][ci+1] = r
-			}
-		}()
+	for wi := range results {
+		results[wi] = make([]PerfResult, cells)
 	}
-	wg.Wait()
-	for _, err := range errs {
-		if err != nil {
-			return nil, nil, err
+	err := forEachCell(len(profs)*cells, func(i int) error {
+		wi, ci := i/cells, i%cells
+		kind, params, label := core.KindEncrDCW, core.Params{}, "baseline"
+		if ci > 0 {
+			c := cols[ci-1]
+			kind, params, label = c.kind, c.params, string(c.kind)
 		}
+		r, err := RunPerf(profs[wi], kind, params, rc)
+		if err != nil {
+			return fmt.Errorf("%s/%s: %w", profs[wi].Name, label, err)
+		}
+		results[wi][ci] = r
+		return nil
+	})
+	if err != nil {
+		return nil, nil, err
 	}
 	return profs, results, nil
 }

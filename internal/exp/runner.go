@@ -4,8 +4,8 @@ import (
 	"errors"
 	"fmt"
 	"io"
-	"sync"
 
+	"deuce/internal/bitutil"
 	"deuce/internal/core"
 	"deuce/internal/pcmdev"
 	"deuce/internal/trace"
@@ -126,33 +126,31 @@ func RunFlips(prof workload.Profile, kind core.Kind, params core.Params, rc RunC
 	return res, nil
 }
 
-// runGrid executes a workloads x configurations sweep in parallel and
-// returns results indexed [workload][config].
+// runGrid executes a workloads x configurations sweep on the work-stealing
+// cell pool and returns results indexed [workload][config]. Every
+// (workload, config) cell is an independent unit of work: it builds its own
+// seeded generator and scheme, so results are bit-identical to a serial
+// sweep regardless of which worker claims which cell.
 func runGrid(profs []workload.Profile, cfgs []cell1, rc RunConfig, keepPositions bool) ([][]FlipResult, error) {
 	results := make([][]FlipResult, len(profs))
-	errs := make([]error, len(profs))
-	var wg sync.WaitGroup
-	for wi := range profs {
+	for wi := range results {
 		results[wi] = make([]FlipResult, len(cfgs))
-		wi := wi
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for ci, c := range cfgs {
-				r, err := RunFlips(profs[wi], c.kind, c.params, rc, keepPositions)
-				if err != nil {
-					errs[wi] = fmt.Errorf("%s/%s: %w", profs[wi].Name, c.kind, err)
-					return
-				}
-				results[wi][ci] = r
-			}
-		}()
 	}
-	wg.Wait()
-	for _, err := range errs {
+	if len(cfgs) == 0 {
+		return results, nil
+	}
+	err := forEachCell(len(profs)*len(cfgs), func(i int) error {
+		wi, ci := i/len(cfgs), i%len(cfgs)
+		c := cfgs[ci]
+		r, err := RunFlips(profs[wi], c.kind, c.params, rc, keepPositions)
 		if err != nil {
-			return nil, err
+			return fmt.Errorf("%s/%s: %w", profs[wi].Name, c.kind, err)
 		}
+		results[wi][ci] = r
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return results, nil
 }
@@ -176,7 +174,7 @@ func ReplayFlips(src trace.Source, lines int, kind core.Kind, params core.Params
 	if err != nil {
 		return FlipResult{}, err
 	}
-	touched := make(map[uint64]bool)
+	touched := bitutil.NewVector(lines)
 	for {
 		e, err := src.Next()
 		if errors.Is(err, io.EOF) {
@@ -191,8 +189,8 @@ func ReplayFlips(src trace.Source, lines int, kind core.Kind, params core.Params
 		if e.Line >= uint64(lines) {
 			return FlipResult{}, fmt.Errorf("exp: trace writeback to line %d beyond %d-line memory", e.Line, lines)
 		}
-		if !touched[e.Line] {
-			touched[e.Line] = true
+		if !touched.Get(int(e.Line)) {
+			touched.Set(int(e.Line), true)
 			s.Install(e.Line, e.Data)
 			continue
 		}

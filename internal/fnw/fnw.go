@@ -65,12 +65,32 @@ func (c *Codec) FlipBits(lineBytes int) int { return c.Words(lineBytes) }
 // the codec neither reads nor preserves them). It returns the new raw
 // cells and flip bits; it does not mutate its inputs.
 func (c *Codec) Encode(storedData, storedFlips, logical []byte) (newData, newFlips []byte) {
-	c.checkLens(storedData, storedFlips, logical)
-	w := c.wordBytes
-	words := len(logical) / w
 	newData = make([]byte, len(logical))
 	newFlips = make([]byte, len(storedFlips))
-	inv := make([]byte, w)
+	c.EncodeInto(newData, newFlips, storedData, storedFlips, logical)
+	return newData, newFlips
+}
+
+// EncodeInto is Encode into caller-owned buffers, the allocation-free hot
+// path. newData must match the line length and newFlips must hold at least
+// ⌈words/8⌉ bytes; every word's flip bit is written explicitly (set or
+// cleared), while flip-buffer bits past the word count are left untouched —
+// callers that reuse a scratch buffer must manage any trailing bits (such as
+// DynDEUCE's mode bit) themselves. newData/newFlips must not alias the
+// inputs.
+func (c *Codec) EncodeInto(newData, newFlips, storedData, storedFlips, logical []byte) {
+	c.checkLens(storedData, storedFlips, logical)
+	if len(newData) != len(logical) {
+		panic(fmt.Sprintf("fnw: EncodeInto output of %d bytes for %d-byte line", len(newData), len(logical)))
+	}
+	if len(newFlips) < (c.Words(len(logical))+7)/8 {
+		panic(fmt.Sprintf("fnw: EncodeInto flip buffer too short: %d bytes for %d words",
+			len(newFlips), c.Words(len(logical))))
+	}
+	w := c.wordBytes
+	words := len(logical) / w
+	var invBuf [8]byte // max word granularity, keeps the loop allocation-free
+	inv := invBuf[:w]
 	for i := 0; i < words; i++ {
 		off := i * w
 		stored := storedData[off : off+w]
@@ -91,20 +111,21 @@ func (c *Codec) Encode(storedData, storedFlips, logical []byte) (newData, newFli
 			bitutil.SetBit(newFlips, i, true)
 		} else {
 			copy(newData[off:off+w], plain)
-			// flip bit stays 0 in newFlips
+			bitutil.SetBit(newFlips, i, false)
 		}
 	}
-	return newData, newFlips
 }
 
 // CountFlips returns the number of cell programs (data + flip bits) that
 // Encode would incur, without materializing the encoding. DynDEUCE uses
 // this to estimate the FNW cost of a write (paper §4.6, Figure 11).
+// It does not allocate.
 func (c *Codec) CountFlips(storedData, storedFlips, logical []byte) int {
 	c.checkLens(storedData, storedFlips, logical)
 	w := c.wordBytes
 	words := len(logical) / w
-	inv := make([]byte, w)
+	var invBuf [8]byte
+	inv := invBuf[:w]
 	total := 0
 	for i := 0; i < words; i++ {
 		off := i * w
@@ -133,19 +154,29 @@ func (c *Codec) CountFlips(storedData, storedFlips, logical []byte) int {
 // Decode recovers the logical value from a stored image: words whose flip
 // bit is set are inverted back.
 func (c *Codec) Decode(storedData, storedFlips []byte) []byte {
+	out := make([]byte, len(storedData))
+	c.DecodeInto(out, storedData, storedFlips)
+	return out
+}
+
+// DecodeInto is Decode into a caller-owned buffer. dst must match the line
+// length; it may alias storedData (the inversion is in place per word).
+func (c *Codec) DecodeInto(dst, storedData, storedFlips []byte) {
+	if len(dst) != len(storedData) {
+		panic(fmt.Sprintf("fnw: DecodeInto output of %d bytes for %d-byte line", len(dst), len(storedData)))
+	}
 	if len(storedFlips) < (c.Words(len(storedData))+7)/8 {
 		panic(fmt.Sprintf("fnw: flip-bit slice too short: %d bytes for %d words",
 			len(storedFlips), c.Words(len(storedData))))
 	}
 	w := c.wordBytes
-	out := bitutil.Clone(storedData)
+	copy(dst, storedData)
 	for i := 0; i < len(storedData)/w; i++ {
 		if bitutil.GetBit(storedFlips, i) {
 			off := i * w
-			bitutil.Invert(out[off:off+w], out[off:off+w])
+			bitutil.Invert(dst[off:off+w], dst[off:off+w])
 		}
 	}
-	return out
 }
 
 // MaxFlipsPerWord returns the FNW worst-case cell programs per word

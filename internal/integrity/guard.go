@@ -106,6 +106,13 @@ func (g *Guard) Peek(line uint64) (data, meta []byte) {
 	return data, meta
 }
 
+// PeekInto implements pcmdev.Array with the same verification as Read.
+func (g *Guard) PeekInto(line uint64, data, meta []byte) {
+	d, m := g.Peek(line)
+	copy(data, d)
+	copy(meta, m)
+}
+
 func (g *Guard) check(line uint64, data, meta []byte) {
 	if g.tree.VerifyLeaf(line, payload(data, meta)) {
 		g.verified++

@@ -18,6 +18,11 @@
 // parallel with the PCM array access. In this simulator pad generation is
 // a function call; the latency aspect is modelled separately by
 // internal/timing.
+//
+// The ...Into variants (PadInto, EncryptInto, BlockPadInto) write into
+// caller-owned buffers and perform no heap allocation in steady state; they
+// are the hot-path API the schemes in internal/core use. Pad/Encrypt/Decrypt
+// are allocating conveniences layered on top.
 package otp
 
 import (
@@ -25,6 +30,8 @@ import (
 	"crypto/cipher"
 	"encoding/binary"
 	"fmt"
+
+	"deuce/internal/bitutil"
 )
 
 // BlockSize is the AES block size in bytes. Pads are generated in units of
@@ -33,27 +40,35 @@ const BlockSize = 16
 
 // Generator produces one-time pads for a fixed secret key.
 //
-// A Generator is safe for concurrent use by multiple goroutines: the
-// underlying cipher.Block is stateless after key expansion and the optional
-// cache is guarded internally by the caller owning distinct generators.
-// (The experiment harness gives each goroutine its own Generator.)
+// A Generator is NOT safe for concurrent use: the pad memoization cache and
+// its hit/miss counters (and the internal encrypt scratch buffer) are
+// unguarded mutable state. The contract throughout this repository is one
+// Generator per goroutine — the experiment harness constructs a fresh scheme
+// (and therefore a fresh Generator) per sweep cell, and the -race regression
+// test in otp_race_test.go pins that usage down. Sharing a Generator across
+// goroutines is a data race even when the cache is disabled, because
+// Encrypt/EncryptInto reuse the scratch buffer.
 type Generator struct {
 	block cipher.Block
 
-	// cache memoizes the most recent pad per line to model the pad
-	// locality a hardware implementation would get from counter caches.
-	// It is a correctness-neutral speedup: entries are keyed by the full
+	// cache memoizes recently generated pads to model the pad locality a
+	// hardware implementation would get from counter caches. It is a
+	// correctness-neutral speedup: entries are keyed by the full
 	// (addr, counter) tuple, so a hit returns exactly the pad that would
 	// have been recomputed.
-	cache     map[cacheKey][]byte
-	cacheCap  int
+	cache     *padCache
 	cacheHits uint64
 	cacheMiss uint64
-}
 
-type cacheKey struct {
-	addr uint64
-	ctr  uint64
+	// scratch backs EncryptInto's pad so steady-state encryption performs
+	// no heap allocation; grown on demand, never shared across calls.
+	scratch []byte
+
+	// tweak is the AES input block scratch. A local array would escape to
+	// the heap at every fillBlock call (the cipher.Block interface call
+	// defeats escape analysis); as a field it is allocated once with the
+	// Generator.
+	tweak [BlockSize]byte
 }
 
 // NewGenerator returns a Generator for the given 16-byte AES-128 key.
@@ -77,18 +92,44 @@ func MustNewGenerator(key []byte) *Generator {
 	return g
 }
 
-// EnableCache turns on pad memoization with the given maximum entry count.
-// capacity <= 0 disables the cache. The cache is evicted wholesale when full
-// (pads are cheap to regenerate; this keeps the model simple and allocation
-// bounded).
+// padCache is a direct-mapped, fixed-slot pad cache. Each (addr, counter)
+// tuple hashes to exactly one slot; a colliding insert overwrites the slot
+// in place. Compared to the map-with-wholesale-eviction it replaced, lookups
+// and inserts are allocation-free in steady state (each slot's pad buffer is
+// allocated once and reused) and hot entries are never mass-evicted by an
+// unrelated fill.
+type padCache struct {
+	slots []padSlot
+	mask  uint64
+}
+
+type padSlot struct {
+	addr uint64
+	ctr  uint64
+	pad  []byte // nil until the slot is first filled; len is the cached pad size
+}
+
+// slotFor hashes (addr, ctr) to a slot index with a splitmix64-style mixer.
+func (c *padCache) slotFor(addr, ctr uint64) *padSlot {
+	z := addr*0x9e3779b97f4a7c15 + ctr ^ 0x94d049bb133111eb
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return &c.slots[(z^(z>>31))&c.mask]
+}
+
+// EnableCache turns on pad memoization with at least the given number of
+// slots (rounded up to a power of two for direct mapping). capacity <= 0
+// disables the cache.
 func (g *Generator) EnableCache(capacity int) {
 	if capacity <= 0 {
 		g.cache = nil
-		g.cacheCap = 0
 		return
 	}
-	g.cache = make(map[cacheKey][]byte, capacity)
-	g.cacheCap = capacity
+	n := 1
+	for n < capacity {
+		n <<= 1
+	}
+	g.cache = &padCache{slots: make([]padSlot, n), mask: uint64(n - 1)}
 }
 
 // CacheStats returns the number of cache hits and misses since creation.
@@ -96,73 +137,119 @@ func (g *Generator) CacheStats() (hits, misses uint64) {
 	return g.cacheHits, g.cacheMiss
 }
 
+// PadInto fills dst with the pad for (lineAddr, counter). len(dst) must be a
+// multiple of BlockSize. Block i of dst is AES_K(lineAddr ‖ counter ‖ i).
+// It performs no heap allocation once the cache slots are warm.
+func (g *Generator) PadInto(dst []byte, lineAddr, counter uint64) {
+	if len(dst)%BlockSize != 0 {
+		panic(fmt.Sprintf("otp: pad length %d not a multiple of %d", len(dst), BlockSize))
+	}
+	if g.cache == nil {
+		g.generateInto(dst, lineAddr, counter)
+		return
+	}
+	s := g.cache.slotFor(lineAddr, counter)
+	if s.pad != nil && s.addr == lineAddr && s.ctr == counter && len(s.pad) >= len(dst) {
+		g.cacheHits++
+		copy(dst, s.pad[:len(dst)])
+		return
+	}
+	g.cacheMiss++
+	g.generateInto(dst, lineAddr, counter)
+	if cap(s.pad) < len(dst) {
+		s.pad = make([]byte, len(dst))
+	}
+	s.pad = s.pad[:len(dst)]
+	copy(s.pad, dst)
+	s.addr, s.ctr = lineAddr, counter
+}
+
 // Pad returns an n-byte pad for (lineAddr, counter). n must be a multiple of
 // BlockSize. Block i of the result is AES_K(lineAddr ‖ counter ‖ i).
 func (g *Generator) Pad(lineAddr, counter uint64, n int) []byte {
-	if n%BlockSize != 0 {
-		panic(fmt.Sprintf("otp: pad length %d not a multiple of %d", n, BlockSize))
-	}
-	if g.cache != nil {
-		k := cacheKey{lineAddr, counter}
-		if p, ok := g.cache[k]; ok && len(p) >= n {
-			g.cacheHits++
-			out := make([]byte, n)
-			copy(out, p[:n])
-			return out
-		}
-		g.cacheMiss++
-		p := g.generate(lineAddr, counter, n)
-		if len(g.cache) >= g.cacheCap {
-			g.cache = make(map[cacheKey][]byte, g.cacheCap)
-		}
-		g.cache[k] = p
-		out := make([]byte, n)
-		copy(out, p)
-		return out
-	}
-	return g.generate(lineAddr, counter, n)
+	out := make([]byte, n)
+	g.PadInto(out, lineAddr, counter)
+	return out
 }
 
-// BlockPad returns the single 16-byte pad for AES block blockIdx of the line,
-// used by Block-Level Encryption where each 16-byte block carries its own
-// counter. It equals Pad(lineAddr, counter, (blockIdx+1)*16)[blockIdx*16:].
+// BlockPadInto fills dst (BlockSize bytes) with the single pad block for AES
+// block blockIdx of the line, used by Block-Level Encryption where each
+// 16-byte block carries its own counter.
+func (g *Generator) BlockPadInto(dst []byte, lineAddr, counter uint64, blockIdx int) {
+	if len(dst) != BlockSize {
+		panic(fmt.Sprintf("otp: block pad length %d, want %d", len(dst), BlockSize))
+	}
+	g.fillBlock(dst, lineAddr, counter, blockIdx)
+}
+
+// BlockPad returns the single 16-byte pad for AES block blockIdx of the line.
+// It equals Pad(lineAddr, counter, (blockIdx+1)*16)[blockIdx*16:].
 func (g *Generator) BlockPad(lineAddr, counter uint64, blockIdx int) []byte {
 	out := make([]byte, BlockSize)
 	g.fillBlock(out, lineAddr, counter, blockIdx)
 	return out
 }
 
-func (g *Generator) generate(lineAddr, counter uint64, n int) []byte {
-	out := make([]byte, n)
-	for i := 0; i < n/BlockSize; i++ {
-		g.fillBlock(out[i*BlockSize:(i+1)*BlockSize], lineAddr, counter, i)
+func (g *Generator) generateInto(dst []byte, lineAddr, counter uint64) {
+	for i := 0; i < len(dst)/BlockSize; i++ {
+		g.fillBlock(dst[i*BlockSize:(i+1)*BlockSize], lineAddr, counter, i)
 	}
-	return out
 }
 
 func (g *Generator) fillBlock(dst []byte, lineAddr, counter uint64, blockIdx int) {
-	var tweak [BlockSize]byte
-	binary.LittleEndian.PutUint64(tweak[0:8], lineAddr)
+	binary.LittleEndian.PutUint64(g.tweak[0:8], lineAddr)
 	// 56 bits of counter and 8 bits of block index. Line counters in the
 	// paper are 28 bits, so 56 is ample headroom.
-	binary.LittleEndian.PutUint64(tweak[8:16], counter<<8|uint64(blockIdx)&0xff)
-	g.block.Encrypt(dst, tweak[:])
+	binary.LittleEndian.PutUint64(g.tweak[8:16], counter<<8|uint64(blockIdx)&0xff)
+	g.block.Encrypt(dst, g.tweak[:])
+}
+
+// scratchPad returns the generator-owned scratch buffer resized to n bytes.
+func (g *Generator) scratchPad(n int) []byte {
+	if cap(g.scratch) < n {
+		g.scratch = make([]byte, n)
+	}
+	return g.scratch[:n]
+}
+
+// EncryptInto XORs plaintext with the pad for (lineAddr, counter) into dst.
+// dst and plaintext must have equal length; dst may alias plaintext. The
+// pad comes from the generator's scratch buffer, so steady-state calls are
+// allocation-free.
+func (g *Generator) EncryptInto(dst []byte, lineAddr, counter uint64, plaintext []byte) {
+	if len(dst) != len(plaintext) {
+		panic(fmt.Sprintf("otp: EncryptInto on mismatched lengths %d and %d", len(dst), len(plaintext)))
+	}
+	pad := g.scratchPad(padLen(len(plaintext)))
+	g.PadInto(pad, lineAddr, counter)
+	XorInto(dst, plaintext, pad)
+}
+
+// DecryptInto is the inverse of EncryptInto (XOR with the same pad).
+func (g *Generator) DecryptInto(dst []byte, lineAddr, counter uint64, ciphertext []byte) {
+	g.EncryptInto(dst, lineAddr, counter, ciphertext)
 }
 
 // Encrypt XORs plaintext with the pad for (lineAddr, counter) and returns the
 // ciphertext. Convenience for schemes that re-encrypt whole lines.
 func (g *Generator) Encrypt(lineAddr, counter uint64, plaintext []byte) []byte {
-	pad := g.Pad(lineAddr, counter, padLen(len(plaintext)))
 	out := make([]byte, len(plaintext))
-	for i := range plaintext {
-		out[i] = plaintext[i] ^ pad[i]
-	}
+	g.EncryptInto(out, lineAddr, counter, plaintext)
 	return out
 }
 
 // Decrypt is the inverse of Encrypt (XOR with the same pad).
 func (g *Generator) Decrypt(lineAddr, counter uint64, ciphertext []byte) []byte {
 	return g.Encrypt(lineAddr, counter, ciphertext)
+}
+
+// XorInto writes src XOR pad into dst word-parallel. pad may be longer than
+// src (pads are generated in BlockSize units); dst may alias src.
+func XorInto(dst, src, pad []byte) {
+	if len(dst) != len(src) || len(pad) < len(src) {
+		panic(fmt.Sprintf("otp: XorInto on lengths dst=%d src=%d pad=%d", len(dst), len(src), len(pad)))
+	}
+	bitutil.XOR(dst, src, pad[:len(src)])
 }
 
 func padLen(n int) int {

@@ -1,0 +1,147 @@
+package otp
+
+// Regression tests for the Generator concurrency contract and the
+// allocation-free ...Into hot paths. The doc comment once claimed a
+// Generator was "safe for concurrent use" while the memoization cache was
+// unguarded shared state; the contract is now explicitly one Generator per
+// goroutine, and TestOneGeneratorPerGoroutine pins the supported usage down
+// under -race (sharing a single cache-enabled Generator across goroutines
+// would fail -race, which is exactly the point of the corrected contract).
+
+import (
+	"bytes"
+	"sync"
+	"testing"
+)
+
+// TestOneGeneratorPerGoroutine exercises the supported concurrency pattern —
+// a fresh Generator per goroutine, same key — under the race detector, and
+// checks that all goroutines agree on the pads (the cipher state reached
+// through the shared key material is read-only after key expansion).
+func TestOneGeneratorPerGoroutine(t *testing.T) {
+	const workers = 8
+	const pads = 200
+	results := make([][]byte, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			g := MustNewGenerator(testKey)
+			g.EnableCache(64)
+			sum := make([]byte, 64)
+			buf := make([]byte, 64)
+			for i := 0; i < pads; i++ {
+				g.PadInto(buf, uint64(i%32), uint64(i%7))
+				for j := range sum {
+					sum[j] ^= buf[j]
+				}
+				g.EncryptInto(buf, uint64(i), 1, buf)
+			}
+			results[w] = sum
+		}(w)
+	}
+	wg.Wait()
+	for w := 1; w < workers; w++ {
+		if !bytes.Equal(results[w], results[0]) {
+			t.Fatalf("goroutine %d produced different pads than goroutine 0", w)
+		}
+	}
+}
+
+func TestPadIntoMatchesPad(t *testing.T) {
+	g := gen(t)
+	ref := gen(t)
+	buf := make([]byte, 64)
+	for addr := uint64(0); addr < 8; addr++ {
+		for ctr := uint64(0); ctr < 8; ctr++ {
+			g.PadInto(buf, addr, ctr)
+			if !bytes.Equal(buf, ref.Pad(addr, ctr, 64)) {
+				t.Fatalf("PadInto(%d,%d) disagrees with Pad", addr, ctr)
+			}
+		}
+	}
+}
+
+func TestBlockPadIntoMatchesBlockPad(t *testing.T) {
+	g := gen(t)
+	buf := make([]byte, BlockSize)
+	for blk := 0; blk < 4; blk++ {
+		g.BlockPadInto(buf, 9, 3, blk)
+		if !bytes.Equal(buf, g.BlockPad(9, 3, blk)) {
+			t.Fatalf("BlockPadInto(%d) disagrees with BlockPad", blk)
+		}
+	}
+}
+
+func TestEncryptIntoRoundTripAliased(t *testing.T) {
+	g := gen(t)
+	plain := []byte("the quick brown fox jumps over the lazy dog, twice over padding!")
+	data := append([]byte(nil), plain...)
+	g.EncryptInto(data, 5, 6, data) // encrypt in place
+	if bytes.Equal(data, plain) {
+		t.Fatal("in-place encryption left plaintext unchanged")
+	}
+	g.DecryptInto(data, 5, 6, data) // decrypt in place
+	if !bytes.Equal(data, plain) {
+		t.Fatalf("aliased round trip corrupted data: %q", data)
+	}
+}
+
+// The cache-hit path and the EncryptInto path must be allocation-free in
+// steady state — this is what makes zero-alloc scheme writes possible.
+func TestIntoPathsDoNotAllocate(t *testing.T) {
+	g := gen(t)
+	g.EnableCache(64)
+	buf := make([]byte, 64)
+	g.PadInto(buf, 1, 2) // warm the slot and the scratch buffer
+	g.EncryptInto(buf, 1, 2, buf)
+
+	if n := testing.AllocsPerRun(100, func() { g.PadInto(buf, 1, 2) }); n != 0 {
+		t.Errorf("PadInto cache hit allocates %.1f times per call, want 0", n)
+	}
+	if n := testing.AllocsPerRun(100, func() { g.EncryptInto(buf, 1, 2, buf) }); n != 0 {
+		t.Errorf("EncryptInto allocates %.1f times per call, want 0", n)
+	}
+	hits, _ := g.CacheStats()
+	if hits == 0 {
+		t.Error("expected cache hits during the alloc runs")
+	}
+}
+
+// A direct-mapped collision must evict the old entry, not corrupt it: after
+// any interleaving of requests every returned pad equals the uncached pad.
+func TestDirectMappedCollisions(t *testing.T) {
+	g := gen(t)
+	ref := gen(t)
+	g.EnableCache(2) // tiny cache maximizes slot collisions
+	buf := make([]byte, 64)
+	for i := 0; i < 2000; i++ {
+		addr, ctr := uint64(i%13), uint64(i%5)
+		g.PadInto(buf, addr, ctr)
+		if !bytes.Equal(buf, ref.Pad(addr, ctr, 64)) {
+			t.Fatalf("collision corrupted pad for (%d,%d) at step %d", addr, ctr, i)
+		}
+	}
+}
+
+// Requesting a shorter pad after a longer one (and vice versa) through the
+// same slot must stay correct: the slot keeps the longest pad it has seen
+// only as long as the tuple matches.
+func TestCacheMixedLengths(t *testing.T) {
+	g := gen(t)
+	ref := gen(t)
+	g.EnableCache(4)
+	long := make([]byte, 64)
+	short := make([]byte, 16)
+	g.PadInto(long, 3, 3)
+	g.PadInto(short, 3, 3) // hit: prefix of the cached 64-byte pad
+	if !bytes.Equal(short, ref.Pad(3, 3, 16)) {
+		t.Fatal("short pad after long pad is wrong")
+	}
+	g.PadInto(short, 4, 4) // miss: slot now holds a 16-byte pad
+	g.PadInto(long, 4, 4)  // miss again (cached pad too short), must regenerate
+	if !bytes.Equal(long, ref.Pad(4, 4, 64)) {
+		t.Fatal("long pad after short pad is wrong")
+	}
+}

@@ -12,6 +12,11 @@ type Array interface {
 	Read(line uint64) (data, meta []byte)
 	// Peek is Read without read-statistics side effects.
 	Peek(line uint64) (data, meta []byte)
+	// PeekInto is Peek into caller-owned buffers (no allocation on the
+	// bare device; wrappers that must transform the image may allocate).
+	// data must be LineBytes long and meta ⌈MetaBits/8⌉ bytes (nil when
+	// the array has no metadata).
+	PeekInto(line uint64, data, meta []byte)
 	// Load stores without cost accounting (initial placement).
 	Load(line uint64, data, meta []byte)
 	// Config reports the logical geometry visible to the caller.

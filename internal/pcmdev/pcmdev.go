@@ -21,7 +21,9 @@
 package pcmdev
 
 import (
+	"encoding/binary"
 	"fmt"
+	"math/bits"
 
 	"deuce/internal/bitutil"
 )
@@ -91,10 +93,15 @@ func (s Stats) AvgSlotsPerWrite() float64 {
 
 // WriteResult reports the cost of a single line write.
 type WriteResult struct {
-	DataFlips int   // data cells programmed by this write
-	MetaFlips int   // metadata cells programmed by this write
-	Slots     int   // write slots consumed (0 if nothing changed)
-	SlotFlips []int // flips in each consumed slot, for power scheduling
+	DataFlips int // data cells programmed by this write
+	MetaFlips int // metadata cells programmed by this write
+	Slots     int // write slots consumed (0 if nothing changed)
+	// SlotFlips holds the flips in each consumed slot, for power
+	// scheduling. It aliases a device-owned scratch buffer and is valid
+	// only until the next Write on the same array; callers that retain it
+	// across writes must copy it first. This keeps the steady-state write
+	// path allocation-free.
+	SlotFlips []int
 }
 
 // TotalFlips returns data plus metadata flips for the write.
@@ -121,6 +128,10 @@ type Device struct {
 	// lineWear[line][p] is the per-line analogue, enabled by
 	// Config.TrackPerLineWear.
 	lineWear [][]uint32
+
+	// slotScratch backs WriteResult.SlotFlips so steady-state writes do
+	// not allocate; overwritten by every Write.
+	slotScratch []int
 }
 
 // New creates a PCM array with all cells zero.
@@ -136,11 +147,12 @@ func New(cfg Config) (*Device, error) {
 		return nil, fmt.Errorf("pcmdev: negative MetaBits %d", cfg.MetaBits)
 	}
 	d := &Device{
-		cfg:        cfg,
-		data:       make([][]byte, cfg.Lines),
-		meta:       make([][]byte, cfg.Lines),
-		posWrites:  make([]uint64, cfg.TotalBitsPerLine()),
-		lineWrites: make([]uint64, cfg.Lines),
+		cfg:         cfg,
+		data:        make([][]byte, cfg.Lines),
+		meta:        make([][]byte, cfg.Lines),
+		posWrites:   make([]uint64, cfg.TotalBitsPerLine()),
+		lineWrites:  make([]uint64, cfg.Lines),
+		slotScratch: make([]int, 0, cfg.LineBytes*8/SlotBits),
 	}
 	metaBytes := (cfg.MetaBits + 7) / 8
 	for i := range d.data {
@@ -186,6 +198,25 @@ func (d *Device) Peek(line uint64) (data, meta []byte) {
 	return bitutil.Clone(d.data[line]), bitutil.Clone(d.meta[line])
 }
 
+// PeekInto is Peek into caller-owned buffers: it copies the stored data and
+// metadata without allocating, which is what makes zero-allocation scheme
+// writes possible. data must be LineBytes long; meta must be ⌈MetaBits/8⌉
+// bytes, or nil when the array has no metadata.
+func (d *Device) PeekInto(line uint64, data, meta []byte) {
+	d.checkLine(line)
+	if len(data) != d.cfg.LineBytes {
+		panic(fmt.Sprintf("pcmdev: PeekInto data buffer of %d bytes for %d-byte line", len(data), d.cfg.LineBytes))
+	}
+	copy(data, d.data[line])
+	if d.cfg.MetaBits == 0 {
+		return
+	}
+	if len(meta) != len(d.meta[line]) {
+		panic(fmt.Sprintf("pcmdev: PeekInto metadata buffer of %d bytes, want %d", len(meta), len(d.meta[line])))
+	}
+	copy(meta, d.meta[line])
+}
+
 // Write stores newData and newMeta into the line using Data Comparison
 // Write: only cells that differ from the stored image are programmed. It
 // returns the exact cost. newMeta may be nil when MetaBits is zero.
@@ -202,42 +233,29 @@ func (d *Device) Write(line uint64, newData, newMeta []byte) WriteResult {
 	res := WriteResult{}
 
 	// Per-slot flip accounting over 128-bit chunks of the data payload.
+	d.slotScratch = d.slotScratch[:0]
 	slotBytes := SlotBits / 8
 	for s := 0; s*slotBytes < d.cfg.LineBytes; s++ {
 		off := s * slotBytes
 		f := bitutil.HammingRange(old, newData, off, slotBytes)
 		if f > 0 {
 			res.Slots++
-			res.SlotFlips = append(res.SlotFlips, f)
+			d.slotScratch = append(d.slotScratch, f)
 			res.DataFlips += f
 		}
 	}
+	res.SlotFlips = d.slotScratch
 
 	// Wear bookkeeping for flipped data cells.
 	if res.DataFlips > 0 {
-		for i := 0; i < d.cfg.LineBits(); i++ {
-			if bitutil.GetBit(old, i) != bitutil.GetBit(newData, i) {
-				d.posWrites[i]++
-				if d.lineWear != nil {
-					d.lineWear[line][i]++
-				}
-			}
-		}
+		d.recordFlips(line, old, newData, 0, d.cfg.LineBits())
 		copy(old, newData)
 	}
 
 	// Metadata cells, same DCW treatment.
 	if d.cfg.MetaBits > 0 {
 		oldMeta := d.meta[line]
-		for i := 0; i < d.cfg.MetaBits; i++ {
-			if bitutil.GetBit(oldMeta, i) != bitutil.GetBit(newMeta, i) {
-				res.MetaFlips++
-				d.posWrites[d.cfg.LineBits()+i]++
-				if d.lineWear != nil {
-					d.lineWear[line][d.cfg.LineBits()+i]++
-				}
-			}
-		}
+		res.MetaFlips = d.recordFlips(line, oldMeta, newMeta, d.cfg.LineBits(), d.cfg.MetaBits)
 		if res.MetaFlips > 0 {
 			copy(oldMeta, newMeta)
 		}
@@ -252,6 +270,59 @@ func (d *Device) Write(line uint64, newData, newMeta []byte) WriteResult {
 		d.stats.ZeroWrites++
 	}
 	return res
+}
+
+// recordFlips advances the wear counters for every bit position (of the
+// nbits live bits) where old and new differ, offsetting positions by bitBase
+// in the per-position profile, and returns the number of differing bits. It
+// walks the images eight bytes at a time and visits only set bits of the
+// XOR through TrailingZeros64, so its cost scales with the flips, not the
+// line size — this loop used to be the single hottest path in the whole
+// simulator (one GetBit pair per cell per write).
+func (d *Device) recordFlips(line uint64, old, new []byte, bitBase, nbits int) int {
+	var lw []uint32
+	if d.lineWear != nil {
+		lw = d.lineWear[line]
+	}
+	flips := 0
+	i := 0
+	for ; i+8 <= len(old); i += 8 {
+		diff := binary.LittleEndian.Uint64(old[i:]) ^ binary.LittleEndian.Uint64(new[i:])
+		if rem := nbits - i*8; rem < 64 {
+			if rem <= 0 {
+				break
+			}
+			diff &= (uint64(1) << uint(rem)) - 1
+		}
+		for diff != 0 {
+			p := bitBase + i*8 + bits.TrailingZeros64(diff)
+			d.posWrites[p]++
+			if lw != nil {
+				lw[p]++
+			}
+			flips++
+			diff &= diff - 1
+		}
+	}
+	for ; i < len(old); i++ {
+		diff := uint(old[i] ^ new[i])
+		if rem := nbits - i*8; rem < 8 {
+			if rem <= 0 {
+				break
+			}
+			diff &= (uint(1) << uint(rem)) - 1
+		}
+		for diff != 0 {
+			p := bitBase + i*8 + bits.TrailingZeros(diff)
+			d.posWrites[p]++
+			if lw != nil {
+				lw[p]++
+			}
+			flips++
+			diff &= diff - 1
+		}
+	}
+	return flips
 }
 
 // Load stores data (and metadata, which may be nil) into the line without

@@ -158,6 +158,11 @@ func (s *SecurityRefresh) Write(line uint64, data, meta []byte) pcmdev.WriteResu
 	s.writesSinceStep++
 	if s.writesSinceStep >= s.cfg.Psi {
 		s.writesSinceStep = 0
+		if !s.cfg.FreeGapMoves {
+			// The pair-swap below writes the inner device again,
+			// clobbering the scratch buffer res.SlotFlips aliases.
+			res.SlotFlips = append([]int(nil), res.SlotFlips...)
+		}
 		s.step()
 	}
 	return res
@@ -175,6 +180,14 @@ func (s *SecurityRefresh) Peek(line uint64) (data, meta []byte) {
 	s.checkLine(line)
 	d, m := s.inner.Peek(s.physical(line))
 	return s.rotate(d, m, -s.rotation(line))
+}
+
+// PeekInto implements pcmdev.Array. The de-rotation allocates; wear-leveled
+// arrays are not on the zero-allocation fast path.
+func (s *SecurityRefresh) PeekInto(line uint64, data, meta []byte) {
+	d, m := s.Peek(line)
+	copy(data, d)
+	copy(meta, m)
 }
 
 // Load implements pcmdev.Array.

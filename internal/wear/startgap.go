@@ -216,6 +216,11 @@ func (s *StartGap) Write(line uint64, data, meta []byte) pcmdev.WriteResult {
 	s.writesSinceMove++
 	if s.writesSinceMove >= s.cfg.Psi {
 		s.writesSinceMove = 0
+		if !s.cfg.FreeGapMoves {
+			// The gap-move copy below writes the inner device again,
+			// clobbering the scratch buffer res.SlotFlips aliases.
+			res.SlotFlips = append([]int(nil), res.SlotFlips...)
+		}
 		s.moveGap()
 	}
 	return res
@@ -233,6 +238,14 @@ func (s *StartGap) Peek(line uint64) (data, meta []byte) {
 	s.checkLine(line)
 	d, m := s.inner.Peek(s.physical(line))
 	return s.rotate(d, m, -s.rotation(line))
+}
+
+// PeekInto implements pcmdev.Array. The de-rotation allocates; wear-leveled
+// arrays are not on the zero-allocation fast path.
+func (s *StartGap) PeekInto(line uint64, data, meta []byte) {
+	d, m := s.Peek(line)
+	copy(data, d)
+	copy(meta, m)
 }
 
 // Load implements pcmdev.Array.

@@ -6,17 +6,21 @@
 //	deucebench -experiment fig10          # one experiment
 //	deucebench -experiment all            # everything, in paper order
 //	deucebench -writebacks 100000 -lines 4096 -seed 7 -experiment fig5
+//	deucebench -experiment all -progress -outdir results/
+//	deucebench -experiment all -http :6060   # expvar + pprof while running
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"runtime"
 	"runtime/pprof"
 	"time"
 
 	"deuce/internal/exp"
+	"deuce/internal/obs"
 )
 
 func main() {
@@ -27,11 +31,20 @@ func main() {
 		warmup     = flag.Int("warmup", 0, "warm-up writebacks (0 = default)")
 		seed       = flag.Int64("seed", 1, "workload generator seed")
 		format     = flag.String("format", "text", "output format: text or csv")
+		outDir     = flag.String("outdir", "", "also write each experiment's output (and a runmeta.json manifest) into this directory")
+		progress   = flag.Bool("progress", false, "report live grid-cell progress/throughput/ETA on stderr")
+		httpAddr   = flag.String("http", "", "serve expvar and pprof on this address (e.g. :6060) while experiments run")
 		list       = flag.Bool("list", false, "list experiments and exit")
+		version    = flag.Bool("version", false, "print build/version information and exit")
 		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile of the experiment runs to this file")
 		memprofile = flag.String("memprofile", "", "write a heap profile (after the runs) to this file")
 	)
 	flag.Parse()
+
+	if *version {
+		fmt.Println(obs.ReadBuildInfo().String())
+		return
+	}
 
 	if *cpuprofile != "" {
 		f, err := os.Create(*cpuprofile)
@@ -72,11 +85,51 @@ func main() {
 		return
 	}
 
+	if *httpAddr != "" {
+		_, addr, err := obs.ServeDebug(*httpAddr)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "deucebench:", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "deucebench: expvar/pprof on http://%s/debug/\n", addr)
+	}
+
 	rc := exp.RunConfig{
 		Writebacks: *writebacks,
 		Lines:      *lines,
 		Warmup:     *warmup,
 		Seed:       *seed,
+	}
+
+	// Grid cells are announced incrementally (each experiment adds its own
+	// sweep), so the total firms up as the suite proceeds.
+	var stopWatch func()
+	if *progress {
+		rc.Progress = obs.NewProgress(0)
+		stopWatch = rc.Progress.Watch(2*time.Second, func(s obs.ProgressSnapshot) {
+			fmt.Fprintf(os.Stderr, "deucebench: cells %s\n", s)
+		})
+	}
+
+	var meta *obs.RunMeta
+	if *outDir != "" {
+		meta = obs.NewRunMeta("deucebench", os.Args[1:])
+		meta.Config = map[string]interface{}{
+			"experiment": *experiment, "writebacks": *writebacks,
+			"lines": *lines, "warmup": *warmup, "seed": *seed, "format": *format,
+		}
+	}
+
+	fail := func(id string, err error) {
+		if stopWatch != nil {
+			stopWatch()
+		}
+		if id != "" {
+			fmt.Fprintf(os.Stderr, "deucebench: %s: %v\n", id, err)
+		} else {
+			fmt.Fprintln(os.Stderr, "deucebench:", err)
+		}
+		os.Exit(1)
 	}
 
 	run := func(e exp.Experiment) error {
@@ -85,44 +138,67 @@ func main() {
 		if err != nil {
 			return err
 		}
+		var body string
 		switch *format {
 		case "csv":
-			fmt.Print(t.CSV())
+			body = t.CSV()
+			fmt.Print(body)
 			fmt.Println()
 		case "text":
-			fmt.Println(t.Render())
+			body = t.Render()
+			fmt.Println(body)
 			fmt.Printf("  [%s in %v]\n\n", e.ID, time.Since(start).Round(time.Millisecond))
 		default:
 			return fmt.Errorf("unknown format %q", *format)
 		}
+		if meta != nil {
+			ext := ".txt"
+			if *format == "csv" {
+				ext = ".csv"
+			}
+			path := filepath.Join(*outDir, e.ID+ext)
+			if err := os.MkdirAll(*outDir, 0o755); err != nil {
+				return err
+			}
+			if err := os.WriteFile(path, []byte(body+"\n"), 0o644); err != nil {
+				return err
+			}
+			meta.AddOutput(path)
+		}
 		return nil
+	}
+
+	runSuite := func(es []exp.Experiment) {
+		for _, e := range es {
+			if err := run(e); err != nil {
+				fail(e.ID, err)
+			}
+		}
 	}
 
 	switch *experiment {
 	case "all":
-		for _, e := range exp.Experiments() {
-			if err := run(e); err != nil {
-				fmt.Fprintf(os.Stderr, "deucebench: %s: %v\n", e.ID, err)
-				os.Exit(1)
-			}
-		}
-		return
+		runSuite(exp.Experiments())
 	case "ablations":
-		for _, e := range exp.Ablations() {
-			if err := run(e); err != nil {
-				fmt.Fprintf(os.Stderr, "deucebench: %s: %v\n", e.ID, err)
-				os.Exit(1)
-			}
+		runSuite(exp.Ablations())
+	default:
+		e, err := exp.ByID(*experiment)
+		if err != nil {
+			fail("", err)
 		}
-		return
+		if err := run(e); err != nil {
+			fail(e.ID, err)
+		}
 	}
-	e, err := exp.ByID(*experiment)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "deucebench:", err)
-		os.Exit(1)
+
+	if stopWatch != nil {
+		stopWatch()
 	}
-	if err := run(e); err != nil {
-		fmt.Fprintf(os.Stderr, "deucebench: %s: %v\n", e.ID, err)
-		os.Exit(1)
+	if meta != nil {
+		path := filepath.Join(*outDir, "runmeta.json")
+		if err := meta.WriteFile(path); err != nil {
+			fail("", err)
+		}
+		fmt.Fprintf(os.Stderr, "deucebench: wrote %s\n", path)
 	}
 }

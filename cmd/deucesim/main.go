@@ -8,6 +8,8 @@
 //
 //	deucesim -workload mcf -scheme deuce -epoch 32 -word 2 -writebacks 50000
 //	deucesim -workload libq -scheme encr-dcw -wear hwl
+//	deucesim -workload mcf -trace out/mcf -heatmap out/mcf-wear.csv
+//	deucesim -replay mcf.trace -scheme deuce
 //	deucesim -list
 package main
 
@@ -16,10 +18,12 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"strings"
 
 	"deuce/internal/core"
 	"deuce/internal/exp"
+	"deuce/internal/obs"
 	"deuce/internal/pcmdev"
 	"deuce/internal/trace"
 	"deuce/internal/wear"
@@ -45,13 +49,24 @@ func run() error {
 		seed         = flag.Int64("seed", 1, "workload seed")
 		wearMode     = flag.String("wear", "none", "wear leveling: none, vwl, hwl, hwl-hashed")
 		psi          = flag.Int("psi", 100, "Start-Gap gap-move interval in writes")
-		tracePath    = flag.String("trace", "", "replay writebacks from a tracegen file instead of a synthetic workload")
-		traceLines   = flag.Int("tracelines", 1<<20, "memory size in lines when replaying a trace")
+		replayPath   = flag.String("replay", "", "replay writebacks from a tracegen file instead of a synthetic workload")
+		replayLines  = flag.Int("replaylines", 1<<20, "memory size in lines when replaying with -replay")
+		tracePrefix  = flag.String("trace", "", "record per-write events to PREFIX.jsonl and PREFIX.trace.json (Chrome trace)")
+		traceSample  = flag.Int("tracesample", 1, "keep every Nth write event in the -trace stream (epoch resets always kept)")
+		traceCap     = flag.Int("tracecap", 1<<16, "event-trace ring capacity (oldest events drop beyond this)")
+		heatmapPath  = flag.String("heatmap", "", "export periodic per-line write-count snapshots as CSV to this file")
+		heatmapEvery = flag.Int("heatmapevery", 0, "measured writebacks between heatmap snapshots (0 = writebacks/20)")
 		profilePath  = flag.String("profile", "", "load a custom workload profile from a JSON file (overrides -workload)")
 		dumpProfile  = flag.String("dumpprofile", "", "print a built-in profile as JSON (a template for -profile) and exit")
 		list         = flag.Bool("list", false, "list workloads and schemes, then exit")
+		version      = flag.Bool("version", false, "print build/version information and exit")
 	)
 	flag.Parse()
+
+	if *version {
+		fmt.Println(obs.ReadBuildInfo().String())
+		return nil
+	}
 
 	if *list {
 		fmt.Println("workloads:", strings.Join(workload.Names(), " "))
@@ -77,26 +92,37 @@ func run() error {
 		return nil
 	}
 
+	meta := obs.NewRunMeta("deucesim", os.Args[1:])
+
 	params := core.Params{
 		EpochInterval: *epoch,
 		WordBytes:     *word,
 	}
 
-	if *tracePath != "" {
-		f, err := os.Open(*tracePath)
+	var tr *obs.Trace
+	if *tracePrefix != "" {
+		tr = obs.NewTrace(*traceCap, *traceSample)
+	}
+
+	if *replayPath != "" {
+		if *heatmapPath != "" {
+			return fmt.Errorf("-heatmap is not supported with -replay (replay has no measured-window boundary)")
+		}
+		f, err := os.Open(*replayPath)
 		if err != nil {
 			return err
 		}
 		defer f.Close()
-		res, err := exp.ReplayFlips(trace.ReaderSource{R: trace.NewReader(f)}, *traceLines, core.Kind(*schemeName), params)
+		params.Trace = tr
+		res, err := exp.ReplayFlips(trace.ReaderSource{R: trace.NewReader(f)}, *replayLines, core.Kind(*schemeName), params)
 		if err != nil {
 			return err
 		}
-		fmt.Printf("trace      %s (%d writebacks)\n", *tracePath, res.Writes)
+		fmt.Printf("trace      %s (%d writebacks)\n", *replayPath, res.Writes)
 		fmt.Printf("scheme     %s  (epoch %d, word %dB)\n", res.Scheme, *epoch, *word)
 		fmt.Printf("flips      %.1f%% of line cells per write\n", res.FlipFrac*100)
 		fmt.Printf("slots      %.2f write slots per write\n", res.SlotAvg)
-		return nil
+		return writeObsOutputs(meta, tr, nil, *tracePrefix, "")
 	}
 
 	var prof workload.Profile
@@ -117,11 +143,28 @@ func run() error {
 			return err
 		}
 	}
+	var hm *obs.Heatmap
+	hmEvery := *heatmapEvery
+	if *heatmapPath != "" {
+		hm = obs.NewHeatmap()
+		if hmEvery == 0 {
+			hmEvery = *writebacks / 20
+		}
+	}
 	rc := exp.RunConfig{
-		Writebacks: *writebacks,
-		Warmup:     *warmup,
-		Lines:      *lines,
-		Seed:       *seed,
+		Writebacks:   *writebacks,
+		Warmup:       *warmup,
+		Lines:        *lines,
+		Seed:         *seed,
+		Trace:        tr,
+		Heatmap:      hm,
+		HeatmapEvery: hmEvery,
+	}
+	meta.Config = map[string]interface{}{
+		"workload": prof.Name, "scheme": *schemeName, "epoch": *epoch,
+		"word": *word, "writebacks": *writebacks, "warmup": *warmup,
+		"lines": *lines, "seed": *seed, "wear": *wearMode, "psi": *psi,
+		"tracesample": *traceSample,
 	}
 
 	var res exp.FlipResult
@@ -161,5 +204,61 @@ func run() error {
 		wp.Skew(), wp.MaxPos)
 	fmt.Printf("lifetime   %.0f writes to first cell death at 1e7 endurance (perfect: %.0f)\n",
 		wp.LifetimeWrites(wear.DefaultEndurance), wp.PerfectLifetimeWrites(wear.DefaultEndurance))
+	if hm != nil {
+		fmt.Printf("heatmap    %s\n", hm.Summary(48))
+	}
+	return writeObsOutputs(meta, tr, hm, *tracePrefix, *heatmapPath)
+}
+
+// writeObsOutputs materializes the requested observability artifacts: the
+// event trace as JSONL and Chrome-trace JSON, the wear heatmap as CSV, and
+// — whenever at least one artifact was produced — a runmeta.json manifest
+// next to the first output so the run is reconstructible later.
+func writeObsOutputs(meta *obs.RunMeta, tr *obs.Trace, hm *obs.Heatmap, tracePrefix, heatmapPath string) error {
+	writeFile := func(path string, emit func(f *os.File) error) error {
+		if dir := filepath.Dir(path); dir != "." {
+			if err := os.MkdirAll(dir, 0o755); err != nil {
+				return err
+			}
+		}
+		f, err := os.Create(path)
+		if err != nil {
+			return err
+		}
+		if err := emit(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		meta.AddOutput(path)
+		return nil
+	}
+	if tr != nil && tracePrefix != "" {
+		jsonl := tracePrefix + ".jsonl"
+		chrome := tracePrefix + ".trace.json"
+		if err := writeFile(jsonl, func(f *os.File) error { return tr.WriteJSONL(f) }); err != nil {
+			return err
+		}
+		if err := writeFile(chrome, func(f *os.File) error { return tr.WriteChromeTrace(f) }); err != nil {
+			return err
+		}
+		fmt.Printf("trace      kept %d of %d events -> %s, %s\n", tr.Kept(), tr.Seen(), jsonl, chrome)
+	}
+	if hm != nil && heatmapPath != "" {
+		if err := writeFile(heatmapPath, func(f *os.File) error { return hm.WriteCSV(f) }); err != nil {
+			return err
+		}
+		fmt.Printf("heatmap    %d snapshots -> %s\n", hm.Rows(), heatmapPath)
+	}
+	if len(meta.Outputs) == 0 {
+		return nil
+	}
+	metaPath := filepath.Join(filepath.Dir(meta.Outputs[0]), "runmeta.json")
+	if err := meta.WriteFile(metaPath); err != nil {
+		return err
+	}
+	fmt.Printf("runmeta    %s\n", metaPath)
 	return nil
 }

@@ -17,6 +17,7 @@ import (
 	"os"
 
 	"deuce/internal/cache"
+	"deuce/internal/obs"
 	"deuce/internal/trace"
 	"deuce/internal/workload"
 )
@@ -38,8 +39,14 @@ func run() error {
 		lines        = flag.Int("lines", 2048, "working-set lines per core")
 		cachesim     = flag.Bool("cachesim", false, "derive the PCM trace through the simulated L1-L4 hierarchy instead of the direct model")
 		dump         = flag.Bool("dump", false, "write human-readable text instead of binary")
+		version      = flag.Bool("version", false, "print build/version information and exit")
 	)
 	flag.Parse()
+
+	if *version {
+		fmt.Println(obs.ReadBuildInfo().String())
+		return nil
+	}
 
 	prof, err := workload.ByName(*workloadName)
 	if err != nil {

@@ -106,7 +106,7 @@ func (s *BLE) Write(line uint64, plaintext []byte) pcmdev.WriteResult {
 			newCT[off+j] = plaintext[off+j] ^ pad[j]
 		}
 	}
-	return s.dev.Write(line, newCT, nil)
+	return s.observe(s.Name(), line, s.dev.Write(line, newCT, nil), false)
 }
 
 // Read implements Scheme.
@@ -230,6 +230,7 @@ func (s *BLEDeuce) Write(line uint64, plaintext []byte) pcmdev.WriteResult {
 	copy(newMod, oldMod)
 	wpb := s.wordsPerBlock()
 	padBuf := s.scr.padL[:otp.BlockSize]
+	epochReset := false
 
 	for blk := 0; blk < s.blocks; blk++ {
 		off := blk * otp.BlockSize
@@ -242,6 +243,7 @@ func (s *BLEDeuce) Write(line uint64, plaintext []byte) pcmdev.WriteResult {
 		if ctr&s.epochMask == 0 {
 			// Block-local epoch boundary: re-encrypt whole block,
 			// clear its modified bits.
+			epochReset = true
 			for j := 0; j < otp.BlockSize; j++ {
 				newCT[off+j] = plaintext[off+j] ^ pad[j]
 			}
@@ -269,7 +271,7 @@ func (s *BLEDeuce) Write(line uint64, plaintext []byte) pcmdev.WriteResult {
 			}
 		}
 	}
-	return s.dev.Write(line, newCT, newMod)
+	return s.observe(s.Name(), line, s.dev.Write(line, newCT, newMod), epochReset)
 }
 
 // Read implements Scheme.

@@ -156,7 +156,7 @@ func (s *Deuce) Write(line uint64, plaintext []byte) pcmdev.WriteResult {
 	ctr, _ := s.ctrs.Increment(line)
 	deuceStepInto(s.scr.newData, s.scr.newMeta, s.gen, line, ctr, s.epochMask, s.p.WordBytes,
 		oldCT, oldMod, s.scr.oldPlain, plaintext, s.scr.padL)
-	return s.dev.Write(line, s.scr.newData, s.scr.newMeta)
+	return s.observe(s.Name(), line, s.dev.Write(line, s.scr.newData, s.scr.newMeta), ctr&s.epochMask == 0)
 }
 
 // Read implements Scheme.
@@ -247,7 +247,7 @@ func (s *DeuceFNW) Write(line uint64, plaintext []byte) pcmdev.WriteResult {
 	deuceStepInto(s.newCTBuf, newMod, s.gen, line, ctr, s.epochMask, s.p.WordBytes,
 		s.oldCTBuf, oldMod, s.scr.oldPlain, plaintext, s.scr.padL)
 	s.codec.EncodeInto(s.scr.newData, newFlips, oldCells, oldFlips, s.newCTBuf)
-	return s.dev.Write(line, s.scr.newData, s.scr.newMeta)
+	return s.observe(s.Name(), line, s.dev.Write(line, s.scr.newData, s.scr.newMeta), ctr&s.epochMask == 0)
 }
 
 // Read implements Scheme.

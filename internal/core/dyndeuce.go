@@ -152,7 +152,7 @@ func (s *DynDeuce) Write(line uint64, plaintext []byte) pcmdev.WriteResult {
 			copy(newMeta[:s.trackBytes], s.deuceModBuf[:s.trackBytes])
 		}
 	}
-	return s.dev.Write(line, newCells, newMeta)
+	return s.observe(s.Name(), line, s.dev.Write(line, newCells, newMeta), ctr&s.epochMask == 0)
 }
 
 // Read implements Scheme.

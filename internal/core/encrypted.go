@@ -49,7 +49,7 @@ func (s *EncrDCW) Write(line uint64, plaintext []byte) pcmdev.WriteResult {
 	s.initLine(line)
 	ctr, _ := s.ctrs.Increment(line)
 	s.gen.EncryptInto(s.scr.newData, line, ctr, plaintext)
-	return s.dev.Write(line, s.scr.newData, nil)
+	return s.observe(s.Name(), line, s.dev.Write(line, s.scr.newData, nil), false)
 }
 
 // Read implements Scheme.
@@ -113,7 +113,7 @@ func (s *EncrFNW) Write(line uint64, plaintext []byte) pcmdev.WriteResult {
 	s.gen.EncryptInto(ct, line, ctr, plaintext)
 	s.dev.PeekInto(line, s.scr.oldData, s.scr.oldMeta)
 	s.codec.EncodeInto(s.scr.newData, s.scr.newMeta, s.scr.oldData, s.scr.oldMeta, ct)
-	return s.dev.Write(line, s.scr.newData, s.scr.newMeta)
+	return s.observe(s.Name(), line, s.dev.Write(line, s.scr.newData, s.scr.newMeta), false)
 }
 
 // Read implements Scheme.

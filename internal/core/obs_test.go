@@ -1,0 +1,80 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"deuce/internal/obs"
+)
+
+// With an event trace attached, every write must surface in the trace with
+// the device-reported cost, and DEUCE epoch boundaries must be flagged.
+func TestWriteEventTrace(t *testing.T) {
+	tr := obs.NewTrace(4096, 1)
+	s, err := New(KindDeuce, Params{Lines: 4, EpochInterval: 8, Trace: tr})
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 64)
+	const writes = 40
+	for i := 0; i < writes; i++ {
+		buf[i%64]++
+		s.Write(2, buf)
+	}
+	evs := tr.Events()
+	if len(evs) != writes {
+		t.Fatalf("trace holds %d events, want %d", len(evs), writes)
+	}
+	st := s.Device().Stats()
+	var data, meta, slots uint64
+	var resets int
+	for _, ev := range evs {
+		if ev.Scheme != "DEUCE" || ev.Line != 2 {
+			t.Fatalf("unexpected event %+v", ev)
+		}
+		data += uint64(ev.DataFlips)
+		meta += uint64(ev.MetaFlips)
+		slots += uint64(ev.Slots)
+		if ev.EpochReset {
+			resets++
+		}
+	}
+	if data != st.DataFlips || meta != st.MetaFlips || slots != st.SlotsUsed {
+		t.Fatalf("trace totals (%d,%d,%d) disagree with device stats (%d,%d,%d)",
+			data, meta, slots, st.DataFlips, st.MetaFlips, st.SlotsUsed)
+	}
+	// Counters run 1..40 with epoch 8: boundaries at 8,16,24,32,40.
+	if resets != 5 {
+		t.Fatalf("epoch resets = %d, want 5", resets)
+	}
+}
+
+// Sampled tracing must not break the zero-allocation write contract: the
+// ring stores events by value.
+func TestWriteZeroAllocsDeuceWithTrace(t *testing.T) {
+	tr := obs.NewTrace(1024, 8)
+	s, err := New(KindDeuce, Params{Lines: 64, Trace: tr})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(7))
+	lines := make([][]byte, 64)
+	for i := range lines {
+		lines[i] = make([]byte, 64)
+		rng.Read(lines[i])
+		s.Write(uint64(i), lines[i])
+	}
+	line := uint64(0)
+	n := testing.AllocsPerRun(200, func() {
+		buf := lines[line]
+		buf[rng.Intn(64)] ^= byte(1 + rng.Intn(255))
+		s.Write(line, buf)
+		line = (line + 1) % uint64(len(lines))
+	})
+	if n != 0 {
+		t.Errorf("DEUCE with 1/8-sampled trace: Write allocates %.2f times per call, want 0", n)
+	}
+	if tr.Seen() == 0 || tr.Len() == 0 {
+		t.Fatal("trace recorded nothing")
+	}
+}

@@ -39,7 +39,7 @@ func (s *PlainDCW) Install(line uint64, plaintext []byte) {
 func (s *PlainDCW) Write(line uint64, plaintext []byte) pcmdev.WriteResult {
 	s.checkPlain(plaintext)
 	s.inited.Set(int(line), true)
-	return s.dev.Write(line, plaintext, nil)
+	return s.observe(s.Name(), line, s.dev.Write(line, plaintext, nil), false)
 }
 
 // Read implements Scheme.
@@ -89,7 +89,7 @@ func (s *PlainFNW) Write(line uint64, plaintext []byte) pcmdev.WriteResult {
 	s.inited.Set(int(line), true)
 	s.dev.PeekInto(line, s.scr.oldData, s.scr.oldMeta)
 	s.codec.EncodeInto(s.scr.newData, s.scr.newMeta, s.scr.oldData, s.scr.oldMeta, plaintext)
-	return s.dev.Write(line, s.scr.newData, s.scr.newMeta)
+	return s.observe(s.Name(), line, s.dev.Write(line, s.scr.newData, s.scr.newMeta), false)
 }
 
 // Read implements Scheme.

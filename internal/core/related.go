@@ -64,7 +64,7 @@ func (s *AddrPad) Write(line uint64, plaintext []byte) pcmdev.WriteResult {
 	s.initLine(line)
 	s.gen.PadInto(s.scr.padL, line, 0)
 	bitutil.XOR(s.scr.newData, plaintext, s.scr.padL)
-	return s.dev.Write(line, s.scr.newData, nil)
+	return s.observe(s.Name(), line, s.dev.Write(line, s.scr.newData, nil), false)
 }
 
 // Read implements Scheme.
@@ -167,7 +167,7 @@ func (s *INVMM) Write(line uint64, plaintext []byte) pcmdev.WriteResult {
 		res.Slots += cool.Slots
 		res.SlotFlips = append(res.SlotFlips, cool.SlotFlips...)
 	}
-	return res
+	return s.observe(s.Name(), line, res, false)
 }
 
 func (s *INVMM) touch(line uint64) {

@@ -21,6 +21,7 @@ import (
 
 	"deuce/internal/bitutil"
 	"deuce/internal/ctrstore"
+	"deuce/internal/obs"
 	"deuce/internal/otp"
 	"deuce/internal/pcmdev"
 )
@@ -84,6 +85,11 @@ type Params struct {
 	// controllers keep next to the AES pipelines. 0 disables. This is a
 	// pure simulation speedup ablation: results are bit-identical.
 	PadCacheEntries int
+	// Trace, when non-nil, receives one obs.WriteEvent per line write
+	// (sampling happens inside the trace). The trace shares the scheme's
+	// single-goroutine contract; with a nil Trace the write path pays one
+	// predictable branch.
+	Trace *obs.Trace
 	// MakeArray, when non-nil, builds the storage the scheme writes to.
 	// It receives the geometry the scheme needs (lines, line size,
 	// metadata bits) and may return a wrapped array — this is how the
@@ -210,6 +216,26 @@ func newBase(p Params, metaBits int, blockCtrs bool) (*base, error) {
 }
 
 func (b *base) Device() pcmdev.Array { return b.dev }
+
+// observe forwards one completed write to the configured event trace and
+// hands the result back, so scheme Write methods wrap their final device
+// write in a single expression. scheme is the static display name (never
+// built per call), epochReset marks a DEUCE-family full re-encryption.
+// With tracing off this is one nil check; with it on, Trace.Record stores
+// into a pre-sized ring — the write path allocates in neither case.
+func (b *base) observe(scheme string, line uint64, res pcmdev.WriteResult, epochReset bool) pcmdev.WriteResult {
+	if t := b.p.Trace; t != nil {
+		t.Record(obs.WriteEvent{
+			Scheme:     scheme,
+			Line:       line,
+			DataFlips:  res.DataFlips,
+			MetaFlips:  res.MetaFlips,
+			Slots:      res.Slots,
+			EpochReset: epochReset,
+		})
+	}
+	return res
+}
 
 // touched reports whether a line has been installed.
 func (b *base) touched(line uint64) bool { return b.inited.Get(int(line)) }

@@ -165,7 +165,7 @@ func (s *Secret) Write(line uint64, plaintext []byte) pcmdev.WriteResult {
 
 	full := ctr&s.epochMask == 0
 	s.encodeLineInto(s.scr.newData, s.scr.newMeta, line, ctr, full, oldCells, oldMod, s.scr.oldPlain, plaintext)
-	return s.dev.Write(line, s.scr.newData, s.scr.newMeta)
+	return s.observe(s.Name(), line, s.dev.Write(line, s.scr.newData, s.scr.newMeta), full)
 }
 
 // Read implements Scheme.

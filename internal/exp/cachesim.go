@@ -5,6 +5,7 @@ import (
 
 	"deuce/internal/cache"
 	"deuce/internal/core"
+	"deuce/internal/pcmdev"
 	"deuce/internal/trace"
 	"deuce/internal/workload"
 )
@@ -105,6 +106,7 @@ func runThroughCaches(prof workload.Profile, kind core.Kind, rc RunConfig) (Flip
 
 	// Feed raw events; the generator's own writebacks act as the store
 	// stream into L1 (the hierarchy decides what reaches PCM and when).
+	var warm pcmdev.Stats
 	total := rc.Warmup + rc.Writebacks
 	for emitted := 0; emitted < total; {
 		e, err := gen.Next()
@@ -116,6 +118,7 @@ func runThroughCaches(prof workload.Profile, kind core.Kind, rc RunConfig) (Flip
 			emitted++
 			if emitted == rc.Warmup {
 				s.Device().ResetStats()
+				warm = s.Device().Stats()
 				measuring = true
 			}
 		} else {
@@ -125,7 +128,7 @@ func runThroughCaches(prof workload.Profile, kind core.Kind, rc RunConfig) (Flip
 		}
 	}
 
-	st := s.Device().Stats()
+	st := s.Device().Stats().Delta(warm)
 	if st.Writes == 0 {
 		return FlipResult{}, fmt.Errorf("exp: hierarchy emitted no measured writebacks for %s", prof.Name)
 	}

@@ -39,6 +39,7 @@ func RunPerf(prof workload.Profile, kind core.Kind, params core.Params, rc RunCo
 		return PerfResult{}, err
 	}
 	params.Lines = gen.Lines()
+	params.Trace = rc.Trace
 	s, err = core.New(kind, params)
 	if err != nil {
 		return PerfResult{}, err
@@ -50,6 +51,10 @@ func RunPerf(prof workload.Profile, kind core.Kind, params core.Params, rc RunCo
 		s.Write(line, data)
 	}
 	s.Device().ResetStats()
+	warm := s.Device().Stats()
+	if rc.Trace != nil {
+		rc.Trace.Reset() // the trace covers the timed window only
+	}
 
 	coster := timing.SlotCosterFunc(func(line uint64, data []byte) int {
 		return s.Write(line, data).Slots
@@ -85,7 +90,7 @@ func RunPerf(prof workload.Profile, kind core.Kind, params core.Params, rc RunCo
 		Workload: prof.Name,
 		Scheme:   s.Name(),
 		Timing:   res,
-		BitFlips: s.Device().Stats().TotalFlips(),
+		BitFlips: s.Device().Stats().Delta(warm).TotalFlips(),
 	}, nil
 }
 
@@ -101,7 +106,10 @@ func perfGrid(cols []cell1, rc RunConfig) ([]workload.Profile, [][]PerfResult, e
 	for wi := range results {
 		results[wi] = make([]PerfResult, cells)
 	}
-	err := forEachCell(len(profs)*cells, func(i int) error {
+	// Single-run observability objects cannot be shared across cells; see
+	// runGrid. Only the atomic Progress survives the fan-out.
+	rc.Trace, rc.Heatmap, rc.Metrics = nil, nil, nil
+	err := forEachCellObserved(len(profs)*cells, rc.Progress, func(i int) error {
 		wi, ci := i/cells, i%cells
 		kind, params, label := core.KindEncrDCW, core.Params{}, "baseline"
 		if ci > 0 {

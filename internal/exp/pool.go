@@ -4,6 +4,8 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+
+	"deuce/internal/obs"
 )
 
 // forEachCell runs fn(i) for every i in [0, n) on a bounded worker pool
@@ -24,6 +26,23 @@ func forEachCell(n int, fn func(i int) error) error {
 		workers = n
 	}
 	return forEachCellN(workers, n, fn)
+}
+
+// forEachCellObserved is forEachCell with live progress reporting: the
+// upcoming n cells are announced on prog up front (so percentages and ETA
+// are meaningful from the first completion) and each finished cell is
+// counted as workers complete it. A nil prog reports nothing.
+func forEachCellObserved(n int, prog *obs.Progress, fn func(i int) error) error {
+	if prog != nil {
+		prog.AddTotal(n)
+		inner := fn
+		fn = func(i int) error {
+			err := inner(i)
+			prog.Add(1)
+			return err
+		}
+	}
+	return forEachCell(n, fn)
 }
 
 // forEachCellN is forEachCell with an explicit worker count, split out so

@@ -7,6 +7,7 @@ import (
 
 	"deuce/internal/bitutil"
 	"deuce/internal/core"
+	"deuce/internal/obs"
 	"deuce/internal/pcmdev"
 	"deuce/internal/trace"
 	"deuce/internal/wear"
@@ -38,6 +39,29 @@ type RunConfig struct {
 	// an extra memory read (see internal/ctrcache). 0 models an ideal
 	// (always-hit) counter store, the default the paper assumes.
 	CounterCacheBlocks int
+
+	// Observability hooks. Trace, Heatmap and Metrics follow the
+	// single-writer contract (one run, one goroutine), so grid sweeps
+	// clear them before fanning out — they describe a single run, not a
+	// sweep. Progress is atomic and is the one field that crosses the
+	// worker pool. All are optional; nil disables the hook at the cost of
+	// at most one branch per writeback.
+
+	// Trace receives one WriteEvent per measured writeback (sampled at
+	// the trace's configured rate). Forwarded into core.Params.Trace
+	// after warmup so warmup writes do not pollute the event stream.
+	Trace *obs.Trace
+	// Heatmap receives a per-line write-count snapshot every HeatmapEvery
+	// measured writebacks, plus one final row. HeatmapEvery of 0 with a
+	// non-nil Heatmap means a single snapshot at the end of the run.
+	Heatmap      *obs.Heatmap
+	HeatmapEvery int
+	// Progress is announced the sweep's cell count and ticked once per
+	// completed cell by the grid runners.
+	Progress *obs.Progress
+	// Metrics, when non-nil, records per-writeback slot and flip
+	// histograms ("write_slots", "write_flips") over the measured window.
+	Metrics *obs.Registry
 }
 
 func (rc *RunConfig) setDefaults() {
@@ -92,6 +116,7 @@ func RunFlips(prof workload.Profile, kind core.Kind, params core.Params, rc RunC
 		return FlipResult{}, err
 	}
 	params.Lines = gen.Lines()
+	params.Trace = rc.Trace
 	s, err = core.New(kind, params)
 	if err != nil {
 		return FlipResult{}, err
@@ -101,13 +126,37 @@ func RunFlips(prof workload.Profile, kind core.Kind, params core.Params, rc RunC
 		line, data := gen.NextWriteback(0)
 		s.Write(line, data)
 	}
+	// ResetStats carves the measured window for the per-position wear
+	// profile; warm+Delta does the same for the scalar stats and keeps the
+	// accounting symmetric even if an array wrapper declines to reset.
 	s.Device().ResetStats()
+	warm := s.Device().Stats()
+	if rc.Trace != nil {
+		rc.Trace.Reset() // drop warmup events: the trace covers the measured window
+	}
+	var hSlots, hFlips *obs.Histogram
+	if rc.Metrics != nil {
+		hSlots = rc.Metrics.Histogram("write_slots", []uint64{0, 1, 2, 3})
+		hFlips = rc.Metrics.Histogram("write_flips", []uint64{8, 16, 32, 64, 128, 256})
+	}
+	lastMark := uint64(0)
 	for i := 0; i < rc.Writebacks; i++ {
 		line, data := gen.NextWriteback(0)
-		s.Write(line, data)
+		wres := s.Write(line, data)
+		if hSlots != nil {
+			hSlots.Observe(uint64(wres.Slots))
+			hFlips.Observe(uint64(wres.TotalFlips()))
+		}
+		if rc.Heatmap != nil && rc.HeatmapEvery > 0 && (i+1)%rc.HeatmapEvery == 0 {
+			lastMark = uint64(i + 1)
+			rc.Heatmap.Snapshot(lastMark, s.Device().LineWrites())
+		}
+	}
+	if rc.Heatmap != nil && lastMark != uint64(rc.Writebacks) {
+		rc.Heatmap.Snapshot(uint64(rc.Writebacks), s.Device().LineWrites())
 	}
 
-	st := s.Device().Stats()
+	st := s.Device().Stats().Delta(warm)
 	// The paper's figure of merit counts metadata flips in the numerator
 	// but normalizes by the 512 data bits of the line: FNW on encrypted
 	// data comes out at 42.7% (Table 3) only under that convention.
@@ -139,7 +188,12 @@ func runGrid(profs []workload.Profile, cfgs []cell1, rc RunConfig, keepPositions
 	if len(cfgs) == 0 {
 		return results, nil
 	}
-	err := forEachCell(len(profs)*len(cfgs), func(i int) error {
+	// Trace/Heatmap/Metrics are single-writer objects describing one run;
+	// sharing them across concurrently executing cells would race and
+	// interleave unrelated runs. Progress is the designed cross-worker
+	// channel and is the only hook a sweep keeps.
+	rc.Trace, rc.Heatmap, rc.Metrics = nil, nil, nil
+	err := forEachCellObserved(len(profs)*len(cfgs), rc.Progress, func(i int) error {
 		wi, ci := i/len(cfgs), i%len(cfgs)
 		c := cfgs[ci]
 		r, err := RunFlips(profs[wi], c.kind, c.params, rc, keepPositions)

@@ -1,0 +1,85 @@
+package exp
+
+import (
+	"encoding/csv"
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files with current output")
+
+// goldenTable exercises every cell formatting rule: plain strings, float64
+// (3 decimals), int, uint64, and the % / x suffixes CSV must strip.
+func goldenTable() *Table {
+	t := &Table{
+		Title:   "Figure 0: golden formatting check",
+		Note:    "fixed inputs, all cell types",
+		Columns: []string{"Workload", "FlipFrac", "Slots", "Writes", "Skew"},
+	}
+	t.AddRow("mcf", "9.6%", 2.125, 30000, "4.7x")
+	t.AddRow("libq", "47.3%", 1.0, 30000, "11.0x")
+	t.AddRow("a-very-long-workload-name", "0.1%", float64(0.0625), uint64(123456789), "1.0x")
+	t.AddRow("GEOMEAN", "5.2%", 1.75, 0, "3.9x")
+	return t
+}
+
+// checkGolden compares got against the named file under testdata,
+// rewriting it when the -update flag is set.
+func checkGolden(t *testing.T, name, got string) {
+	t.Helper()
+	path := filepath.Join("testdata", name)
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden file (run 'go test ./internal/exp -run TestTableGolden -update'): %v", err)
+	}
+	if got != string(want) {
+		t.Errorf("%s drifted from golden file\n--- got ---\n%s\n--- want ---\n%s", name, got, want)
+	}
+}
+
+func TestTableGoldenText(t *testing.T) {
+	checkGolden(t, "table_golden.txt", goldenTable().Render())
+}
+
+func TestTableGoldenCSV(t *testing.T) {
+	out := goldenTable().CSV()
+	checkGolden(t, "table_golden.csv", out)
+
+	// Beyond byte equality: the CSV body (after comment lines) must parse
+	// as RFC-4180 with a consistent column count.
+	var body []string
+	for _, line := range strings.Split(out, "\n") {
+		if strings.HasPrefix(line, "#") || line == "" {
+			continue
+		}
+		body = append(body, line)
+	}
+	recs, err := csv.NewReader(strings.NewReader(strings.Join(body, "\n"))).ReadAll()
+	if err != nil {
+		t.Fatalf("CSV output does not parse: %v", err)
+	}
+	if len(recs) != 5 {
+		t.Fatalf("CSV has %d records, want 5", len(recs))
+	}
+	for _, r := range recs {
+		if len(r) != 5 {
+			t.Fatalf("CSV record has %d fields, want 5: %v", len(r), r)
+		}
+	}
+	// Suffix stripping: the skew column must be bare numbers.
+	if recs[1][4] != "4.7" || recs[1][1] != "9.6" {
+		t.Errorf("suffixes not stripped: flip=%q skew=%q", recs[1][1], recs[1][4])
+	}
+}

@@ -138,6 +138,9 @@ func (g *Guard) ResetStats() { g.inner.ResetStats() }
 // PositionWrites implements pcmdev.Array.
 func (g *Guard) PositionWrites() []uint64 { return g.inner.PositionWrites() }
 
+// LineWrites implements pcmdev.Array.
+func (g *Guard) LineWrites() []uint64 { return g.inner.LineWrites() }
+
 // Inner exposes the wrapped array — the adversary's handle in tests and
 // attack demos.
 func (g *Guard) Inner() pcmdev.Array { return g.inner }

@@ -1,0 +1,68 @@
+package obs
+
+import (
+	"fmt"
+	"runtime"
+	"runtime/debug"
+)
+
+// BuildInfo is the build identity recorded into run manifests and printed
+// by the -version flags of the cmd/ binaries.
+type BuildInfo struct {
+	// Module is the main module path ("deuce").
+	Module string `json:"module"`
+	// ModVersion is the module version ("(devel)" for source builds).
+	ModVersion string `json:"mod_version,omitempty"`
+	// GitSHA is the vcs.revision build setting, when the binary was built
+	// inside a git checkout with a Go toolchain that stamps VCS info.
+	GitSHA string `json:"git_sha,omitempty"`
+	// Dirty reports uncommitted changes at build time (vcs.modified).
+	Dirty bool `json:"dirty,omitempty"`
+	// GoVersion is the toolchain that built the binary.
+	GoVersion string `json:"go_version"`
+}
+
+// ReadBuildInfo extracts the binary's identity from the runtime's embedded
+// build information. Fields that the build did not stamp stay empty — a
+// `go test` binary, for example, carries no VCS settings.
+func ReadBuildInfo() BuildInfo {
+	info := BuildInfo{GoVersion: runtime.Version()}
+	bi, ok := debug.ReadBuildInfo()
+	if !ok {
+		return info
+	}
+	info.Module = bi.Main.Path
+	info.ModVersion = bi.Main.Version
+	for _, s := range bi.Settings {
+		switch s.Key {
+		case "vcs.revision":
+			info.GitSHA = s.Value
+		case "vcs.modified":
+			info.Dirty = s.Value == "true"
+		}
+	}
+	return info
+}
+
+// String renders the build identity as a one-line version string, e.g.
+// "deuce (devel) rev 1a2b3c4d dirty, go1.24.0".
+func (b BuildInfo) String() string {
+	out := b.Module
+	if out == "" {
+		out = "deuce"
+	}
+	if b.ModVersion != "" {
+		out += " " + b.ModVersion
+	}
+	if b.GitSHA != "" {
+		sha := b.GitSHA
+		if len(sha) > 12 {
+			sha = sha[:12]
+		}
+		out += " rev " + sha
+		if b.Dirty {
+			out += " dirty"
+		}
+	}
+	return fmt.Sprintf("%s, %s", out, b.GoVersion)
+}

@@ -1,0 +1,139 @@
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Heatmap accumulates periodic snapshots of a per-line write-count profile
+// (pcmdev.Array.LineWrites): one row per snapshot, one column per physical
+// line. Exported as CSV it renders directly as a wear heatmap — time on one
+// axis, physical line on the other — making the flattening effect of
+// Start-Gap or Horizontal Wear Leveling visible as rows even out.
+type Heatmap struct {
+	lines int
+	marks []uint64   // cumulative writes at each snapshot
+	rows  [][]uint64 // per-line counts at each snapshot
+}
+
+// NewHeatmap creates an empty heatmap.
+func NewHeatmap() *Heatmap { return &Heatmap{lines: -1} }
+
+// Snapshot appends one row: the per-line write counts after the given
+// cumulative write count. The counts slice is copied. Every snapshot must
+// cover the same number of lines.
+func (h *Heatmap) Snapshot(writes uint64, lineWrites []uint64) {
+	if h.lines < 0 {
+		h.lines = len(lineWrites)
+	} else if len(lineWrites) != h.lines {
+		panic(fmt.Sprintf("obs: heatmap snapshot over %d lines, want %d", len(lineWrites), h.lines))
+	}
+	h.marks = append(h.marks, writes)
+	h.rows = append(h.rows, append([]uint64(nil), lineWrites...))
+}
+
+// Rows returns the number of snapshots taken.
+func (h *Heatmap) Rows() int { return len(h.rows) }
+
+// Last returns the most recent snapshot's per-line counts (nil when empty).
+func (h *Heatmap) Last() []uint64 {
+	if len(h.rows) == 0 {
+		return nil
+	}
+	return h.rows[len(h.rows)-1]
+}
+
+// WriteCSV exports the heatmap: header "writes,line0,...", then one row per
+// snapshot with cumulative per-line write counts.
+func (h *Heatmap) WriteCSV(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	bw.WriteString("writes")
+	for i := 0; i < h.lines; i++ {
+		fmt.Fprintf(bw, ",line%d", i)
+	}
+	bw.WriteByte('\n')
+	for ri, row := range h.rows {
+		fmt.Fprintf(bw, "%d", h.marks[ri])
+		for _, c := range row {
+			fmt.Fprintf(bw, ",%d", c)
+		}
+		bw.WriteByte('\n')
+	}
+	return bw.Flush()
+}
+
+// sparkGlyphs are the eight block glyphs a sparkline is built from.
+var sparkGlyphs = []rune("▁▂▃▄▅▆▇█")
+
+// Sparkline renders xs as a unicode block-glyph strip at most width runes
+// wide, bucketing adjacent values by mean when xs is longer than width.
+// Glyph height is linear between the minimum and maximum of xs; a flat
+// series renders as all-minimum glyphs, so perfectly level wear reads as a
+// flat line.
+func Sparkline(xs []uint64, width int) string {
+	if len(xs) == 0 || width <= 0 {
+		return ""
+	}
+	vals := make([]float64, 0, width)
+	if len(xs) <= width {
+		for _, x := range xs {
+			vals = append(vals, float64(x))
+		}
+	} else {
+		for b := 0; b < width; b++ {
+			lo, hi := b*len(xs)/width, (b+1)*len(xs)/width
+			sum := uint64(0)
+			for _, x := range xs[lo:hi] {
+				sum += x
+			}
+			vals = append(vals, float64(sum)/float64(hi-lo))
+		}
+	}
+	min, max := vals[0], vals[0]
+	for _, v := range vals[1:] {
+		if v < min {
+			min = v
+		}
+		if v > max {
+			max = v
+		}
+	}
+	var b strings.Builder
+	for _, v := range vals {
+		g := 0
+		if max > min {
+			g = int((v - min) / (max - min) * float64(len(sparkGlyphs)-1))
+		}
+		b.WriteRune(sparkGlyphs[g])
+	}
+	return b.String()
+}
+
+// Summary renders the latest snapshot as a one-line sparkline with
+// min/mean/max per-line write counts — the at-a-glance answer to "is wear
+// leveling flattening the distribution".
+func (h *Heatmap) Summary(width int) string {
+	last := h.Last()
+	if last == nil {
+		return "(no snapshots)"
+	}
+	min, max, sum := last[0], last[0], uint64(0)
+	for _, c := range last {
+		if c < min {
+			min = c
+		}
+		if c > max {
+			max = c
+		}
+		sum += c
+	}
+	mean := float64(sum) / float64(len(last))
+	skew := 0.0
+	if mean > 0 {
+		skew = float64(max) / mean
+	}
+	return fmt.Sprintf("%s  lines=%d min=%d mean=%.1f max=%d skew=%.2fx",
+		Sparkline(last, width), len(last), min, mean, max, skew)
+}

@@ -1,0 +1,97 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/csv"
+	"strings"
+	"testing"
+	"unicode/utf8"
+)
+
+func TestHeatmapCSV(t *testing.T) {
+	h := NewHeatmap()
+	h.Snapshot(10, []uint64{1, 2, 3})
+	h.Snapshot(20, []uint64{4, 5, 6})
+	if h.Rows() != 2 {
+		t.Fatalf("rows = %d, want 2", h.Rows())
+	}
+	var buf bytes.Buffer
+	if err := h.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	recs, err := csv.NewReader(&buf).ReadAll()
+	if err != nil {
+		t.Fatalf("heatmap CSV does not parse: %v", err)
+	}
+	if len(recs) != 3 {
+		t.Fatalf("CSV has %d records, want 3 (header + 2 rows)", len(recs))
+	}
+	if want := []string{"writes", "line0", "line1", "line2"}; strings.Join(recs[0], ",") != strings.Join(want, ",") {
+		t.Fatalf("header = %v, want %v", recs[0], want)
+	}
+	if recs[2][0] != "20" || recs[2][3] != "6" {
+		t.Fatalf("data row = %v", recs[2])
+	}
+}
+
+func TestHeatmapSnapshotCopies(t *testing.T) {
+	h := NewHeatmap()
+	src := []uint64{1, 2}
+	h.Snapshot(1, src)
+	src[0] = 99
+	if h.Last()[0] != 1 {
+		t.Fatal("Snapshot aliased the caller's slice")
+	}
+}
+
+func TestHeatmapMismatchedWidthPanics(t *testing.T) {
+	h := NewHeatmap()
+	h.Snapshot(1, []uint64{1, 2})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic for mismatched snapshot width")
+		}
+	}()
+	h.Snapshot(2, []uint64{1})
+}
+
+func TestSparkline(t *testing.T) {
+	// Monotone ramp: glyphs must be non-decreasing.
+	s := Sparkline([]uint64{0, 1, 2, 3, 4, 5, 6, 7}, 8)
+	if utf8.RuneCountInString(s) != 8 {
+		t.Fatalf("sparkline %q has %d runes, want 8", s, utf8.RuneCountInString(s))
+	}
+	prev := -1
+	for _, r := range s {
+		g := strings.IndexRune(string(sparkGlyphs), r)
+		if g < prev {
+			t.Fatalf("sparkline %q not monotone for ramp input", s)
+		}
+		prev = g
+	}
+
+	// Flat input renders flat; wider-than-width input gets bucketed.
+	if s := Sparkline([]uint64{5, 5, 5, 5}, 8); s != "▁▁▁▁" {
+		t.Fatalf("flat sparkline = %q", s)
+	}
+	if got := utf8.RuneCountInString(Sparkline(make([]uint64, 1000), 32)); got != 32 {
+		t.Fatalf("bucketed sparkline width = %d, want 32", got)
+	}
+	if Sparkline(nil, 8) != "" {
+		t.Fatal("nil input should render empty")
+	}
+}
+
+func TestHeatmapSummary(t *testing.T) {
+	h := NewHeatmap()
+	if got := h.Summary(16); got != "(no snapshots)" {
+		t.Fatalf("empty summary = %q", got)
+	}
+	h.Snapshot(100, []uint64{10, 20, 30, 40})
+	s := h.Summary(16)
+	for _, want := range []string{"lines=4", "min=10", "max=40", "mean=25.0", "skew=1.60x"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("summary %q missing %q", s, want)
+		}
+	}
+}

@@ -1,0 +1,31 @@
+package obs
+
+import (
+	"expvar"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"time"
+)
+
+// ServeDebug starts an HTTP debug endpoint on addr (e.g. ":6060") exposing
+// expvar at /debug/vars and the pprof suite at /debug/pprof/. It builds its
+// own mux — nothing leaks onto http.DefaultServeMux — and serves in a
+// background goroutine. The returned server's Close tears it down; the
+// returned address is the actual listen address (useful with ":0").
+func ServeDebug(addr string) (*http.Server, net.Addr, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, nil, err
+	}
+	mux := http.NewServeMux()
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	srv := &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second}
+	go srv.Serve(ln)
+	return srv, ln.Addr(), nil
+}

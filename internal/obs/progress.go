@@ -1,0 +1,106 @@
+package obs
+
+import (
+	"fmt"
+	"sync/atomic"
+	"time"
+)
+
+// Progress tracks completion of a known amount of work across the
+// experiment runner's worker pool. It is the one place in this package
+// where atomics are required: many workers report completions while a
+// monitor goroutine reads snapshots. The work unit is whatever the caller
+// counts — grid cells for experiment sweeps, writebacks for single runs.
+type Progress struct {
+	total atomic.Int64
+	done  atomic.Int64
+	start time.Time
+}
+
+// NewProgress starts tracking total units of work from now. A total of 0
+// is fine when the amount is not known up front: producers announce work
+// with AddTotal as they discover it (the experiment grids do this), and
+// percentages/ETA firm up as announcements arrive.
+func NewProgress(total int) *Progress {
+	p := &Progress{start: time.Now()}
+	p.total.Store(int64(total))
+	return p
+}
+
+// Add reports n completed units. Safe for concurrent use.
+func (p *Progress) Add(n int) { p.done.Add(int64(n)) }
+
+// AddTotal announces n more units of upcoming work. Safe for concurrent use.
+func (p *Progress) AddTotal(n int) { p.total.Add(int64(n)) }
+
+// ProgressSnapshot is a point-in-time view of a Progress.
+type ProgressSnapshot struct {
+	Done    int64
+	Total   int64
+	Elapsed time.Duration
+	// Rate is completed units per second since start.
+	Rate float64
+	// ETA estimates the remaining time at the current rate (0 until the
+	// first unit completes).
+	ETA time.Duration
+}
+
+// Snapshot reads the current state. Safe for concurrent use.
+func (p *Progress) Snapshot() ProgressSnapshot {
+	s := ProgressSnapshot{
+		Done:    p.done.Load(),
+		Total:   p.total.Load(),
+		Elapsed: time.Since(p.start),
+	}
+	if secs := s.Elapsed.Seconds(); secs > 0 {
+		s.Rate = float64(s.Done) / secs
+	}
+	if s.Rate > 0 && s.Done < s.Total {
+		s.ETA = time.Duration(float64(s.Total-s.Done) / s.Rate * float64(time.Second))
+	}
+	return s
+}
+
+// String renders the snapshot as a single status line.
+func (s ProgressSnapshot) String() string {
+	pct := 0.0
+	if s.Total > 0 {
+		pct = 100 * float64(s.Done) / float64(s.Total)
+	}
+	out := fmt.Sprintf("%d/%d (%.0f%%) in %s, %.1f/s",
+		s.Done, s.Total, pct, s.Elapsed.Round(time.Millisecond), s.Rate)
+	if s.ETA > 0 {
+		out += fmt.Sprintf(", ETA %s", s.ETA.Round(time.Second))
+	}
+	return out
+}
+
+// Watch spawns a goroutine that calls report with a fresh snapshot every
+// interval until all work completes or stop is closed. It returns a
+// function that stops the watcher and emits one final snapshot.
+func (p *Progress) Watch(interval time.Duration, report func(ProgressSnapshot)) (stop func()) {
+	done := make(chan struct{})
+	finished := make(chan struct{})
+	go func() {
+		defer close(finished)
+		tick := time.NewTicker(interval)
+		defer tick.Stop()
+		for {
+			select {
+			case <-done:
+				return
+			case <-tick.C:
+				s := p.Snapshot()
+				report(s)
+				if s.Total > 0 && s.Done >= s.Total {
+					return
+				}
+			}
+		}
+	}()
+	return func() {
+		close(done)
+		<-finished
+		report(p.Snapshot())
+	}
+}

@@ -1,0 +1,345 @@
+// Package obs is the simulator's observability layer: a metrics registry,
+// a sampled write-event trace, wear heatmaps, experiment progress tracking,
+// a run manifest, and a debug HTTP endpoint.
+//
+// The design rule throughout is "zero allocation on the hot path": a scheme
+// or device increments plain uint64 counters through pre-resolved handles
+// and records events into a pre-sized ring. All aggregation, formatting and
+// export happens off the write path, at snapshot or export time. Counters
+// follow the same single-writer contract as pcmdev.Device — one goroutine
+// owns a registry and everything registered in it; the only atomics in this
+// package live in Progress, which is shared across the experiment runner's
+// worker pool.
+package obs
+
+import (
+	"expvar"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Counter is a monotonically increasing metric. It is a plain uint64 —
+// increments must come from the single goroutine that owns the registry.
+type Counter struct {
+	name string
+	v    uint64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v++ }
+
+// Add adds n.
+func (c *Counter) Add(n uint64) { c.v += n }
+
+// Value returns the current count.
+func (c *Counter) Value() uint64 { return c.v }
+
+// Name returns the registered name.
+func (c *Counter) Name() string { return c.name }
+
+// Gauge is a last-value-wins metric (e.g. current epoch, ring occupancy).
+type Gauge struct {
+	name string
+	v    float64
+}
+
+// Set stores the value.
+func (g *Gauge) Set(v float64) { g.v = v }
+
+// Value returns the stored value.
+func (g *Gauge) Value() float64 { return g.v }
+
+// Name returns the registered name.
+func (g *Gauge) Name() string { return g.name }
+
+// Histogram counts uint64 observations into buckets with explicit upper
+// bounds (the last bucket is unbounded). Observe is allocation-free.
+type Histogram struct {
+	name   string
+	bounds []uint64 // bucket i counts v <= bounds[i]; len(counts) = len(bounds)+1
+	counts []uint64
+	n      uint64
+	sum    uint64
+}
+
+// Observe counts one observation.
+func (h *Histogram) Observe(v uint64) {
+	i := 0
+	for i < len(h.bounds) && v > h.bounds[i] {
+		i++
+	}
+	h.counts[i]++
+	h.n++
+	h.sum += v
+}
+
+// N returns the observation count.
+func (h *Histogram) N() uint64 { return h.n }
+
+// Sum returns the sum of all observations.
+func (h *Histogram) Sum() uint64 { return h.sum }
+
+// Mean returns the mean observation (0 when empty).
+func (h *Histogram) Mean() float64 {
+	if h.n == 0 {
+		return 0
+	}
+	return float64(h.sum) / float64(h.n)
+}
+
+// Counts returns a copy of the bucket counts; the final element counts
+// observations above the last bound.
+func (h *Histogram) Counts() []uint64 {
+	out := make([]uint64, len(h.counts))
+	copy(out, h.counts)
+	return out
+}
+
+// Bounds returns a copy of the bucket upper bounds.
+func (h *Histogram) Bounds() []uint64 {
+	out := make([]uint64, len(h.bounds))
+	copy(out, h.bounds)
+	return out
+}
+
+// Name returns the registered name.
+func (h *Histogram) Name() string { return h.name }
+
+// Registry holds named metrics. Handles returned by Counter/Gauge/Histogram
+// stay valid for the registry's lifetime, so hot paths resolve names once at
+// setup and then touch only the handle.
+type Registry struct {
+	counters map[string]*Counter
+	gauges   map[string]*Gauge
+	hists    map[string]*Histogram
+}
+
+// NewRegistry creates an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters: make(map[string]*Counter),
+		gauges:   make(map[string]*Gauge),
+		hists:    make(map[string]*Histogram),
+	}
+}
+
+// Counter returns the counter with the given name, creating it at zero on
+// first use.
+func (r *Registry) Counter(name string) *Counter {
+	if c, ok := r.counters[name]; ok {
+		return c
+	}
+	c := &Counter{name: name}
+	r.counters[name] = c
+	return c
+}
+
+// Gauge returns the gauge with the given name, creating it on first use.
+func (r *Registry) Gauge(name string) *Gauge {
+	if g, ok := r.gauges[name]; ok {
+		return g
+	}
+	g := &Gauge{name: name}
+	r.gauges[name] = g
+	return g
+}
+
+// Histogram returns the histogram with the given name, creating it with the
+// given bucket bounds on first use. bounds must be sorted ascending; later
+// calls for an existing name ignore bounds.
+func (r *Registry) Histogram(name string, bounds []uint64) *Histogram {
+	if h, ok := r.hists[name]; ok {
+		return h
+	}
+	for i := 1; i < len(bounds); i++ {
+		if bounds[i] <= bounds[i-1] {
+			panic(fmt.Sprintf("obs: histogram %q bounds not ascending: %v", name, bounds))
+		}
+	}
+	h := &Histogram{
+		name:   name,
+		bounds: append([]uint64(nil), bounds...),
+		counts: make([]uint64, len(bounds)+1),
+	}
+	r.hists[name] = h
+	return h
+}
+
+// Reset zeroes every registered metric, keeping the handles valid — the
+// registry analogue of pcmdev.Device.ResetStats.
+func (r *Registry) Reset() {
+	for _, c := range r.counters {
+		c.v = 0
+	}
+	for _, g := range r.gauges {
+		g.v = 0
+	}
+	for _, h := range r.hists {
+		for i := range h.counts {
+			h.counts[i] = 0
+		}
+		h.n, h.sum = 0, 0
+	}
+}
+
+// Snapshot is a point-in-time copy of a registry's values, detached from
+// the live metrics.
+type Snapshot struct {
+	Counters map[string]uint64  `json:"counters,omitempty"`
+	Gauges   map[string]float64 `json:"gauges,omitempty"`
+	// Hists maps histogram name to bucket counts (last bucket unbounded).
+	Hists map[string][]uint64 `json:"hists,omitempty"`
+}
+
+// Snapshot copies the current values out of the registry.
+func (r *Registry) Snapshot() Snapshot {
+	s := Snapshot{
+		Counters: make(map[string]uint64, len(r.counters)),
+		Gauges:   make(map[string]float64, len(r.gauges)),
+		Hists:    make(map[string][]uint64, len(r.hists)),
+	}
+	for name, c := range r.counters {
+		s.Counters[name] = c.v
+	}
+	for name, g := range r.gauges {
+		s.Gauges[name] = g.v
+	}
+	for name, h := range r.hists {
+		s.Hists[name] = h.Counts()
+	}
+	return s
+}
+
+// Delta returns this snapshot minus prev: counters and histogram buckets
+// subtract (a name missing from prev counts from zero), gauges keep their
+// current value. Snapshot-then-Delta replaces the reset-then-read pattern
+// whose asymmetry loses counts when something else resets the source.
+func (s Snapshot) Delta(prev Snapshot) Snapshot {
+	d := Snapshot{
+		Counters: make(map[string]uint64, len(s.Counters)),
+		Gauges:   make(map[string]float64, len(s.Gauges)),
+		Hists:    make(map[string][]uint64, len(s.Hists)),
+	}
+	for name, v := range s.Counters {
+		d.Counters[name] = v - prev.Counters[name]
+	}
+	for name, v := range s.Gauges {
+		d.Gauges[name] = v
+	}
+	for name, counts := range s.Hists {
+		pc := prev.Hists[name]
+		out := make([]uint64, len(counts))
+		for i, c := range counts {
+			if i < len(pc) {
+				c -= pc[i]
+			}
+			out[i] = c
+		}
+		d.Hists[name] = out
+	}
+	return d
+}
+
+// WriteTo renders the snapshot as sorted "name value" lines.
+func (s Snapshot) WriteTo(w io.Writer) (int64, error) {
+	var b strings.Builder
+	names := make([]string, 0, len(s.Counters))
+	for name := range s.Counters {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		fmt.Fprintf(&b, "%s %d\n", name, s.Counters[name])
+	}
+	names = names[:0]
+	for name := range s.Gauges {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		fmt.Fprintf(&b, "%s %g\n", name, s.Gauges[name])
+	}
+	names = names[:0]
+	for name := range s.Hists {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		fmt.Fprintf(&b, "%s %v\n", name, s.Hists[name])
+	}
+	n, err := io.WriteString(w, b.String())
+	return int64(n), err
+}
+
+// String renders the snapshot as sorted "name value" lines.
+func (s Snapshot) String() string {
+	var b strings.Builder
+	s.WriteTo(&b)
+	return b.String()
+}
+
+var expvarOnce sync.Mutex
+
+// Expvar publishes the registry under the given expvar name, so a debug
+// HTTP endpoint (see ServeDebug) exposes a live snapshot at /debug/vars.
+// Republishing an existing name rebinds it to this registry.
+func (r *Registry) Expvar(name string) {
+	expvarOnce.Lock()
+	defer expvarOnce.Unlock()
+	if v := expvar.Get(name); v != nil {
+		if f, ok := v.(*registryVar); ok {
+			f.mu.Lock()
+			f.r = r
+			f.mu.Unlock()
+			return
+		}
+		panic(fmt.Sprintf("obs: expvar name %q already taken by a non-registry var", name))
+	}
+	expvar.Publish(name, &registryVar{r: r})
+}
+
+// registryVar adapts a Registry to expvar.Var. Snapshots race harmlessly
+// with single-writer increments: expvar reads are diagnostic, and torn
+// uint64 reads cannot occur on the 64-bit platforms the simulator targets.
+type registryVar struct {
+	mu sync.Mutex
+	r  *Registry
+}
+
+func (v *registryVar) String() string {
+	v.mu.Lock()
+	r := v.r
+	v.mu.Unlock()
+	snap := r.Snapshot()
+	var b strings.Builder
+	b.WriteByte('{')
+	first := true
+	writePair := func(name, val string) {
+		if !first {
+			b.WriteString(", ")
+		}
+		first = false
+		fmt.Fprintf(&b, "%q: %s", name, val)
+	}
+	names := make([]string, 0, len(snap.Counters))
+	for name := range snap.Counters {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		writePair(name, fmt.Sprintf("%d", snap.Counters[name]))
+	}
+	names = names[:0]
+	for name := range snap.Gauges {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		writePair(name, fmt.Sprintf("%g", snap.Gauges[name]))
+	}
+	b.WriteByte('}')
+	return b.String()
+}

@@ -1,0 +1,162 @@
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+)
+
+// WriteEvent is one line write as seen by a scheme: what was written where,
+// what it cost, and whether it crossed a DEUCE epoch boundary (a Line
+// Counter Write full re-encryption, which resets the modified bits).
+type WriteEvent struct {
+	// Seq is the global write sequence number at the owning Trace,
+	// counted over all writes (sampled or not), so sampled events keep
+	// their true position in the write stream.
+	Seq uint64 `json:"seq"`
+	// Scheme is the paper-figure name of the scheme that issued the write.
+	Scheme string `json:"scheme"`
+	// Line is the logical line address the scheme wrote.
+	Line uint64 `json:"line"`
+	// DataFlips and MetaFlips are the cells programmed by this write.
+	DataFlips int `json:"data_flips"`
+	MetaFlips int `json:"meta_flips"`
+	// Slots is the 128-bit write slots the write consumed.
+	Slots int `json:"slots"`
+	// EpochReset marks a DEUCE-family epoch boundary: the line was fully
+	// re-encrypted and its modified/tracking bits reset.
+	EpochReset bool `json:"epoch_reset,omitempty"`
+}
+
+// Trace is a fixed-capacity ring of sampled write events. Record keeps
+// every sample-th event (and every epoch-reset event, which are rare and
+// structurally interesting), overwriting the oldest entries once the ring
+// is full. Record never allocates: the ring is sized at construction and
+// events are stored by value.
+//
+// A Trace is single-writer, like the scheme that feeds it. Export methods
+// must not race with Record.
+type Trace struct {
+	sample  uint64
+	seen    uint64
+	kept    uint64
+	buf     []WriteEvent
+	next    int
+	wrapped bool
+}
+
+// NewTrace creates a trace ring holding up to capacity events, keeping one
+// in every sample writes. sample <= 1 keeps every write.
+func NewTrace(capacity, sample int) *Trace {
+	if capacity <= 0 {
+		panic(fmt.Sprintf("obs: trace capacity must be positive, got %d", capacity))
+	}
+	if sample < 1 {
+		sample = 1
+	}
+	return &Trace{sample: uint64(sample), buf: make([]WriteEvent, capacity)}
+}
+
+// Sample returns the sampling interval.
+func (t *Trace) Sample() int { return int(t.sample) }
+
+// Record offers one event to the trace. The event's Seq field is assigned
+// here; callers fill the rest.
+func (t *Trace) Record(ev WriteEvent) {
+	seq := t.seen
+	t.seen++
+	if seq%t.sample != 0 && !ev.EpochReset {
+		return
+	}
+	ev.Seq = seq
+	t.buf[t.next] = ev
+	t.next++
+	t.kept++
+	if t.next == len(t.buf) {
+		t.next = 0
+		t.wrapped = true
+	}
+}
+
+// Seen returns the total writes offered, sampled or not.
+func (t *Trace) Seen() uint64 { return t.seen }
+
+// Kept returns the number of events that entered the ring (including ones
+// since overwritten).
+func (t *Trace) Kept() uint64 { return t.kept }
+
+// Len returns the number of events currently held.
+func (t *Trace) Len() int {
+	if t.wrapped {
+		return len(t.buf)
+	}
+	return t.next
+}
+
+// Events returns the held events oldest-first, as a copy.
+func (t *Trace) Events() []WriteEvent {
+	out := make([]WriteEvent, 0, t.Len())
+	if t.wrapped {
+		out = append(out, t.buf[t.next:]...)
+	}
+	return append(out, t.buf[:t.next]...)
+}
+
+// Reset empties the ring and zeroes the write counter.
+func (t *Trace) Reset() {
+	t.seen, t.kept, t.next, t.wrapped = 0, 0, 0, false
+}
+
+// WriteJSONL exports the held events as JSON Lines, one event per line,
+// oldest first.
+func (t *Trace) WriteJSONL(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	for _, ev := range t.Events() {
+		writeEventJSON(bw, ev)
+		bw.WriteByte('\n')
+	}
+	return bw.Flush()
+}
+
+// writeEventJSON renders one event; hand-rolled so exports do not depend on
+// reflection-driven encoding and field order is stable for golden files.
+func writeEventJSON(w *bufio.Writer, ev WriteEvent) {
+	fmt.Fprintf(w, `{"seq":%d,"scheme":%q,"line":%d,"data_flips":%d,"meta_flips":%d,"slots":%d`,
+		ev.Seq, ev.Scheme, ev.Line, ev.DataFlips, ev.MetaFlips, ev.Slots)
+	if ev.EpochReset {
+		w.WriteString(`,"epoch_reset":true`)
+	}
+	w.WriteByte('}')
+}
+
+// WriteChromeTrace exports the held events in the Chrome trace-event JSON
+// format (load via chrome://tracing or https://ui.perfetto.dev). Each write
+// becomes a complete ("X") event on the track of its scheme, with the write
+// sequence number as the microsecond timestamp and the consumed write slots
+// as the duration, so write cost is directly visible as span width. Epoch
+// resets additionally emit instant ("i") events.
+func (t *Trace) WriteChromeTrace(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	bw.WriteString(`{"displayTimeUnit":"ms","traceEvents":[`)
+	first := true
+	for _, ev := range t.Events() {
+		if !first {
+			bw.WriteByte(',')
+		}
+		first = false
+		dur := ev.Slots
+		if dur < 1 {
+			dur = 1
+		}
+		fmt.Fprintf(bw,
+			`{"name":"line %d","cat":"write","ph":"X","ts":%d,"dur":%d,"pid":1,"tid":1,"args":{"scheme":%q,"line":%d,"data_flips":%d,"meta_flips":%d,"slots":%d}}`,
+			ev.Line, ev.Seq, dur, ev.Scheme, ev.Line, ev.DataFlips, ev.MetaFlips, ev.Slots)
+		if ev.EpochReset {
+			fmt.Fprintf(bw,
+				`,{"name":"epoch reset","cat":"epoch","ph":"i","ts":%d,"pid":1,"tid":1,"s":"t","args":{"line":%d}}`,
+				ev.Seq, ev.Line)
+		}
+	}
+	bw.WriteString("]}")
+	return bw.Flush()
+}

@@ -1,0 +1,139 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func TestTraceSamplingAndSeq(t *testing.T) {
+	tr := NewTrace(100, 4)
+	for i := 0; i < 20; i++ {
+		tr.Record(WriteEvent{Scheme: "DEUCE", Line: uint64(i)})
+	}
+	evs := tr.Events()
+	if len(evs) != 5 { // seq 0,4,8,12,16
+		t.Fatalf("kept %d events, want 5", len(evs))
+	}
+	for i, ev := range evs {
+		if ev.Seq != uint64(4*i) {
+			t.Fatalf("event %d has seq %d, want %d", i, ev.Seq, 4*i)
+		}
+	}
+	if tr.Seen() != 20 {
+		t.Fatalf("seen = %d, want 20", tr.Seen())
+	}
+}
+
+func TestTraceEpochResetAlwaysKept(t *testing.T) {
+	tr := NewTrace(100, 1000)
+	for i := 0; i < 50; i++ {
+		tr.Record(WriteEvent{Scheme: "DEUCE", Line: 1, EpochReset: i == 33})
+	}
+	var resets int
+	for _, ev := range tr.Events() {
+		if ev.EpochReset {
+			resets++
+		}
+	}
+	if resets != 1 {
+		t.Fatalf("epoch-reset events kept = %d, want 1 despite 1/1000 sampling", resets)
+	}
+}
+
+func TestTraceRingWrap(t *testing.T) {
+	tr := NewTrace(4, 1)
+	for i := 0; i < 10; i++ {
+		tr.Record(WriteEvent{Line: uint64(i)})
+	}
+	evs := tr.Events()
+	if len(evs) != 4 {
+		t.Fatalf("ring holds %d, want 4", len(evs))
+	}
+	for i, ev := range evs {
+		if ev.Seq != uint64(6+i) {
+			t.Fatalf("wrapped ring out of order: got seq %d at %d, want %d", ev.Seq, i, 6+i)
+		}
+	}
+}
+
+func TestTraceJSONLValid(t *testing.T) {
+	tr := NewTrace(16, 1)
+	tr.Record(WriteEvent{Scheme: "DEUCE", Line: 7, DataFlips: 12, MetaFlips: 2, Slots: 3, EpochReset: true})
+	tr.Record(WriteEvent{Scheme: "DEUCE", Line: 8, DataFlips: 5, Slots: 1})
+	var buf bytes.Buffer
+	if err := tr.WriteJSONL(&buf); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("JSONL has %d lines, want 2:\n%s", len(lines), buf.String())
+	}
+	var ev WriteEvent
+	if err := json.Unmarshal([]byte(lines[0]), &ev); err != nil {
+		t.Fatalf("line 0 not valid JSON: %v", err)
+	}
+	if ev.Scheme != "DEUCE" || ev.Line != 7 || ev.DataFlips != 12 || ev.MetaFlips != 2 || ev.Slots != 3 || !ev.EpochReset {
+		t.Fatalf("round-tripped event mismatch: %+v", ev)
+	}
+}
+
+func TestTraceChromeTraceValid(t *testing.T) {
+	tr := NewTrace(16, 1)
+	tr.Record(WriteEvent{Scheme: "DEUCE", Line: 7, DataFlips: 12, Slots: 3, EpochReset: true})
+	tr.Record(WriteEvent{Scheme: "DEUCE", Line: 8, Slots: 0})
+	var buf bytes.Buffer
+	if err := tr.WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Name string `json:"name"`
+			Ph   string `json:"ph"`
+			Ts   int64  `json:"ts"`
+			Dur  int64  `json:"dur"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("chrome trace not valid JSON: %v\n%s", err, buf.String())
+	}
+	// 2 write spans + 1 epoch-reset instant.
+	if len(doc.TraceEvents) != 3 {
+		t.Fatalf("chrome trace has %d events, want 3", len(doc.TraceEvents))
+	}
+	if doc.TraceEvents[0].Ph != "X" || doc.TraceEvents[1].Ph != "i" {
+		t.Fatalf("unexpected phase layout: %+v", doc.TraceEvents)
+	}
+	// Zero-slot writes still get a visible nonzero duration.
+	if doc.TraceEvents[2].Dur < 1 {
+		t.Fatalf("zero-slot write rendered with dur %d", doc.TraceEvents[2].Dur)
+	}
+}
+
+func TestTraceReset(t *testing.T) {
+	tr := NewTrace(4, 1)
+	for i := 0; i < 10; i++ {
+		tr.Record(WriteEvent{Line: uint64(i)})
+	}
+	tr.Reset()
+	if tr.Len() != 0 || tr.Seen() != 0 {
+		t.Fatalf("after Reset: len=%d seen=%d", tr.Len(), tr.Seen())
+	}
+	tr.Record(WriteEvent{Line: 1})
+	if evs := tr.Events(); len(evs) != 1 || evs[0].Seq != 0 {
+		t.Fatalf("post-Reset record broken: %+v", tr.Events())
+	}
+}
+
+// Record must never allocate: it sits on the scheme write path.
+func TestTraceRecordAllocs(t *testing.T) {
+	tr := NewTrace(1024, 4)
+	line := uint64(0)
+	if n := testing.AllocsPerRun(500, func() {
+		tr.Record(WriteEvent{Scheme: "DEUCE", Line: line, DataFlips: 17, Slots: 2, EpochReset: line%32 == 0})
+		line++
+	}); n != 0 {
+		t.Fatalf("Trace.Record allocates %.2f times per call, want 0", n)
+	}
+}

@@ -27,6 +27,11 @@ type Array interface {
 	ResetStats()
 	// PositionWrites returns per-bit-position program counts.
 	PositionWrites() []uint64
+	// LineWrites returns per-physical-line write counts — the profile the
+	// wear heatmap (internal/obs) snapshots. Wrappers that remap logical
+	// to physical lines report the physical distribution, which is the
+	// one wear leveling exists to flatten.
+	LineWrites() []uint64
 }
 
 var _ Array = (*Device)(nil)

@@ -74,6 +74,23 @@ type Stats struct {
 // TotalFlips returns data plus metadata cell programs.
 func (s Stats) TotalFlips() uint64 { return s.DataFlips + s.MetaFlips }
 
+// Delta returns the activity between a prior snapshot and this one: every
+// counter of prev subtracted from this Stats. Measured windows should be
+// carved out by snapshotting before and after and taking the Delta, rather
+// than by resetting the device — ResetStats also clears the wear profile,
+// and a reset taken for one consumer silently truncates every other
+// consumer's window.
+func (s Stats) Delta(prev Stats) Stats {
+	return Stats{
+		Writes:     s.Writes - prev.Writes,
+		Reads:      s.Reads - prev.Reads,
+		DataFlips:  s.DataFlips - prev.DataFlips,
+		MetaFlips:  s.MetaFlips - prev.MetaFlips,
+		SlotsUsed:  s.SlotsUsed - prev.SlotsUsed,
+		ZeroWrites: s.ZeroWrites - prev.ZeroWrites,
+	}
+}
+
 // AvgFlipsPerWrite returns the mean number of cells programmed per line
 // write, the paper's figure of merit (§3.3), including metadata cells.
 func (s Stats) AvgFlipsPerWrite() float64 {

@@ -260,6 +260,9 @@ func (s *SecurityRefresh) ResetStats() { s.inner.ResetStats() }
 // PositionWrites implements pcmdev.Array.
 func (s *SecurityRefresh) PositionWrites() []uint64 { return s.inner.PositionWrites() }
 
+// LineWrites implements pcmdev.Array: physical per-line write counts.
+func (s *SecurityRefresh) LineWrites() []uint64 { return s.inner.LineWrites() }
+
 // Rounds returns completed refresh sweeps.
 func (s *SecurityRefresh) Rounds() uint64 { return s.rounds }
 

@@ -322,6 +322,10 @@ func (s *StartGap) ResetStats() { s.inner.ResetStats() }
 // PositionWrites implements pcmdev.Array.
 func (s *StartGap) PositionWrites() []uint64 { return s.inner.PositionWrites() }
 
+// LineWrites implements pcmdev.Array: the physical per-line distribution,
+// i.e. after Start-Gap remapping — the profile VWL flattens.
+func (s *StartGap) LineWrites() []uint64 { return s.inner.LineWrites() }
+
 // GapMoves returns how many gap movements have occurred.
 func (s *StartGap) GapMoves() uint64 { return s.gapMoves }
 

@@ -1,11 +1,16 @@
 GO ?= go
 
-.PHONY: check build vet test race bench-smoke bench-writehot
+.PHONY: check fmt-check build vet test race bench-smoke bench-writehot fidelity fidelity-report
 
 # check is the pre-merge gate: static checks, full tests under the race
 # detector, and a short smoke of the steady-state write benchmark so a
 # regression that reintroduces hot-path allocations fails fast.
-check: vet build test race bench-smoke
+check: fmt-check vet build test race bench-smoke
+
+# fmt-check fails (listing the offenders) when any file is not gofmt-clean.
+fmt-check:
+	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
 
 build:
 	$(GO) build ./...
@@ -28,3 +33,14 @@ bench-smoke:
 # bench-writehot regenerates the numbers behind BENCH_writehot.json.
 bench-writehot:
 	$(GO) test -run '^$$' -bench BenchmarkWriteHot -benchmem .
+
+# fidelity runs the paper-fidelity gate at the reduced CI scale: every
+# EXPERIMENTS.md headline value is checked against the paper with
+# calibrated tolerances; exits non-zero on any violation.
+fidelity:
+	$(GO) run ./cmd/deucereport check -experiment all -writebacks 6000 -lines 512
+
+# fidelity-report additionally writes the fidelity matrix as a markdown
+# artifact (CI uploads fidelity-report.md).
+fidelity-report:
+	$(GO) run ./cmd/deucereport check -experiment all -writebacks 6000 -lines 512 -out fidelity-report.md

@@ -32,6 +32,7 @@ func main() {
 		seed       = flag.Int64("seed", 1, "workload generator seed")
 		format     = flag.String("format", "text", "output format: text or csv")
 		outDir     = flag.String("outdir", "", "also write each experiment's output (and a runmeta.json manifest) into this directory")
+		metricsOut = flag.String("metrics", "", "export suite-level metrics (per-experiment wall time, cell counts) as an obs snapshot JSON to this file")
 		progress   = flag.Bool("progress", false, "report live grid-cell progress/throughput/ETA on stderr")
 		httpAddr   = flag.String("http", "", "serve expvar and pprof on this address (e.g. :6060) while experiments run")
 		list       = flag.Bool("list", false, "list experiments and exit")
@@ -132,11 +133,24 @@ func main() {
 		os.Exit(1)
 	}
 
+	// Suite-level metrics: grid sweeps clear the per-run Metrics hook (it
+	// is single-writer), so deucebench records what the suite itself
+	// observes — per-experiment wall time and the run count — for the
+	// regression ledger to trend across commits.
+	var reg *obs.Registry
+	if *metricsOut != "" {
+		reg = obs.NewRegistry()
+	}
+
 	run := func(e exp.Experiment) error {
 		start := time.Now()
 		t, err := e.Run(rc)
 		if err != nil {
 			return err
+		}
+		if reg != nil {
+			reg.Counter("experiments_run").Inc()
+			reg.Gauge("duration_ms/" + e.ID).Set(float64(time.Since(start).Milliseconds()))
 		}
 		var body string
 		switch *format {
@@ -193,6 +207,15 @@ func main() {
 
 	if stopWatch != nil {
 		stopWatch()
+	}
+	if reg != nil {
+		if err := reg.Snapshot().WriteJSONFile(*metricsOut); err != nil {
+			fail("", err)
+		}
+		if meta != nil {
+			meta.AddOutput(*metricsOut)
+		}
+		fmt.Fprintf(os.Stderr, "deucebench: wrote %s\n", *metricsOut)
 	}
 	if meta != nil {
 		path := filepath.Join(*outDir, "runmeta.json")

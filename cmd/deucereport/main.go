@@ -1,0 +1,417 @@
+// Command deucereport is the repository's fidelity gate and regression
+// ledger front-end. It turns EXPERIMENTS.md's "measured vs paper" summary
+// table from prose into an enforced contract (internal/fidelity) and keeps
+// a cross-run JSONL ledger of metrics with noise-aware comparisons
+// (internal/regress).
+//
+// Usage:
+//
+//	deucereport check -experiment all            # run the fidelity gate
+//	deucereport check -experiment fig10,fig15 -writebacks 6000 -lines 512
+//	deucereport check -experiment all -ledger runs.jsonl -id $(git rev-parse --short HEAD)
+//	deucereport record -ledger runs.jsonl -id pr-7 -bench BENCH_writehot.json -metrics out.json
+//	deucereport compare -ledger runs.jsonl HEAD~1 HEAD
+//	deucereport compare -ledger runs.jsonl -baseline 3 HEAD
+//	deucereport report -ledger runs.jsonl -out report.md
+//
+// check exits non-zero when any paper expectation fails, naming the
+// figure, metric, measured value, paper value and tolerance — the CI
+// fidelity job is exactly `deucereport check` at reduced scale.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"time"
+
+	"deuce/internal/exp"
+	"deuce/internal/fidelity"
+	"deuce/internal/regress"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	var err error
+	switch os.Args[1] {
+	case "check":
+		err = cmdCheck(os.Args[2:])
+	case "record":
+		err = cmdRecord(os.Args[2:])
+	case "compare":
+		err = cmdCompare(os.Args[2:])
+	case "report":
+		err = cmdReport(os.Args[2:])
+	case "-h", "-help", "--help", "help":
+		usage()
+		return
+	default:
+		fmt.Fprintf(os.Stderr, "deucereport: unknown subcommand %q\n\n", os.Args[1])
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "deucereport:", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprint(os.Stderr, `deucereport — paper-fidelity gate and cross-run regression ledger
+
+subcommands:
+  check    run experiments and verdict every paper expectation (exit 1 on violation)
+  record   append a run's metrics (bench json/text, obs snapshots, runmeta) to the ledger
+  compare  benchstat-style per-metric deltas between two ledger runs
+  report   markdown artifact: fidelity matrix + cross-run trend sparklines
+
+run 'deucereport <subcommand> -h' for flags.
+`)
+}
+
+// sizeFlags registers the experiment-scale flags shared by check and
+// report. Defaults of 0 mean the exp package defaults (30000/2048); CI
+// passes -writebacks 6000 -lines 512 for the reduced-scale gate the
+// tolerances are calibrated for.
+func sizeFlags(fs *flag.FlagSet) (writebacks, lines, warmup *int, seed *int64) {
+	writebacks = fs.Int("writebacks", 0, "measured writebacks per workload (0 = default 30000)")
+	lines = fs.Int("lines", 0, "working-set lines per core (0 = default 2048)")
+	warmup = fs.Int("warmup", 0, "warm-up writebacks (0 = default 2x working set)")
+	seed = fs.Int64("seed", 1, "workload generator seed")
+	return
+}
+
+// selectExpectations resolves the -experiment flag: "all" (or empty) means
+// the full table, otherwise a comma-separated list of experiment IDs.
+func selectExpectations(spec string) ([]fidelity.Expectation, error) {
+	all := fidelity.Expectations()
+	if spec == "" || spec == "all" {
+		return all, nil
+	}
+	ids := strings.Split(spec, ",")
+	for i := range ids {
+		ids[i] = strings.TrimSpace(ids[i])
+	}
+	// Reject unknown IDs loudly: a typo must not silently check nothing.
+	known := make(map[string]bool)
+	for _, id := range fidelity.ExperimentIDs(all) {
+		known[id] = true
+	}
+	for _, id := range ids {
+		if !known[id] {
+			return nil, fmt.Errorf("no expectations for experiment %q (known: %s)",
+				id, strings.Join(fidelity.ExperimentIDs(all), ", "))
+		}
+	}
+	exps := fidelity.Filter(all, ids)
+	return exps, nil
+}
+
+func cmdCheck(args []string) error {
+	fs := flag.NewFlagSet("check", flag.ExitOnError)
+	experiment := fs.String("experiment", "all", "experiment IDs to gate: 'all' or a comma-separated list (fig5,fig10,...)")
+	writebacks, lines, warmup, seed := sizeFlags(fs)
+	out := fs.String("out", "", "also write the fidelity matrix as markdown to this file")
+	ledger := fs.String("ledger", "", "append the measured values to this JSONL ledger (requires -id)")
+	id := fs.String("id", "", "run ID to record under with -ledger")
+	verbose := fs.Bool("v", false, "print every verdict, not just failures")
+	fs.Parse(args)
+
+	exps, err := selectExpectations(*experiment)
+	if err != nil {
+		return err
+	}
+	rc := exp.RunConfig{Writebacks: *writebacks, Lines: *lines, Warmup: *warmup, Seed: *seed}
+
+	start := time.Now()
+	report, tables, err := fidelity.Check(rc, exps)
+	if err != nil {
+		return err
+	}
+	elapsed := time.Since(start).Round(time.Millisecond)
+
+	if *verbose {
+		for _, v := range report.Verdicts {
+			mark := "pass"
+			if !v.Pass {
+				mark = "FAIL"
+			}
+			fmt.Printf("  [%s] %s\n", mark, v.Detail)
+		}
+	}
+	for _, v := range report.Failures() {
+		fmt.Fprintf(os.Stderr, "FAIL %s\n", v.Detail)
+	}
+	for _, e := range report.Missing {
+		fmt.Fprintf(os.Stderr, "FAIL %s: experiment exported no value under this metric name\n", e.Name())
+	}
+	fmt.Printf("%s (%d experiments in %v)\n", report.Summary(), len(tables), elapsed)
+
+	if *out != "" {
+		md := reportHeader("deucereport check", rc) + report.Markdown()
+		if err := writeFileMkdir(*out, md); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s\n", *out)
+	}
+	if *ledger != "" {
+		if *id == "" {
+			return fmt.Errorf("-ledger requires -id")
+		}
+		run := regress.Run{ID: *id, Source: "deucereport check"}
+		for expID, t := range tables {
+			regress.IngestValues(&run, expID, t.Values)
+		}
+		if err := regress.Append(*ledger, run); err != nil {
+			return err
+		}
+		fmt.Printf("recorded %d metrics as %q in %s\n", len(run.Metrics), *id, *ledger)
+	}
+	if !report.Pass() {
+		return fmt.Errorf("%d of %d expectations violated", len(report.Failures())+len(report.Missing),
+			len(report.Verdicts)+len(report.Missing))
+	}
+	return nil
+}
+
+// multiFlag collects a repeatable -flag value.
+type multiFlag []string
+
+func (m *multiFlag) String() string     { return strings.Join(*m, ",") }
+func (m *multiFlag) Set(v string) error { *m = append(*m, v); return nil }
+
+func cmdRecord(args []string) error {
+	fs := flag.NewFlagSet("record", flag.ExitOnError)
+	ledger := fs.String("ledger", "", "JSONL ledger path (required)")
+	id := fs.String("id", "", "run ID (required; a commit SHA, PR number, or label)")
+	source := fs.String("source", "", "what produced the metrics (tool, CI job)")
+	commit := fs.String("commit", "", "VCS revision (defaults to the runmeta build revision when ingested)")
+	var metrics, bench, benchtext, runmeta multiFlag
+	fs.Var(&metrics, "metrics", "obs snapshot JSON (the cmds' -metrics output); repeatable")
+	fs.Var(&bench, "bench", "BENCH_writehot.json-style benchmark record; repeatable")
+	fs.Var(&benchtext, "benchtext", "raw 'go test -bench' output file; repeatable")
+	fs.Var(&runmeta, "runmeta", "runmeta.json manifest; repeatable")
+	fs.Parse(args)
+
+	if *ledger == "" || *id == "" {
+		return fmt.Errorf("record requires -ledger and -id")
+	}
+	run := regress.Run{ID: *id, Source: *source, Commit: *commit}
+	ingest := func(paths []string, f func(*regress.Run, *os.File) error) error {
+		for _, p := range paths {
+			file, err := os.Open(p)
+			if err != nil {
+				return err
+			}
+			err = f(&run, file)
+			file.Close()
+			if err != nil {
+				return fmt.Errorf("%s: %w", p, err)
+			}
+		}
+		return nil
+	}
+	steps := []struct {
+		paths []string
+		f     func(*regress.Run, *os.File) error
+	}{
+		{metrics, func(r *regress.Run, f *os.File) error { return regress.IngestSnapshotJSON(r, f) }},
+		{bench, func(r *regress.Run, f *os.File) error { return regress.IngestBenchJSON(r, f) }},
+		{benchtext, func(r *regress.Run, f *os.File) error { return regress.IngestBenchText(r, f) }},
+		{runmeta, func(r *regress.Run, f *os.File) error { return regress.IngestRunMetaJSON(r, f) }},
+	}
+	for _, s := range steps {
+		if err := ingest(s.paths, s.f); err != nil {
+			return err
+		}
+	}
+	if len(run.Metrics) == 0 {
+		return fmt.Errorf("no metrics ingested (pass at least one of -metrics, -bench, -benchtext, -runmeta)")
+	}
+	if err := regress.Append(*ledger, run); err != nil {
+		return err
+	}
+	fmt.Printf("recorded %d metrics as %q in %s\n", len(run.Metrics), *id, *ledger)
+	return nil
+}
+
+func cmdCompare(args []string) error {
+	fs := flag.NewFlagSet("compare", flag.ExitOnError)
+	ledger := fs.String("ledger", "", "JSONL ledger path (required)")
+	threshold := fs.Float64("threshold", 2.0, "percent change below which a metric counts as noise")
+	baselineN := fs.Int("baseline", 0, "compare NEW against a median-of-last-N baseline instead of a named OLD run")
+	all := fs.Bool("all", false, "list every metric, including ones within the noise threshold")
+	out := fs.String("out", "", "also write the comparison as markdown to this file")
+	fs.Parse(args)
+
+	if *ledger == "" {
+		return fmt.Errorf("compare requires -ledger")
+	}
+	runs, err := regress.Load(*ledger)
+	if err != nil {
+		return err
+	}
+	var oldRun, newRun regress.Run
+	switch {
+	case *baselineN > 0 && fs.NArg() == 1:
+		// Baseline mode: the new run is the named arg; the baseline is the
+		// median of the N runs before it (noise-aware, per benchstat).
+		newRun, err = regress.Find(runs, fs.Arg(0))
+		if err != nil {
+			return err
+		}
+		prior := priorRuns(runs, newRun, *baselineN)
+		if len(prior) == 0 {
+			return fmt.Errorf("no prior runs to form a baseline from")
+		}
+		oldRun, err = regress.Baseline(prior, min(2, len(prior)))
+		if err != nil {
+			return err
+		}
+	case fs.NArg() == 2:
+		oldRun, err = regress.Find(runs, fs.Arg(0))
+		if err != nil {
+			return err
+		}
+		newRun, err = regress.Find(runs, fs.Arg(1))
+		if err != nil {
+			return err
+		}
+	default:
+		return fmt.Errorf("usage: compare -ledger L OLD NEW   or   compare -ledger L -baseline N NEW")
+	}
+
+	deltas := regress.Compare(oldRun, newRun)
+	md := regress.CompareMarkdown(oldRun.ID, newRun.ID, deltas, *threshold, !*all)
+	fmt.Print(md)
+	if *out != "" {
+		if err := writeFileMkdir(*out, md); err != nil {
+			return err
+		}
+		fmt.Printf("\nwrote %s\n", *out)
+	}
+	sig := 0
+	for _, d := range deltas {
+		if d.Significant(*threshold) {
+			sig++
+		}
+	}
+	fmt.Printf("\n%d of %d metrics changed beyond ±%.3g%%\n", sig, len(deltas), *threshold)
+	return nil
+}
+
+// priorRuns returns up to n runs strictly before the given run in ledger
+// order (matching by identity on the latest entry with that ID).
+func priorRuns(runs []regress.Run, ref regress.Run, n int) []regress.Run {
+	end := len(runs)
+	for i := len(runs) - 1; i >= 0; i-- {
+		if runs[i].ID == ref.ID && runs[i].Time.Equal(ref.Time) {
+			end = i
+			break
+		}
+	}
+	start := end - n
+	if start < 0 {
+		start = 0
+	}
+	return runs[start:end]
+}
+
+func cmdReport(args []string) error {
+	fs := flag.NewFlagSet("report", flag.ExitOnError)
+	ledger := fs.String("ledger", "", "JSONL ledger to render trends from (optional)")
+	out := fs.String("out", "report.md", "markdown output path")
+	experiment := fs.String("experiment", "all", "experiment IDs for the fidelity matrix ('none' to skip running experiments)")
+	writebacks, lines, warmup, seed := sizeFlags(fs)
+	width := fs.Int("width", 32, "sparkline width in the trend table")
+	filter := fs.String("filter", "", "only trend metrics containing this substring")
+	fs.Parse(args)
+
+	var b strings.Builder
+	b.WriteString("# DEUCE reproduction report\n\n")
+	rc := exp.RunConfig{Writebacks: *writebacks, Lines: *lines, Warmup: *warmup, Seed: *seed}
+
+	pass := true
+	if *experiment != "none" {
+		exps, err := selectExpectations(*experiment)
+		if err != nil {
+			return err
+		}
+		start := time.Now()
+		report, _, err := fidelity.Check(rc, exps)
+		if err != nil {
+			return err
+		}
+		pass = report.Pass()
+		fmt.Printf("%s (in %v)\n", report.Summary(), time.Since(start).Round(time.Millisecond))
+		b.WriteString("## Fidelity matrix\n\n")
+		b.WriteString(reportHeader("", rc))
+		b.WriteString(report.Markdown())
+		b.WriteString("\n" + report.Summary() + "\n\n")
+	}
+
+	if *ledger != "" {
+		runs, err := regress.Load(*ledger)
+		if err != nil {
+			return err
+		}
+		if len(runs) > 0 {
+			names := regress.MetricNames(runs)
+			if *filter != "" {
+				kept := names[:0]
+				for _, n := range names {
+					if strings.Contains(n, *filter) {
+						kept = append(kept, n)
+					}
+				}
+				names = kept
+			}
+			sort.Strings(names)
+			fmt.Fprintf(&b, "## Cross-run trends\n\n%d runs in `%s` (oldest → newest):\n\n",
+				len(runs), filepath.Base(*ledger))
+			b.WriteString(regress.TrendMarkdown(runs, names, *width))
+			b.WriteString("\n")
+		}
+	}
+
+	if err := writeFileMkdir(*out, b.String()); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s\n", *out)
+	if !pass {
+		return fmt.Errorf("fidelity check failed (see %s)", *out)
+	}
+	return nil
+}
+
+// reportHeader stamps the scale a fidelity matrix was measured at, so a
+// reduced-scale CI artifact cannot be mistaken for a full-scale run.
+func reportHeader(title string, rc exp.RunConfig) string {
+	wb, ln := rc.Writebacks, rc.Lines
+	if wb == 0 {
+		wb = 30000
+	}
+	if ln == 0 {
+		ln = 2048
+	}
+	s := fmt.Sprintf("Scale: %d writebacks, %d lines, seed %d.\n\n", wb, ln, rc.Seed)
+	if title != "" {
+		s = title + "\n\n" + s
+	}
+	return s
+}
+
+func writeFileMkdir(path, content string) error {
+	if dir := filepath.Dir(path); dir != "." && dir != "" {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return err
+		}
+	}
+	return os.WriteFile(path, []byte(content), 0o644)
+}

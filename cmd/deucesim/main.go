@@ -54,6 +54,7 @@ func run() error {
 		tracePrefix  = flag.String("trace", "", "record per-write events to PREFIX.jsonl and PREFIX.trace.json (Chrome trace)")
 		traceSample  = flag.Int("tracesample", 1, "keep every Nth write event in the -trace stream (epoch resets always kept)")
 		traceCap     = flag.Int("tracecap", 1<<16, "event-trace ring capacity (oldest events drop beyond this)")
+		metricsPath  = flag.String("metrics", "", "export the run's obs registry (write_slots/write_flips histograms) as JSON to this file")
 		heatmapPath  = flag.String("heatmap", "", "export periodic per-line write-count snapshots as CSV to this file")
 		heatmapEvery = flag.Int("heatmapevery", 0, "measured writebacks between heatmap snapshots (0 = writebacks/20)")
 		profilePath  = flag.String("profile", "", "load a custom workload profile from a JSON file (overrides -workload)")
@@ -108,6 +109,9 @@ func run() error {
 		if *heatmapPath != "" {
 			return fmt.Errorf("-heatmap is not supported with -replay (replay has no measured-window boundary)")
 		}
+		if *metricsPath != "" {
+			return fmt.Errorf("-metrics is not supported with -replay (replay has no measured-window boundary)")
+		}
 		f, err := os.Open(*replayPath)
 		if err != nil {
 			return err
@@ -122,7 +126,7 @@ func run() error {
 		fmt.Printf("scheme     %s  (epoch %d, word %dB)\n", res.Scheme, *epoch, *word)
 		fmt.Printf("flips      %.1f%% of line cells per write\n", res.FlipFrac*100)
 		fmt.Printf("slots      %.2f write slots per write\n", res.SlotAvg)
-		return writeObsOutputs(meta, tr, nil, *tracePrefix, "")
+		return writeObsOutputs(meta, tr, nil, nil, *tracePrefix, "", "")
 	}
 
 	var prof workload.Profile
@@ -151,6 +155,10 @@ func run() error {
 			hmEvery = *writebacks / 20
 		}
 	}
+	var reg *obs.Registry
+	if *metricsPath != "" {
+		reg = obs.NewRegistry()
+	}
 	rc := exp.RunConfig{
 		Writebacks:   *writebacks,
 		Warmup:       *warmup,
@@ -159,6 +167,7 @@ func run() error {
 		Trace:        tr,
 		Heatmap:      hm,
 		HeatmapEvery: hmEvery,
+		Metrics:      reg,
 	}
 	meta.Config = map[string]interface{}{
 		"workload": prof.Name, "scheme": *schemeName, "epoch": *epoch,
@@ -207,14 +216,24 @@ func run() error {
 	if hm != nil {
 		fmt.Printf("heatmap    %s\n", hm.Summary(48))
 	}
-	return writeObsOutputs(meta, tr, hm, *tracePrefix, *heatmapPath)
+	if reg != nil {
+		// Scalar outcomes ride along with the per-write histograms so the
+		// snapshot alone reconstructs the run's headline numbers (and the
+		// regression ledger can ingest them as metrics).
+		reg.Gauge("flip_frac").Set(res.FlipFrac)
+		reg.Gauge("slot_avg").Set(res.SlotAvg)
+		reg.Gauge("wear_skew").Set(wp.Skew())
+		reg.Counter("writebacks").Add(res.Writes)
+	}
+	return writeObsOutputs(meta, tr, hm, reg, *tracePrefix, *heatmapPath, *metricsPath)
 }
 
 // writeObsOutputs materializes the requested observability artifacts: the
-// event trace as JSONL and Chrome-trace JSON, the wear heatmap as CSV, and
-// — whenever at least one artifact was produced — a runmeta.json manifest
-// next to the first output so the run is reconstructible later.
-func writeObsOutputs(meta *obs.RunMeta, tr *obs.Trace, hm *obs.Heatmap, tracePrefix, heatmapPath string) error {
+// event trace as JSONL and Chrome-trace JSON, the wear heatmap as CSV, the
+// metrics-registry snapshot as JSON, and — whenever at least one artifact
+// was produced — a runmeta.json manifest next to the first output so the
+// run is reconstructible later.
+func writeObsOutputs(meta *obs.RunMeta, tr *obs.Trace, hm *obs.Heatmap, reg *obs.Registry, tracePrefix, heatmapPath, metricsPath string) error {
 	writeFile := func(path string, emit func(f *os.File) error) error {
 		if dir := filepath.Dir(path); dir != "." {
 			if err := os.MkdirAll(dir, 0o755); err != nil {
@@ -251,6 +270,13 @@ func writeObsOutputs(meta *obs.RunMeta, tr *obs.Trace, hm *obs.Heatmap, tracePre
 			return err
 		}
 		fmt.Printf("heatmap    %d snapshots -> %s\n", hm.Rows(), heatmapPath)
+	}
+	if reg != nil && metricsPath != "" {
+		if err := reg.Snapshot().WriteJSONFile(metricsPath); err != nil {
+			return err
+		}
+		meta.AddOutput(metricsPath)
+		fmt.Printf("metrics    %s\n", metricsPath)
 	}
 	if len(meta.Outputs) == 0 {
 		return nil

@@ -50,6 +50,12 @@ func TestWriteZeroAllocsPlainDCW(t *testing.T) { testWriteAllocs(t, KindPlainDCW
 func TestWriteZeroAllocsPlainFNW(t *testing.T) { testWriteAllocs(t, KindPlainFNW, 0) }
 func TestWriteZeroAllocsAddrPad(t *testing.T)  { testWriteAllocs(t, KindAddrPad, 0) }
 
+// INVMM's rotating-line workload displaces a hot line on every write, so
+// this exercises the cooling-write path (PeekInto + EncryptInto through
+// the shared scratch, SlotFlips staged in the scheme-owned buffer, the
+// preallocated intrusive LRU) that used to cost 5 allocations per op.
+func TestWriteZeroAllocsINVMM(t *testing.T) { testWriteAllocs(t, KindINVMM, 0) }
+
 // The pad cache must not reintroduce allocations once its slots are warm.
 func TestWriteZeroAllocsDeuceWithPadCache(t *testing.T) {
 	s, err := New(KindDeuce, Params{Lines: 8, PadCacheEntries: 256})

@@ -2,7 +2,6 @@ package core
 
 import (
 	"bufio"
-	"container/list"
 	"crypto/sha256"
 	"encoding/binary"
 	"fmt"
@@ -201,7 +200,6 @@ func (s *INVMM) LoadState(r io.Reader) error {
 	if err := s.loadState(s.Name(), r); err != nil {
 		return err
 	}
-	s.lru.Init()
-	s.hot = make(map[uint64]*list.Element)
+	s.lru = newLineLRU(s.p.Lines)
 	return nil
 }

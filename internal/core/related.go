@@ -1,8 +1,6 @@
 package core
 
 import (
-	"container/list"
-
 	"deuce/internal/bitutil"
 	"deuce/internal/pcmdev"
 )
@@ -90,8 +88,13 @@ func (s *AddrPad) Read(line uint64) []byte {
 type INVMM struct {
 	*base
 	capacity int
-	lru      *list.List               // front = most recently written hot line
-	hot      map[uint64]*list.Element // line -> lru node
+	lru      *lineLRU
+	// slotScratch backs WriteResult.SlotFlips on writes that trigger a
+	// cooling re-encryption: both writes' SlotFlips alias the device's
+	// scratch, which the second write overwrites, so the merged view
+	// must live in a scheme-owned buffer. Pre-sized for two full lines
+	// of slots, keeping the write path allocation-free.
+	slotScratch []int
 }
 
 // NewINVMM constructs an i-NVMM-style partially encrypted memory. The hot
@@ -109,10 +112,10 @@ func NewINVMM(p Params) (*INVMM, error) {
 		capacity = 1
 	}
 	return &INVMM{
-		base:     b,
-		capacity: capacity,
-		lru:      list.New(),
-		hot:      make(map[uint64]*list.Element),
+		base:        b,
+		capacity:    capacity,
+		lru:         newLineLRU(b.p.Lines),
+		slotScratch: make([]int, 0, 2*b.p.LineBytes*8/pcmdev.SlotBits),
 	}, nil
 }
 
@@ -125,6 +128,16 @@ func (s *INVMM) OverheadBits() int { return 0 }
 
 // HotLines returns the current number of plaintext-resident lines.
 func (s *INVMM) HotLines() int { return s.lru.Len() }
+
+// coolLine re-encrypts a line displaced from the hot set in place, using
+// the shared write-path scratch buffers, and returns the device cost. The
+// returned result's SlotFlips aliases the device scratch.
+func (s *INVMM) coolLine(line uint64) pcmdev.WriteResult {
+	s.dev.PeekInto(line, s.scr.oldData, nil)
+	ctr, _ := s.ctrs.Increment(line)
+	s.gen.EncryptInto(s.scr.newData, line, ctr, s.scr.oldData)
+	return s.dev.Write(line, s.scr.newData, nil)
+}
 
 // Install implements Scheme: initial placement is encrypted (cold).
 func (s *INVMM) Install(line uint64, plaintext []byte) {
@@ -147,42 +160,29 @@ func (s *INVMM) Write(line uint64, plaintext []byte) pcmdev.WriteResult {
 	s.initLine(line)
 
 	res := s.dev.Write(line, plaintext, nil) // hot lines live in plain text
-	s.touch(line)
+	s.lru.Touch(line)
 
 	if s.lru.Len() > s.capacity {
-		victim := s.lru.Back()
-		vline := victim.Value.(uint64)
-		s.lru.Remove(victim)
-		delete(s.hot, vline)
-		// Cooling: encrypt the victim in place. The re-encryption
+		// Cooling: encrypt the LRU victim in place. The re-encryption
 		// programs cells like any write and is part of the scheme's
-		// cost. The cool write below reuses the device's SlotFlips
-		// scratch, so detach res.SlotFlips from it first.
-		res.SlotFlips = append([]int(nil), res.SlotFlips...)
-		plainV, _ := s.dev.Peek(vline)
-		ctr, _ := s.ctrs.Increment(vline)
-		cool := s.dev.Write(vline, s.gen.Encrypt(vline, ctr, plainV), nil)
+		// cost. Stage SlotFlips in the scheme-owned buffer before the
+		// cool write recycles the device scratch.
+		s.slotScratch = append(s.slotScratch[:0], res.SlotFlips...)
+		cool := s.coolLine(s.lru.Evict())
 		res.DataFlips += cool.DataFlips
 		res.MetaFlips += cool.MetaFlips
 		res.Slots += cool.Slots
-		res.SlotFlips = append(res.SlotFlips, cool.SlotFlips...)
+		s.slotScratch = append(s.slotScratch, cool.SlotFlips...)
+		res.SlotFlips = s.slotScratch
 	}
 	return s.observe(s.Name(), line, res, false)
-}
-
-func (s *INVMM) touch(line uint64) {
-	if el, ok := s.hot[line]; ok {
-		s.lru.MoveToFront(el)
-		return
-	}
-	s.hot[line] = s.lru.PushFront(line)
 }
 
 // Read implements Scheme.
 func (s *INVMM) Read(line uint64) []byte {
 	s.initLine(line)
 	data, _ := s.dev.Read(line)
-	if _, isHot := s.hot[line]; isHot {
+	if s.lru.Contains(line) {
 		return data
 	}
 	return s.gen.Decrypt(line, s.ctrs.Get(line), data)
@@ -193,14 +193,7 @@ func (s *INVMM) Read(line uint64) []byte {
 // of vulnerability, that incremental encryption defers to power-off.
 func (s *INVMM) PowerDown() (flips int, err error) {
 	for s.lru.Len() > 0 {
-		el := s.lru.Front()
-		line := el.Value.(uint64)
-		s.lru.Remove(el)
-		delete(s.hot, line)
-		plain, _ := s.dev.Peek(line)
-		ctr, _ := s.ctrs.Increment(line)
-		res := s.dev.Write(line, s.gen.Encrypt(line, ctr, plain), nil)
-		flips += res.TotalFlips()
+		flips += s.coolLine(s.lru.Evict()).TotalFlips()
 	}
 	return flips, nil
 }
@@ -208,8 +201,92 @@ func (s *INVMM) PowerDown() (flips int, err error) {
 // Exposed reports whether a line currently sits in the array in plain text
 // — the stolen-DIMM exposure window examples and tests assert on.
 func (s *INVMM) Exposed(line uint64) bool {
-	_, isHot := s.hot[line]
-	return isHot
+	return s.lru.Contains(line)
+}
+
+// lineLRU is an intrusive LRU over line indices: the prev/next links for
+// every possible line are preallocated at construction, so the steady-state
+// touch/evict cycle of the INVMM hot set allocates nothing — container/list
+// here used to cost one list.Element (and a map insert) per cooling write,
+// the allocation BENCH_writehot.json flagged.
+type lineLRU struct {
+	prev, next []int32 // node links per line; lruOut marks "not in set"
+	head, tail int32   // most / least recently used; lruNone when empty
+	size       int
+}
+
+const (
+	lruNone = int32(-1) // end-of-list sentinel
+	lruOut  = int32(-2) // line not currently in the set
+)
+
+func newLineLRU(lines int) *lineLRU {
+	l := &lineLRU{
+		prev: make([]int32, lines),
+		next: make([]int32, lines),
+		head: lruNone,
+		tail: lruNone,
+	}
+	for i := range l.prev {
+		l.prev[i], l.next[i] = lruOut, lruOut
+	}
+	return l
+}
+
+// Len returns the number of lines in the set.
+func (l *lineLRU) Len() int { return l.size }
+
+// Contains reports whether the line is in the set.
+func (l *lineLRU) Contains(line uint64) bool { return l.prev[line] != lruOut }
+
+// Touch inserts the line at the front (most recently used), moving it
+// there if already present.
+func (l *lineLRU) Touch(line uint64) {
+	n := int32(line)
+	if l.prev[n] != lruOut {
+		if l.head == n {
+			return
+		}
+		l.unlink(n)
+	} else {
+		l.size++
+	}
+	l.prev[n] = lruNone
+	l.next[n] = l.head
+	if l.head != lruNone {
+		l.prev[l.head] = n
+	}
+	l.head = n
+	if l.tail == lruNone {
+		l.tail = n
+	}
+}
+
+// Evict removes and returns the least recently used line. It panics on an
+// empty set (callers guard with Len).
+func (l *lineLRU) Evict() uint64 {
+	if l.tail == lruNone {
+		panic("core: Evict on empty lineLRU")
+	}
+	n := l.tail
+	l.unlink(n)
+	l.prev[n], l.next[n] = lruOut, lruOut
+	l.size--
+	return uint64(n)
+}
+
+// unlink detaches a present node from the list without marking it out.
+func (l *lineLRU) unlink(n int32) {
+	if l.prev[n] != lruNone {
+		l.next[l.prev[n]] = l.next[n]
+	} else {
+		l.head = l.next[n]
+	}
+	if l.next[n] != lruNone {
+		l.prev[l.next[n]] = l.prev[n]
+	} else {
+		l.tail = l.prev[n]
+	}
 }
 
 var (

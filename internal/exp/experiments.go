@@ -20,6 +20,17 @@ type Experiment struct {
 	Run func(RunConfig) (*Table, error)
 }
 
+// RunTable executes the experiment and stamps the result with the
+// experiment's ID, so downstream consumers (JSON output, the fidelity
+// gate, the regression ledger) can key on it.
+func (e Experiment) RunTable(rc RunConfig) (*Table, error) {
+	t, err := e.Run(rc)
+	if t != nil {
+		t.ID = e.ID
+	}
+	return t, err
+}
+
 // Experiments returns every reproduction experiment, in paper order.
 func Experiments() []Experiment {
 	return []Experiment{
@@ -93,7 +104,9 @@ func flipGrid(title, note string, cols []cell1, rc RunConfig) (*Table, error) {
 	}
 	avgCells := make([]interface{}, len(cols))
 	for ci := range cols {
-		avgCells[ci] = pct(avgs[ci] / float64(len(profs)))
+		avg := avgs[ci] / float64(len(profs))
+		avgCells[ci] = pct(avg)
+		t.SetValue("flips", cols[ci].label, avg)
 	}
 	t.AddRow("AVERAGE", avgCells...)
 	return t, nil
@@ -183,9 +196,12 @@ func Table3(rc RunConfig) (*Table, error) {
 		for wi := range profs {
 			sum += grid[wi][ci].FlipFrac
 		}
+		avg := sum / float64(len(profs))
 		t.AddRow(c.label,
 			fmt.Sprintf("%d bits/line", s.OverheadBits()),
-			pct(sum/float64(len(profs))))
+			pct(avg))
+		t.SetValue("flips", c.label, avg)
+		t.SetValue("overhead_bits", c.label, float64(s.OverheadBits()))
 	}
 	return t, nil
 }
@@ -216,6 +232,7 @@ func Fig12(rc RunConfig) (*Table, error) {
 			fmt.Sprintf("%.1fx", maxOf(norm)),
 			fmt.Sprintf("%.1fx", stats.Percentile(norm, 99)),
 			fmt.Sprintf("%.1fx", stats.Percentile(norm, 50)))
+		t.SetValue("skew_max", name, maxOf(norm))
 	}
 	return t, nil
 }
@@ -279,7 +296,9 @@ func Fig14(rc RunConfig) (*Table, error) {
 	}
 	avg := make([]interface{}, len(cols))
 	for ci := range cols {
-		avg[ci] = fmt.Sprintf("%.2fx", stats.GeoMean(geos[ci]))
+		g := stats.GeoMean(geos[ci])
+		avg[ci] = fmt.Sprintf("%.2fx", g)
+		t.SetValue("lifetime", cols[ci].label, g)
 	}
 	t.AddRow("GEOMEAN", avg...)
 	return t, nil
@@ -317,7 +336,9 @@ func Fig15(rc RunConfig) (*Table, error) {
 	}
 	avgCells := make([]interface{}, len(cols))
 	for ci := range cols {
-		avgCells[ci] = fmt.Sprintf("%.2f", avgs[ci]/float64(len(profs)))
+		avg := avgs[ci] / float64(len(profs))
+		avgCells[ci] = fmt.Sprintf("%.2f", avg)
+		t.SetValue("slots", cols[ci].label, avg)
 	}
 	t.AddRow("AVERAGE", avgCells...)
 	return t, nil

@@ -49,16 +49,16 @@ func TestRunFlipsObservability(t *testing.T) {
 	}
 	snap := reg.Snapshot()
 	for _, name := range []string{"write_slots", "write_flips"} {
-		buckets, ok := snap.Hists[name]
+		h, ok := snap.Hists[name]
 		if !ok {
 			t.Fatalf("histogram %q missing from registry", name)
 		}
 		var n uint64
-		for _, c := range buckets {
+		for _, c := range h.Counts {
 			n += c
 		}
-		if n != 250 {
-			t.Fatalf("histogram %q holds %d observations, want 250", name, n)
+		if n != 250 || h.N != 250 {
+			t.Fatalf("histogram %q holds %d observations (N=%d), want 250", name, n, h.N)
 		}
 	}
 }

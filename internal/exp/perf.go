@@ -178,7 +178,9 @@ func Fig16(rc RunConfig) (*Table, error) {
 	}
 	avg := make([]interface{}, len(perfCols))
 	for ci := range perfCols {
-		avg[ci] = fmt.Sprintf("%.2f", stats.GeoMean(geo[ci]))
+		g := stats.GeoMean(geo[ci])
+		avg[ci] = fmt.Sprintf("%.2f", g)
+		t.SetValue("speedup", perfCols[ci].label, g)
 	}
 	t.AddRow("GEOMEAN", avg...)
 	return t, nil
@@ -227,6 +229,10 @@ func Fig17(rc RunConfig) (*Table, error) {
 			fmt.Sprintf("%.2f", stats.Mean(en)),
 			fmt.Sprintf("%.2f", stats.Mean(pw)),
 			fmt.Sprintf("%.2f", stats.Mean(edp)))
+		t.SetValue("speedup", c.label, stats.GeoMean(sp))
+		t.SetValue("mem_energy", c.label, stats.Mean(en))
+		t.SetValue("mem_power", c.label, stats.Mean(pw))
+		t.SetValue("edp", c.label, stats.Mean(edp))
 	}
 	return t, nil
 }

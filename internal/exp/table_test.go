@@ -2,9 +2,11 @@ package exp
 
 import (
 	"encoding/csv"
+	"encoding/json"
 	"flag"
 	"os"
 	"path/filepath"
+	"reflect"
 	"strings"
 	"testing"
 )
@@ -15,6 +17,7 @@ var update = flag.Bool("update", false, "rewrite golden files with current outpu
 // (3 decimals), int, uint64, and the % / x suffixes CSV must strip.
 func goldenTable() *Table {
 	t := &Table{
+		ID:      "fig0",
 		Title:   "Figure 0: golden formatting check",
 		Note:    "fixed inputs, all cell types",
 		Columns: []string{"Workload", "FlipFrac", "Slots", "Writes", "Skew"},
@@ -23,6 +26,8 @@ func goldenTable() *Table {
 	t.AddRow("libq", "47.3%", 1.0, 30000, "11.0x")
 	t.AddRow("a-very-long-workload-name", "0.1%", float64(0.0625), uint64(123456789), "1.0x")
 	t.AddRow("GEOMEAN", "5.2%", 1.75, 0, "3.9x")
+	t.SetValue("flips", "mcf", 0.096)
+	t.SetValue("flips", "libq", 0.473)
 	return t
 }
 
@@ -81,5 +86,65 @@ func TestTableGoldenCSV(t *testing.T) {
 	// Suffix stripping: the skew column must be bare numbers.
 	if recs[1][4] != "4.7" || recs[1][1] != "9.6" {
 		t.Errorf("suffixes not stripped: flip=%q skew=%q", recs[1][1], recs[1][4])
+	}
+}
+
+// TestTableGoldenJSON pins the machine-readable encoding deucereport and
+// external plotting tools consume: field names, typed cells with % / x
+// units, and the structured Values map.
+func TestTableGoldenJSON(t *testing.T) {
+	blob, err := json.MarshalIndent(goldenTable(), "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "table_golden.json", string(blob)+"\n")
+}
+
+func TestTableJSONRoundtrip(t *testing.T) {
+	orig := goldenTable()
+	blob, err := json.Marshal(orig)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Table
+	if err := json.Unmarshal(blob, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.ID != orig.ID || back.Title != orig.Title || back.Note != orig.Note {
+		t.Errorf("identity fields drifted: %+v", back)
+	}
+	if !reflect.DeepEqual(back.Rows, orig.Rows) {
+		t.Errorf("rows did not roundtrip:\n got %v\nwant %v", back.Rows, orig.Rows)
+	}
+	if !reflect.DeepEqual(back.Values, orig.Values) {
+		t.Errorf("values did not roundtrip:\n got %v\nwant %v", back.Values, orig.Values)
+	}
+}
+
+// TestTypedCell covers the cell parsing rules the JSON schema relies on.
+func TestTypedCell(t *testing.T) {
+	for _, tc := range []struct {
+		raw, unit string
+		val       float64
+		numeric   bool
+	}{
+		{"9.6%", "%", 9.6, true},
+		{"4.7x", "x", 4.7, true},
+		{"2.125", "", 2.125, true},
+		{"30000", "", 30000, true},
+		{"mcf", "", 0, false},
+		{"n/ax", "", 0, false}, // suffix without a number stays raw text
+	} {
+		c := typedCell(tc.raw)
+		if c.Raw != tc.raw {
+			t.Errorf("typedCell(%q).Raw = %q", tc.raw, c.Raw)
+		}
+		if tc.numeric {
+			if c.Value == nil || *c.Value != tc.val || c.Unit != tc.unit {
+				t.Errorf("typedCell(%q) = %+v, want value %v unit %q", tc.raw, c, tc.val, tc.unit)
+			}
+		} else if c.Value != nil || c.Unit != "" {
+			t.Errorf("typedCell(%q) = %+v, want untyped", tc.raw, c)
+		}
 	}
 }

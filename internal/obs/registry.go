@@ -13,9 +13,12 @@
 package obs
 
 import (
+	"encoding/json"
 	"expvar"
 	"fmt"
 	"io"
+	"os"
+	"path/filepath"
 	"sort"
 	"strings"
 	"sync"
@@ -185,13 +188,33 @@ func (r *Registry) Reset() {
 	}
 }
 
+// HistValues is the detached snapshot of one histogram: bucket bounds and
+// counts plus the running count and sum, so consumers (the regression
+// ledger in internal/regress) can derive means without the live handle.
+type HistValues struct {
+	// Bounds holds the bucket upper bounds; Counts has one extra final
+	// element counting observations above the last bound.
+	Bounds []uint64 `json:"bounds,omitempty"`
+	Counts []uint64 `json:"counts"`
+	N      uint64   `json:"n"`
+	Sum    uint64   `json:"sum"`
+}
+
+// Mean returns the mean observation (0 when empty).
+func (h HistValues) Mean() float64 {
+	if h.N == 0 {
+		return 0
+	}
+	return float64(h.Sum) / float64(h.N)
+}
+
 // Snapshot is a point-in-time copy of a registry's values, detached from
 // the live metrics.
 type Snapshot struct {
 	Counters map[string]uint64  `json:"counters,omitempty"`
 	Gauges   map[string]float64 `json:"gauges,omitempty"`
-	// Hists maps histogram name to bucket counts (last bucket unbounded).
-	Hists map[string][]uint64 `json:"hists,omitempty"`
+	// Hists maps histogram name to its detached bucket/summary values.
+	Hists map[string]HistValues `json:"hists,omitempty"`
 }
 
 // Snapshot copies the current values out of the registry.
@@ -199,7 +222,7 @@ func (r *Registry) Snapshot() Snapshot {
 	s := Snapshot{
 		Counters: make(map[string]uint64, len(r.counters)),
 		Gauges:   make(map[string]float64, len(r.gauges)),
-		Hists:    make(map[string][]uint64, len(r.hists)),
+		Hists:    make(map[string]HistValues, len(r.hists)),
 	}
 	for name, c := range r.counters {
 		s.Counters[name] = c.v
@@ -208,7 +231,12 @@ func (r *Registry) Snapshot() Snapshot {
 		s.Gauges[name] = g.v
 	}
 	for name, h := range r.hists {
-		s.Hists[name] = h.Counts()
+		s.Hists[name] = HistValues{
+			Bounds: h.Bounds(),
+			Counts: h.Counts(),
+			N:      h.n,
+			Sum:    h.sum,
+		}
 	}
 	return s
 }
@@ -221,7 +249,7 @@ func (s Snapshot) Delta(prev Snapshot) Snapshot {
 	d := Snapshot{
 		Counters: make(map[string]uint64, len(s.Counters)),
 		Gauges:   make(map[string]float64, len(s.Gauges)),
-		Hists:    make(map[string][]uint64, len(s.Hists)),
+		Hists:    make(map[string]HistValues, len(s.Hists)),
 	}
 	for name, v := range s.Counters {
 		d.Counters[name] = v - prev.Counters[name]
@@ -229,14 +257,19 @@ func (s Snapshot) Delta(prev Snapshot) Snapshot {
 	for name, v := range s.Gauges {
 		d.Gauges[name] = v
 	}
-	for name, counts := range s.Hists {
-		pc := prev.Hists[name]
-		out := make([]uint64, len(counts))
-		for i, c := range counts {
-			if i < len(pc) {
-				c -= pc[i]
+	for name, h := range s.Hists {
+		ph := prev.Hists[name]
+		out := HistValues{
+			Bounds: append([]uint64(nil), h.Bounds...),
+			Counts: make([]uint64, len(h.Counts)),
+			N:      h.N - ph.N,
+			Sum:    h.Sum - ph.Sum,
+		}
+		for i, c := range h.Counts {
+			if i < len(ph.Counts) {
+				c -= ph.Counts[i]
 			}
-			out[i] = c
+			out.Counts[i] = c
 		}
 		d.Hists[name] = out
 	}
@@ -268,7 +301,7 @@ func (s Snapshot) WriteTo(w io.Writer) (int64, error) {
 	}
 	sort.Strings(names)
 	for _, name := range names {
-		fmt.Fprintf(&b, "%s %v\n", name, s.Hists[name])
+		fmt.Fprintf(&b, "%s %v\n", name, s.Hists[name].Counts)
 	}
 	n, err := io.WriteString(w, b.String())
 	return int64(n), err
@@ -279,6 +312,23 @@ func (s Snapshot) String() string {
 	var b strings.Builder
 	s.WriteTo(&b)
 	return b.String()
+}
+
+// WriteJSONFile writes the snapshot as indented JSON to path, creating
+// parent directories as needed. This is the export behind the cmds'
+// -metrics flag and the format internal/regress ingests into the
+// cross-run ledger.
+func (s Snapshot) WriteJSONFile(path string) error {
+	blob, err := json.MarshalIndent(s, "", "  ")
+	if err != nil {
+		return err
+	}
+	if dir := filepath.Dir(path); dir != "." && dir != "" {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return err
+		}
+	}
+	return os.WriteFile(path, append(blob, '\n'), 0o644)
 }
 
 var expvarOnce sync.Mutex

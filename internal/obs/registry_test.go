@@ -55,8 +55,11 @@ func TestSnapshotDeltaReset(t *testing.T) {
 	if d.Counters["flips"] != 7 {
 		t.Fatalf("delta counter = %d, want 7", d.Counters["flips"])
 	}
-	if got := d.Hists["slots"]; got[0] != 1 || got[1] != 1 {
-		t.Fatalf("delta hist = %v, want [1 1]", got)
+	if got := d.Hists["slots"]; got.Counts[0] != 1 || got.Counts[1] != 1 {
+		t.Fatalf("delta hist = %v, want [1 1]", got.Counts)
+	}
+	if got := d.Hists["slots"]; got.N != 2 || got.Sum != 6 {
+		t.Fatalf("delta hist n=%d sum=%d, want 2/6", got.N, got.Sum)
 	}
 
 	// Delta against an empty snapshot counts from zero.

@@ -1,0 +1,164 @@
+package regress
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+
+	"deuce/internal/obs"
+)
+
+// Delta is one metric's change between two runs.
+type Delta struct {
+	Metric string
+	Old    float64
+	New    float64
+	// Pct is the percent change ((new-old)/old * 100); NaN when old is
+	// zero and new is not (reported as "new" in the table).
+	Pct float64
+	// OnlyIn marks metrics present in just one run: "old" or "new".
+	OnlyIn string
+}
+
+// Significant reports whether the delta exceeds the threshold (percent).
+// A metric that appeared or vanished is always significant, as is any
+// change away from zero (0 → 3 allocs has no percent form but is exactly
+// the kind of regression the ledger exists to catch).
+func (d Delta) Significant(thresholdPct float64) bool {
+	if d.OnlyIn != "" {
+		return true
+	}
+	if d.Old == d.New {
+		return false
+	}
+	if d.Old == 0 {
+		return true
+	}
+	return math.Abs(d.Pct) >= thresholdPct
+}
+
+// Compare computes per-metric deltas from old to new, sorted by metric
+// name.
+func Compare(old, new Run) []Delta {
+	names := MetricNames([]Run{old, new})
+	out := make([]Delta, 0, len(names))
+	for _, name := range names {
+		ov, hasOld := old.Metrics[name]
+		nv, hasNew := new.Metrics[name]
+		d := Delta{Metric: name, Old: ov, New: nv}
+		switch {
+		case !hasOld:
+			d.OnlyIn = "new"
+		case !hasNew:
+			d.OnlyIn = "old"
+		case ov != 0:
+			d.Pct = (nv - ov) / ov * 100
+		case nv != 0:
+			d.Pct = math.NaN()
+		}
+		out = append(out, d)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Metric < out[j].Metric })
+	return out
+}
+
+// CompareMarkdown renders deltas as a benchstat-style markdown table:
+// one row per metric with old, new and percent change. With onlyChanged,
+// rows below the significance threshold are summarized in a trailing
+// count instead of listed.
+func CompareMarkdown(oldID, newID string, deltas []Delta, thresholdPct float64, onlyChanged bool) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "| Metric | %s | %s | Δ |\n|---|---|---|---|\n", oldID, newID)
+	unchanged := 0
+	for _, d := range deltas {
+		if onlyChanged && !d.Significant(thresholdPct) {
+			unchanged++
+			continue
+		}
+		switch d.OnlyIn {
+		case "new":
+			fmt.Fprintf(&b, "| %s | — | %s | new |\n", d.Metric, num(d.New))
+		case "old":
+			fmt.Fprintf(&b, "| %s | %s | — | removed |\n", d.Metric, num(d.Old))
+		default:
+			fmt.Fprintf(&b, "| %s | %s | %s | %s |\n", d.Metric, num(d.Old), num(d.New), pctCell(d))
+		}
+	}
+	if unchanged > 0 {
+		fmt.Fprintf(&b, "\n(%d metrics within ±%.3g%% omitted)\n", unchanged, thresholdPct)
+	}
+	return b.String()
+}
+
+func pctCell(d Delta) string {
+	if d.Old == d.New {
+		return "0%"
+	}
+	if math.IsNaN(d.Pct) {
+		return "0 → nonzero"
+	}
+	return fmt.Sprintf("%+.1f%%", d.Pct)
+}
+
+func num(v float64) string {
+	if v == math.Trunc(v) && math.Abs(v) < 1e12 {
+		return fmt.Sprintf("%d", int64(v))
+	}
+	return fmt.Sprintf("%.4g", v)
+}
+
+// TrendMarkdown renders per-metric history across the ledger's runs as a
+// markdown table with a unicode sparkline per metric (obs.Sparkline) —
+// the longitudinal view `deucereport report` emits. Metrics with fewer
+// than two samples are skipped (no trend to show). width caps the
+// sparkline length.
+func TrendMarkdown(runs []Run, metrics []string, width int) string {
+	if width <= 0 {
+		width = 32
+	}
+	var b strings.Builder
+	b.WriteString("| Metric | Trend | First | Last | Δ |\n|---|---|---|---|---|\n")
+	for _, name := range metrics {
+		vals, _ := History(runs, name)
+		if len(vals) < 2 {
+			continue
+		}
+		first, last := vals[0], vals[len(vals)-1]
+		delta := "0%"
+		if first != last {
+			if first != 0 {
+				delta = fmt.Sprintf("%+.1f%%", (last-first)/first*100)
+			} else {
+				delta = "0 → nonzero"
+			}
+		}
+		fmt.Fprintf(&b, "| %s | `%s` | %s | %s | %s |\n",
+			name, sparkline(vals, width), num(first), num(last), delta)
+	}
+	return b.String()
+}
+
+// sparkline scales a float series into uint64 space and renders it with
+// obs.Sparkline, preserving shape (min → ▁, max → █).
+func sparkline(vals []float64, width int) string {
+	if len(vals) == 0 {
+		return ""
+	}
+	min, max := vals[0], vals[0]
+	for _, v := range vals[1:] {
+		if v < min {
+			min = v
+		}
+		if v > max {
+			max = v
+		}
+	}
+	scaled := make([]uint64, len(vals))
+	if max > min {
+		for i, v := range vals {
+			scaled[i] = uint64((v - min) / (max - min) * 1000)
+		}
+	}
+	return obs.Sparkline(scaled, width)
+}

@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check fmt-check build vet test race bench-smoke bench-writehot fidelity fidelity-report
+.PHONY: check fmt-check build vet test race bench-smoke bench-writehot fidelity fidelity-report fidelity-reverdict
 
 # check is the pre-merge gate: static checks, full tests under the race
 # detector, and a short smoke of the steady-state write benchmark so a
@@ -41,6 +41,15 @@ fidelity:
 	$(GO) run ./cmd/deucereport check -experiment all -writebacks 6000 -lines 512
 
 # fidelity-report additionally writes the fidelity matrix as a markdown
-# artifact (CI uploads fidelity-report.md).
+# artifact (CI uploads fidelity-report.md) and records every experiment
+# table as typed-cell JSON under fidelity-tables/, so the run doubles as
+# a recording that fidelity-reverdict (or `deucereport check -from`) can
+# re-verdict without re-running anything.
 fidelity-report:
-	$(GO) run ./cmd/deucereport check -experiment all -writebacks 6000 -lines 512 -out fidelity-report.md
+	$(GO) run ./cmd/deucereport check -experiment all -writebacks 6000 -lines 512 -out fidelity-report.md -outdir fidelity-tables
+
+# fidelity-reverdict re-verdicts the recorded tables of the last
+# fidelity-report run with zero experiment runs — free after a tolerance
+# edit in internal/fidelity.
+fidelity-reverdict:
+	$(GO) run ./cmd/deucereport check -from fidelity-tables

@@ -8,7 +8,10 @@
 //
 //	deucereport check -experiment all            # run the fidelity gate
 //	deucereport check -experiment fig10,fig15 -writebacks 6000 -lines 512
+//	deucereport check -experiment all -outdir results/   # gate run doubles as a recording
+//	deucereport check -from results/             # re-verdict the recording, zero runs
 //	deucereport check -experiment all -ledger runs.jsonl -id $(git rev-parse --short HEAD)
+//	deucereport ledger -ledger runs.jsonl -seed ci/ledger-seed.jsonl -keep 200
 //	deucereport record -ledger runs.jsonl -id pr-7 -bench BENCH_writehot.json -metrics out.json
 //	deucereport compare -ledger runs.jsonl HEAD~1 HEAD
 //	deucereport compare -ledger runs.jsonl -baseline 3 HEAD
@@ -48,6 +51,8 @@ func main() {
 		err = cmdCompare(os.Args[2:])
 	case "report":
 		err = cmdReport(os.Args[2:])
+	case "ledger":
+		err = cmdLedger(os.Args[2:])
 	case "-h", "-help", "--help", "help":
 		usage()
 		return
@@ -66,10 +71,12 @@ func usage() {
 	fmt.Fprint(os.Stderr, `deucereport — paper-fidelity gate and cross-run regression ledger
 
 subcommands:
-  check    run experiments and verdict every paper expectation (exit 1 on violation)
+  check    run experiments and verdict every paper expectation (exit 1 on violation);
+           -from re-verdicts recorded tables, -outdir records the run
   record   append a run's metrics (bench json/text, obs snapshots, runmeta) to the ledger
   compare  benchstat-style per-metric deltas between two ledger runs
   report   markdown artifact: fidelity matrix + cross-run trend sparklines
+  ledger   maintenance for a persisted ledger: seed from a committed fallback, compact
 
 run 'deucereport <subcommand> -h' for flags.
 `)
@@ -118,6 +125,8 @@ func cmdCheck(args []string) error {
 	experiment := fs.String("experiment", "all", "experiment IDs to gate: 'all' or a comma-separated list (fig5,fig10,...)")
 	writebacks, lines, warmup, seed := sizeFlags(fs)
 	out := fs.String("out", "", "also write the fidelity matrix as markdown to this file")
+	from := fs.String("from", "", "re-verdict recorded table JSON from this directory (zero experiment runs)")
+	outdir := fs.String("outdir", "", "write each experiment's table JSON here, so the gate run doubles as a recording")
 	ledger := fs.String("ledger", "", "append the measured values to this JSONL ledger (requires -id)")
 	id := fs.String("id", "", "run ID to record under with -ledger")
 	verbose := fs.Bool("v", false, "print every verdict, not just failures")
@@ -129,10 +138,38 @@ func cmdCheck(args []string) error {
 	}
 	rc := exp.RunConfig{Writebacks: *writebacks, Lines: *lines, Warmup: *warmup, Seed: *seed}
 
+	var report *fidelity.Report
+	var tables map[string]*exp.Table
+	source := "deucereport check"
 	start := time.Now()
-	report, tables, err := fidelity.Check(rc, exps)
-	if err != nil {
-		return err
+	if *from != "" {
+		// Recorded mode: the scale (and recording) flags belong to the
+		// run that produced the tables; accepting them here would
+		// silently verdict against a scale that was never measured.
+		var conflict []string
+		fs.Visit(func(f *flag.Flag) {
+			switch f.Name {
+			case "writebacks", "lines", "warmup", "seed", "outdir":
+				conflict = append(conflict, "-"+f.Name)
+			}
+		})
+		if len(conflict) > 0 {
+			return fmt.Errorf("-from evaluates recorded tables; %s have no effect there", strings.Join(conflict, ", "))
+		}
+		tables, err = exp.LoadTables(*from)
+		if err != nil {
+			return err
+		}
+		// Verdict only the experiments the selection references, but
+		// against everything the recording holds: an absent experiment
+		// must surface as a Missing failure, not a narrowed gate.
+		report = fidelity.EvaluateTables(tables, exps)
+		source = "deucereport check -from"
+	} else {
+		report, tables, err = fidelity.Check(rc, exps)
+		if err != nil {
+			return err
+		}
 	}
 	elapsed := time.Since(start).Round(time.Millisecond)
 
@@ -151,10 +188,24 @@ func cmdCheck(args []string) error {
 	for _, e := range report.Missing {
 		fmt.Fprintf(os.Stderr, "FAIL %s: experiment exported no value under this metric name\n", e.Name())
 	}
-	fmt.Printf("%s (%d experiments in %v)\n", report.Summary(), len(tables), elapsed)
+	if *from != "" {
+		fmt.Printf("%s (%d recorded tables from %s, in %v)\n", report.Summary(), len(tables), *from, elapsed)
+	} else {
+		fmt.Printf("%s (%d experiments in %v)\n", report.Summary(), len(tables), elapsed)
+	}
 
+	if *outdir != "" {
+		if err := exp.WriteTables(*outdir, tables); err != nil {
+			return err
+		}
+		fmt.Printf("recorded %d tables in %s\n", len(tables), *outdir)
+	}
 	if *out != "" {
-		md := reportHeader("deucereport check", rc) + report.Markdown()
+		header := reportHeader("deucereport check", rc)
+		if *from != "" {
+			header = fmt.Sprintf("deucereport check\n\nSource: recorded tables from `%s`.\n\n", *from)
+		}
+		md := header + report.Markdown()
 		if err := writeFileMkdir(*out, md); err != nil {
 			return err
 		}
@@ -164,9 +215,18 @@ func cmdCheck(args []string) error {
 		if *id == "" {
 			return fmt.Errorf("-ledger requires -id")
 		}
-		run := regress.Run{ID: *id, Source: "deucereport check"}
+		run := regress.Run{ID: *id, Source: source}
+		// In -from mode the recording may hold more experiments than the
+		// selection gates on; record only the gated ones, matching what a
+		// live run of the same selection would have produced.
+		gated := make(map[string]bool)
+		for _, eid := range fidelity.ExperimentIDs(exps) {
+			gated[eid] = true
+		}
 		for expID, t := range tables {
-			regress.IngestValues(&run, expID, t.Values)
+			if gated[expID] {
+				regress.IngestValues(&run, expID, t.Values)
+			}
 		}
 		if err := regress.Append(*ledger, run); err != nil {
 			return err
@@ -321,6 +381,48 @@ func priorRuns(runs []regress.Run, ref regress.Run, n int) []regress.Run {
 		start = 0
 	}
 	return runs[start:end]
+}
+
+// cmdLedger is the maintenance entry point a persisted-ledger CI workflow
+// needs: ensure a ledger exists (falling back to a committed seed when a
+// cache restore came up empty) and bound its growth.
+func cmdLedger(args []string) error {
+	fs := flag.NewFlagSet("ledger", flag.ExitOnError)
+	ledger := fs.String("ledger", "", "JSONL ledger path (required)")
+	seed := fs.String("seed", "", "committed fallback ledger: copied in when -ledger is missing or empty")
+	keep := fs.Int("keep", 0, "compact the ledger to its newest N runs (0 = no compaction)")
+	fs.Parse(args)
+
+	if *ledger == "" {
+		return fmt.Errorf("ledger requires -ledger")
+	}
+	runs, err := regress.Load(*ledger)
+	if err != nil {
+		return err
+	}
+	if len(runs) == 0 && *seed != "" {
+		seeded, err := regress.Load(*seed)
+		if err != nil {
+			return err
+		}
+		if err := regress.WriteAll(*ledger, seeded); err != nil {
+			return err
+		}
+		fmt.Printf("seeded %s with %d runs from %s\n", *ledger, len(seeded), *seed)
+		runs = seeded
+	}
+	if *keep > 0 {
+		kept, err := regress.Compact(*ledger, *keep)
+		if err != nil {
+			return err
+		}
+		if kept < len(runs) {
+			fmt.Printf("compacted %s: %d -> %d runs\n", *ledger, len(runs), kept)
+		}
+		runs = runs[len(runs)-kept:]
+	}
+	fmt.Printf("%s: %d runs\n", *ledger, len(runs))
+	return nil
 }
 
 func cmdReport(args []string) error {

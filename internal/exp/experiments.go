@@ -23,12 +23,35 @@ type Experiment struct {
 // RunTable executes the experiment and stamps the result with the
 // experiment's ID, so downstream consumers (JSON output, the fidelity
 // gate, the regression ledger) can key on it.
+//
+// Results are memoized process-wide by (experiment ID, RunConfig): the
+// gate and the report command both sweep the expectation table, and a
+// table already produced at this scale in this process is served from
+// the cache (as a defensive copy) instead of recomputing. Configs
+// carrying per-run observability hooks bypass the cache — a recorded
+// table cannot replay the trace or heatmap of the run that produced it.
 func (e Experiment) RunTable(rc RunConfig) (*Table, error) {
-	t, err := e.Run(rc)
-	if t != nil {
-		t.ID = e.ID
+	run := func() (*Table, error) {
+		t, err := e.Run(rc)
+		if t != nil {
+			t.ID = e.ID
+		}
+		return t, err
 	}
-	return t, err
+	if !tableCacheable(rc) {
+		return run()
+	}
+	v, err := sharedCache.Do("table|"+e.ID+"|"+rc.key(), func() (interface{}, error) {
+		t, err := run()
+		if err != nil {
+			return nil, err
+		}
+		return t, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return v.(*Table).Clone(), nil
 }
 
 // Experiments returns every reproduction experiment, in paper order.

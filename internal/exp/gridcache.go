@@ -1,0 +1,164 @@
+package exp
+
+import (
+	"encoding/hex"
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"deuce/internal/core"
+)
+
+// GridCache memoizes whole-experiment computations within one process.
+// The fidelity gate and the report command both walk the expectation
+// table, and several figures share the identical underlying sweep (Fig16
+// and Fig17 are two views of one perfGrid), so without reuse the most
+// expensive computation in the repository — the 48-cell timed grid — runs
+// more than once per invocation for no new information.
+//
+// Entries are single-flight: the first caller of a key computes, and
+// concurrent callers of the same key block on that computation instead of
+// duplicating it (sync.Once per entry). Results, including errors, are
+// cached forever — every cacheable computation here is deterministic in
+// its key, so recomputing cannot change the outcome.
+//
+// Cache-key rules (see DESIGN.md §8): a key encodes every input that can
+// change the result — the grid kind, the column schemes and their
+// core.Params, and the result-affecting scalar fields of RunConfig after
+// defaulting — and nothing else. Observability hooks (Trace, Heatmap,
+// Metrics, Progress) never enter a key: the grids clear the single-writer
+// hooks before fanning out, and Progress only narrates. Inputs that
+// cannot be canonically encoded (a non-nil Params.MakeArray or
+// Params.Trace) make the computation uncacheable and bypass the cache
+// entirely rather than risk a false hit.
+type GridCache struct {
+	mu      sync.Mutex
+	entries map[string]*cacheEntry
+	hits    atomic.Int64
+	misses  atomic.Int64
+}
+
+type cacheEntry struct {
+	once sync.Once
+	val  interface{}
+	err  error
+}
+
+// NewGridCache returns an empty cache.
+func NewGridCache() *GridCache {
+	return &GridCache{entries: make(map[string]*cacheEntry)}
+}
+
+// Do returns the cached result for key, computing it via compute on the
+// first call. Concurrent callers with the same key block until the first
+// caller's compute returns, then share its result.
+func (c *GridCache) Do(key string, compute func() (interface{}, error)) (interface{}, error) {
+	c.mu.Lock()
+	e, ok := c.entries[key]
+	if !ok {
+		e = &cacheEntry{}
+		c.entries[key] = e
+	}
+	c.mu.Unlock()
+	first := false
+	e.once.Do(func() {
+		first = true
+		e.val, e.err = compute()
+	})
+	if first {
+		c.misses.Add(1)
+	} else {
+		c.hits.Add(1)
+	}
+	return e.val, e.err
+}
+
+// Stats reports cache hits and misses since construction (or Reset).
+func (c *GridCache) Stats() (hits, misses int64) {
+	return c.hits.Load(), c.misses.Load()
+}
+
+// Reset drops every entry and zeroes the counters. In-flight computations
+// finish against their old entries; only future Do calls see the empty
+// cache.
+func (c *GridCache) Reset() {
+	c.mu.Lock()
+	c.entries = make(map[string]*cacheEntry)
+	c.mu.Unlock()
+	c.hits.Store(0)
+	c.misses.Store(0)
+}
+
+// sharedCache is the process-wide cache the grid runners and RunTable
+// consult. Experiments are deterministic in their RunConfig, so sharing
+// across callers is safe; tests that count executions call ResetCache
+// first.
+var sharedCache = NewGridCache()
+
+// ResetCache empties the process-wide experiment cache. Long-lived
+// callers that mutate global experiment behavior between sweeps (none in
+// this repository) and tests that assert on execution counts use it to
+// force recomputation.
+func ResetCache() { sharedCache.Reset() }
+
+// CacheStats reports hits and misses of the process-wide experiment
+// cache.
+func CacheStats() (hits, misses int64) { return sharedCache.Stats() }
+
+// perfRuns and flipRuns count RunPerf / RunFlips invocations
+// process-wide, cache hits excluded (a served cell never re-executes).
+var perfRuns, flipRuns atomic.Int64
+
+// RunPerfCalls returns how many timed RunPerf executions this process has
+// performed. It exists for cell-count regression tests: the gate over
+// fig16+fig17 must execute their shared 48-cell grid exactly once.
+func RunPerfCalls() int64 { return perfRuns.Load() }
+
+// RunFlipsCalls returns how many RunFlips executions this process has
+// performed; the flip-grid counterpart of RunPerfCalls.
+func RunFlipsCalls() int64 { return flipRuns.Load() }
+
+// key renders the result-affecting scalar fields of the RunConfig, after
+// defaulting, as a canonical cache-key fragment. The observability hooks
+// deliberately do not appear: they never change measured values.
+func (rc RunConfig) key() string {
+	rc.setDefaults()
+	return fmt.Sprintf("wb=%d warm=%d lines=%d seed=%d pause=%t rdlat=%g ccb=%d",
+		rc.Writebacks, rc.Warmup, rc.Lines, rc.Seed,
+		rc.WritePausing, rc.ReadLatencyNs, rc.CounterCacheBlocks)
+}
+
+// paramsKey canonically encodes the result-affecting fields of
+// core.Params. The second return is false when the params carry inputs
+// with no canonical encoding (MakeArray, Trace) — such a configuration
+// must not be cached.
+func paramsKey(p core.Params) (string, bool) {
+	if p.MakeArray != nil || p.Trace != nil {
+		return "", false
+	}
+	return fmt.Sprintf("lines=%d lb=%d key=%s epoch=%d word=%d ctr=%d wear=%t hot=%d pad=%d",
+		p.Lines, p.LineBytes, hex.EncodeToString(p.Key), p.EpochInterval,
+		p.WordBytes, p.CounterBits, p.TrackPerLineWear, p.HotCapacity,
+		p.PadCacheEntries), true
+}
+
+// colsKey canonically encodes a column set; ok is false when any column
+// is uncacheable.
+func colsKey(cols []cell1) (string, bool) {
+	var b []byte
+	for _, c := range cols {
+		pk, ok := paramsKey(c.params)
+		if !ok {
+			return "", false
+		}
+		b = append(b, fmt.Sprintf("[%s|%s|%s]", c.label, c.kind, pk)...)
+	}
+	return string(b), true
+}
+
+// tableCacheable reports whether RunTable may serve this config from the
+// table cache: per-run observability hooks record the run that produced
+// them, so a config carrying any hook must execute for real.
+func tableCacheable(rc RunConfig) bool {
+	return rc.Trace == nil && rc.Heatmap == nil && rc.Metrics == nil && rc.Progress == nil
+}

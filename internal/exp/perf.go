@@ -26,7 +26,15 @@ type PerfResult struct {
 // RunPerf simulates one workload on one scheme with the 8-core machine of
 // Table 1 and returns execution time and activity.
 func RunPerf(prof workload.Profile, kind core.Kind, params core.Params, rc RunConfig) (PerfResult, error) {
+	perfRuns.Add(1)
 	rc.setDefaults()
+	// The event budget below divides by WBPKI; guard here so a
+	// hand-built profile fails with the budget's own diagnosis instead
+	// of +Inf flowing into an undefined float→int conversion.
+	if prof.WBPKI <= 0 {
+		return PerfResult{}, fmt.Errorf("exp: workload %q has non-positive WBPKI (%g): cannot size the event budget",
+			prof.Name, prof.WBPKI)
+	}
 	const cpus = 8
 	var s core.Scheme
 	gen, err := workload.New(prof, workload.Config{
@@ -100,6 +108,30 @@ func RunPerf(prof workload.Profile, kind core.Kind, params core.Params, rc RunCo
 // another cell of the flattened grid, so it overlaps with the columns
 // instead of gating them.
 func perfGrid(cols []cell1, rc RunConfig) ([]workload.Profile, [][]PerfResult, error) {
+	ck, cacheable := colsKey(cols)
+	if !cacheable {
+		return perfGridRun(cols, rc)
+	}
+	type gridResult struct {
+		profs []workload.Profile
+		grid  [][]PerfResult
+	}
+	v, err := sharedCache.Do("perfGrid|"+ck+"|"+rc.key(), func() (interface{}, error) {
+		profs, grid, err := perfGridRun(cols, rc)
+		if err != nil {
+			return nil, err
+		}
+		return gridResult{profs, grid}, nil
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	r := v.(gridResult)
+	return r.profs, r.grid, nil
+}
+
+// perfGridRun is the uncached grid execution behind perfGrid.
+func perfGridRun(cols []cell1, rc RunConfig) ([]workload.Profile, [][]PerfResult, error) {
 	profs := workload.SPEC2006()
 	cells := len(cols) + 1
 	results := make([][]PerfResult, len(profs))
@@ -135,13 +167,18 @@ type limitSource struct {
 	remaining int
 }
 
-// Next implements trace.Source.
+// Next implements trace.Source. The budget is charged only on successful
+// events: an inner-source error must not consume budget, or the timed
+// window would silently under-count the very events it is sized in.
 func (l *limitSource) Next() (trace.Event, error) {
 	if l.remaining <= 0 {
 		return trace.Event{}, io.EOF
 	}
-	l.remaining--
-	return l.inner.Next()
+	e, err := l.inner.Next()
+	if err == nil {
+		l.remaining--
+	}
+	return e, err
 }
 
 var perfCols = []cell1{

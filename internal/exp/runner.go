@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"strings"
 
 	"deuce/internal/bitutil"
 	"deuce/internal/core"
@@ -102,6 +103,7 @@ type FlipResult struct {
 // scheme and reports flip statistics. keepPositions retains the per-bit
 // wear profile (costs a copy).
 func RunFlips(prof workload.Profile, kind core.Kind, params core.Params, rc RunConfig, keepPositions bool) (FlipResult, error) {
+	flipRuns.Add(1)
 	rc.setDefaults()
 	var s core.Scheme
 	gen, err := workload.New(prof, workload.Config{
@@ -181,6 +183,26 @@ func RunFlips(prof workload.Profile, kind core.Kind, params core.Params, rc RunC
 // seeded generator and scheme, so results are bit-identical to a serial
 // sweep regardless of which worker claims which cell.
 func runGrid(profs []workload.Profile, cfgs []cell1, rc RunConfig, keepPositions bool) ([][]FlipResult, error) {
+	ck, cacheable := colsKey(cfgs)
+	if !cacheable {
+		return runGridRun(profs, cfgs, rc, keepPositions)
+	}
+	names := make([]string, len(profs))
+	for i, p := range profs {
+		names[i] = p.Name
+	}
+	key := fmt.Sprintf("flipGrid|profs=%s|keep=%t|%s|%s", strings.Join(names, ","), keepPositions, ck, rc.key())
+	v, err := sharedCache.Do(key, func() (interface{}, error) {
+		return runGridRun(profs, cfgs, rc, keepPositions)
+	})
+	if err != nil {
+		return nil, err
+	}
+	return v.([][]FlipResult), nil
+}
+
+// runGridRun is the uncached sweep execution behind runGrid.
+func runGridRun(profs []workload.Profile, cfgs []cell1, rc RunConfig, keepPositions bool) ([][]FlipResult, error) {
 	results := make([][]FlipResult, len(profs))
 	for wi := range results {
 		results[wi] = make([]FlipResult, len(cfgs))

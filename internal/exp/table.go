@@ -67,6 +67,27 @@ func (t *Table) AddRow(key string, values ...interface{}) {
 	t.Rows = append(t.Rows, row)
 }
 
+// Clone returns a deep copy, so cached tables stay pristine when a
+// consumer mutates its copy.
+func (t *Table) Clone() *Table {
+	if t == nil {
+		return nil
+	}
+	out := &Table{ID: t.ID, Title: t.Title, Note: t.Note}
+	out.Columns = append([]string(nil), t.Columns...)
+	out.Rows = make([][]string, len(t.Rows))
+	for i, row := range t.Rows {
+		out.Rows[i] = append([]string(nil), row...)
+	}
+	if t.Values != nil {
+		out.Values = make(map[string]float64, len(t.Values))
+		for k, v := range t.Values {
+			out.Values[k] = v
+		}
+	}
+	return out
+}
+
 // Render formats the table as aligned text.
 func (t *Table) Render() string {
 	var b strings.Builder

@@ -1,0 +1,91 @@
+package exp
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+)
+
+// This file is the on-disk half of result reuse: experiment tables travel
+// as the typed-cell JSON encoding of table.go, one file per experiment,
+// named <id>.json. `deucereport check -outdir` writes a directory in this
+// layout on every live gate run, and `deucereport check -from` evaluates
+// one with zero experiment runs — so a tolerance edit re-verdicts a
+// recorded run for free.
+
+// WriteTables writes each table as indented JSON to dir/<id>.json,
+// creating dir if needed. Tables without an ID are rejected: the loader
+// keys on it.
+func WriteTables(dir string, tables map[string]*Table) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	// Deterministic write order, so failures are reproducible.
+	ids := make([]string, 0, len(tables))
+	for id := range tables {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	for _, id := range ids {
+		t := tables[id]
+		if t.ID == "" {
+			return fmt.Errorf("exp: table %q has no ID; cannot record it", id)
+		}
+		blob, err := json.MarshalIndent(t, "", "  ")
+		if err != nil {
+			return err
+		}
+		path := filepath.Join(dir, t.ID+".json")
+		if err := os.WriteFile(path, append(blob, '\n'), 0o644); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// LoadTable reads one typed-cell table JSON file.
+func LoadTable(path string) (*Table, error) {
+	blob, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var t Table
+	if err := json.Unmarshal(blob, &t); err != nil {
+		return nil, fmt.Errorf("exp: %s: %w", path, err)
+	}
+	return &t, nil
+}
+
+// LoadTables reads every *.json table in dir, keyed by table ID. A table
+// with no ID, or two files claiming the same ID, fail loudly — a recorded
+// results directory must be unambiguous about which experiment each file
+// re-verdicts.
+func LoadTables(dir string) (map[string]*Table, error) {
+	paths, err := filepath.Glob(filepath.Join(dir, "*.json"))
+	if err != nil {
+		return nil, err
+	}
+	sort.Strings(paths)
+	out := make(map[string]*Table, len(paths))
+	from := make(map[string]string, len(paths))
+	for _, path := range paths {
+		t, err := LoadTable(path)
+		if err != nil {
+			return nil, err
+		}
+		if t.ID == "" {
+			return nil, fmt.Errorf("exp: %s: table has no experiment ID", path)
+		}
+		if prev, dup := from[t.ID]; dup {
+			return nil, fmt.Errorf("exp: %s and %s both record experiment %q", prev, path, t.ID)
+		}
+		from[t.ID] = path
+		out[t.ID] = t
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("exp: no table JSON files in %s", dir)
+	}
+	return out, nil
+}

@@ -241,6 +241,23 @@ func Evaluate(values map[string]map[string]float64, exps []Expectation) *Report 
 	return r
 }
 
+// EvaluateTables verdicts the expectations against recorded experiment
+// tables (exp.LoadTables' shape) with zero experiment runs. A nil or
+// empty expectation slice checks the full table. Experiments the
+// expectations reference but the recording lacks surface as Missing
+// entries in the report — an incomplete recording must not silently
+// narrow the gate.
+func EvaluateTables(tables map[string]*exp.Table, exps []Expectation) *Report {
+	if len(exps) == 0 {
+		exps = Expectations()
+	}
+	values := make(map[string]map[string]float64, len(tables))
+	for id, t := range tables {
+		values[id] = t.Values
+	}
+	return Evaluate(values, exps)
+}
+
 // Check runs every experiment the expectations reference (each once,
 // sharing results across its expectations) and evaluates them. A nil or
 // empty expectation slice checks the full table.

@@ -1,0 +1,72 @@
+package fidelity
+
+import (
+	"reflect"
+	"testing"
+
+	"deuce/internal/exp"
+)
+
+// TestGoldenTableRoundTrip pins the recorded-results path against a
+// committed fixture: a typed-cell Table JSON written at the paper's own
+// fig10 values must load and verdict every fig10 expectation as passing,
+// with zero experiment runs. If the Table JSON schema drifts so old
+// recordings stop loading, this fails before any user's `-from` dir does.
+func TestGoldenTableRoundTrip(t *testing.T) {
+	tables, err := exp.LoadTables("testdata/tables")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tables["fig10"] == nil {
+		t.Fatal("fixture did not load under its experiment ID")
+	}
+	exps := Filter(Expectations(), []string{"fig10"})
+	r := EvaluateTables(tables, exps)
+	if len(r.Missing) > 0 {
+		t.Fatalf("fixture is missing metrics the gate expects: %v", r.Missing)
+	}
+	if len(r.Verdicts) != len(exps) {
+		t.Fatalf("got %d verdicts for %d expectations", len(r.Verdicts), len(exps))
+	}
+	if !r.Pass() {
+		t.Fatalf("paper-exact fixture failed the gate:\n%s", r.Markdown())
+	}
+
+	// An experiment the recording lacks must fail the gate as Missing,
+	// not silently narrow it.
+	r2 := EvaluateTables(tables, Filter(Expectations(), []string{"fig10", "fig15"}))
+	if r2.Pass() {
+		t.Error("absent fig15 recording passed the gate")
+	}
+	if len(r2.Missing) == 0 {
+		t.Error("absent experiment not reported as missing")
+	}
+}
+
+// TestRecordedEvaluateMatchesLiveCheck is the full reuse round trip:
+// live fidelity.Check → WriteTables → LoadTables → EvaluateTables must
+// reproduce the live verdicts exactly at the same scale.
+func TestRecordedEvaluateMatchesLiveCheck(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs a real experiment")
+	}
+	exps := Filter(Expectations(), []string{"fig5"})
+	rc := exp.RunConfig{Writebacks: 2000, Lines: 256, Seed: 1}
+	live, tables, err := Check(rc, exps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	if err := exp.WriteTables(dir, tables); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := exp.LoadTables(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	recorded := EvaluateTables(loaded, exps)
+	if !reflect.DeepEqual(live, recorded) {
+		t.Errorf("recorded verdicts differ from live check:\nlive:\n%s\nrecorded:\n%s",
+			live.Markdown(), recorded.Markdown())
+	}
+}

@@ -1,0 +1,63 @@
+package regress
+
+import (
+	"path/filepath"
+	"testing"
+)
+
+func TestWriteAllCompact(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "nested", "runs.jsonl")
+	var runs []Run
+	for i := 0; i < 5; i++ {
+		r := Run{ID: string(rune('a' + i))}
+		r.Set("m", float64(i))
+		runs = append(runs, r)
+	}
+	if err := WriteAll(path, runs); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 5 || got[0].ID != "a" || got[4].ID != "e" {
+		t.Fatalf("WriteAll round trip: %+v", got)
+	}
+
+	// Compaction keeps the newest runs, in order.
+	kept, err := Compact(path, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if kept != 2 {
+		t.Fatalf("Compact kept %d, want 2", kept)
+	}
+	got, err = Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 || got[0].ID != "d" || got[1].ID != "e" {
+		t.Fatalf("compacted ledger: %+v", got)
+	}
+
+	// Already within bounds (and keep<1) are no-ops.
+	if kept, err = Compact(path, 10); err != nil || kept != 2 {
+		t.Fatalf("in-bounds Compact = %d, %v", kept, err)
+	}
+	if kept, err = Compact(path, 0); err != nil || kept != 2 {
+		t.Fatalf("keep=0 Compact = %d, %v", kept, err)
+	}
+
+	// A missing ledger compacts to zero runs without erroring — the CI
+	// workflow may compact before the first run ever lands.
+	if kept, err = Compact(filepath.Join(t.TempDir(), "none.jsonl"), 3); err != nil || kept != 0 {
+		t.Fatalf("missing-ledger Compact = %d, %v", kept, err)
+	}
+}
+
+func TestWriteAllRejectsAnonymousRun(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "runs.jsonl")
+	if err := WriteAll(path, []Run{{}}); err == nil {
+		t.Fatal("run without ID written")
+	}
+}

@@ -81,6 +81,51 @@ func Append(path string, r Run) error {
 	return f.Sync()
 }
 
+// WriteAll replaces the ledger at path with the given runs, in order,
+// creating parent directories as needed. It exists for ledger
+// maintenance (seeding a fresh CI cache from a committed fallback,
+// compacting history) — ordinary recording should Append.
+func WriteAll(path string, runs []Run) error {
+	if dir := filepath.Dir(path); dir != "." && dir != "" {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return err
+		}
+	}
+	var b strings.Builder
+	for _, r := range runs {
+		if r.ID == "" {
+			return fmt.Errorf("regress: run needs a non-empty ID")
+		}
+		blob, err := json.Marshal(r)
+		if err != nil {
+			return err
+		}
+		b.Write(blob)
+		b.WriteByte('\n')
+	}
+	return os.WriteFile(path, []byte(b.String()), 0o644)
+}
+
+// Compact rewrites the ledger keeping only the newest keep runs (ledger
+// order, so history stays contiguous) and returns how many remain. A
+// persisted CI ledger grows by one run per build; compaction bounds the
+// cache entry without touching the retained entries. keep < 1 or a
+// ledger already within bounds is a no-op.
+func Compact(path string, keep int) (int, error) {
+	runs, err := Load(path)
+	if err != nil {
+		return 0, err
+	}
+	if keep < 1 || len(runs) <= keep {
+		return len(runs), nil
+	}
+	kept := runs[len(runs)-keep:]
+	if err := WriteAll(path, kept); err != nil {
+		return 0, err
+	}
+	return len(kept), nil
+}
+
 // Load reads every run in the ledger, in append order. A missing file is
 // an empty ledger, not an error. Malformed lines abort with the line
 // number, so a corrupted ledger fails loudly instead of silently

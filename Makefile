@@ -1,16 +1,21 @@
 GO ?= go
 
-.PHONY: check fmt-check build vet test race bench-smoke bench-writehot fidelity fidelity-report fidelity-reverdict
+.PHONY: check fmt-check doclint build vet test race race-timing bench-smoke bench-writehot bench-timing fidelity fidelity-report fidelity-reverdict
 
 # check is the pre-merge gate: static checks, full tests under the race
 # detector, and a short smoke of the steady-state write benchmark so a
 # regression that reintroduces hot-path allocations fails fast.
-check: fmt-check vet build test race bench-smoke
+check: fmt-check doclint vet build test race bench-smoke
 
 # fmt-check fails (listing the offenders) when any file is not gofmt-clean.
 fmt-check:
 	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
 		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
+
+# doclint is the exported-comment lint (ci/doclint): every exported
+# top-level declaration in the repository needs a godoc comment.
+doclint:
+	$(GO) run ./ci/doclint ./...
 
 build:
 	$(GO) build ./...
@@ -24,6 +29,14 @@ test:
 race:
 	$(GO) test -race ./...
 
+# race-timing is the focused race pass for the sharded timing engine: the
+# differential suites in internal/timing and the parallel grid path in
+# internal/exp, under the race detector. A subset of `race`, split out so
+# CI can run it on every push even when the full race matrix is pruned.
+race-timing:
+	$(GO) test -race ./internal/timing/
+	$(GO) test -race -run 'TestRunPerfSharded|TestResolveTimingShards|TestPerfGrid' ./internal/exp/
+
 # bench-smoke only checks that the hot-write benchmarks still run and stay
 # allocation-free; 100 iterations is too few for timing, use bench-writehot
 # for numbers.
@@ -33,6 +46,11 @@ bench-smoke:
 # bench-writehot regenerates the numbers behind BENCH_writehot.json.
 bench-writehot:
 	$(GO) test -run '^$$' -bench BenchmarkWriteHot -benchmem .
+
+# bench-timing regenerates the numbers behind BENCH_timing.json: one
+# timed perf cell at 1/2/4/8 costing shards.
+bench-timing:
+	$(GO) test -run '^$$' -bench BenchmarkTimedCell -benchmem ./internal/exp/
 
 # fidelity runs the paper-fidelity gate at the reduced CI scale: every
 # EXPERIMENTS.md headline value is checked against the paper with

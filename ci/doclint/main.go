@@ -1,0 +1,207 @@
+// Command doclint is the repository's exported-comment lint: it fails
+// (listing every offender as file:line) when an exported top-level
+// declaration lacks a doc comment. It is a small go/ast walk rather than
+// an external linter so the check needs nothing beyond the Go toolchain
+// already required to build.
+//
+// Usage:
+//
+//	go run ./ci/doclint internal/timing internal/exp internal/fidelity
+//	go run ./ci/doclint ./...
+//
+// Each argument is a package directory; an argument ending in /... is
+// walked recursively. Test files, testdata trees and generated files are
+// skipped. The rules follow the godoc conventions golint enforced:
+//
+//   - exported functions, types and methods need their own doc comment
+//     (methods on unexported types are invisible in godoc and exempt);
+//   - exported names in var/const/type groups are covered by either a
+//     per-spec comment or a comment on the enclosing block.
+package main
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		fmt.Fprintln(os.Stderr, "usage: doclint DIR [DIR ...]   (DIR may end in /...)")
+		os.Exit(2)
+	}
+	var dirs []string
+	for _, arg := range os.Args[1:] {
+		if rest, ok := strings.CutSuffix(arg, "/..."); ok {
+			if rest == "." || rest == "" {
+				rest = "."
+			}
+			walked, err := walkDirs(rest)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "doclint:", err)
+				os.Exit(2)
+			}
+			dirs = append(dirs, walked...)
+			continue
+		}
+		dirs = append(dirs, arg)
+	}
+	var problems []string
+	for _, dir := range dirs {
+		p, err := lintDir(dir)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "doclint:", err)
+			os.Exit(2)
+		}
+		problems = append(problems, p...)
+	}
+	if len(problems) > 0 {
+		sort.Strings(problems)
+		for _, p := range problems {
+			fmt.Println(p)
+		}
+		fmt.Fprintf(os.Stderr, "doclint: %d exported declarations lack doc comments\n", len(problems))
+		os.Exit(1)
+	}
+}
+
+// walkDirs expands a root into every subdirectory containing Go files,
+// skipping testdata, vendor and VCS trees.
+func walkDirs(root string) ([]string, error) {
+	seen := map[string]bool{}
+	err := filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			name := d.Name()
+			if name == "testdata" || name == "vendor" || strings.HasPrefix(name, ".") && path != root {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if strings.HasSuffix(path, ".go") {
+			seen[filepath.Dir(path)] = true
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	dirs := make([]string, 0, len(seen))
+	for d := range seen {
+		dirs = append(dirs, d)
+	}
+	sort.Strings(dirs)
+	return dirs, nil
+}
+
+// lintDir parses one package directory and returns its violations.
+func lintDir(dir string) ([]string, error) {
+	fset := token.NewFileSet()
+	pkgs, err := parser.ParseDir(fset, dir, func(fi fs.FileInfo) bool {
+		return !strings.HasSuffix(fi.Name(), "_test.go")
+	}, parser.ParseComments)
+	if err != nil {
+		return nil, err
+	}
+	var out []string
+	report := func(pos token.Pos, kind, name string) {
+		p := fset.Position(pos)
+		out = append(out, fmt.Sprintf("%s:%d: exported %s %s lacks a doc comment", p.Filename, p.Line, kind, name))
+	}
+	for _, pkg := range pkgs {
+		for _, file := range pkg.Files {
+			if isGenerated(file) {
+				continue
+			}
+			for _, decl := range file.Decls {
+				switch d := decl.(type) {
+				case *ast.FuncDecl:
+					if !d.Name.IsExported() || !exportedReceiver(d) {
+						continue
+					}
+					if d.Doc == nil {
+						kind := "function"
+						if d.Recv != nil {
+							kind = "method"
+						}
+						report(d.Pos(), kind, d.Name.Name)
+					}
+				case *ast.GenDecl:
+					lintGenDecl(d, report)
+				}
+			}
+		}
+	}
+	return out, nil
+}
+
+// lintGenDecl applies the block-or-spec doc rule to a var/const/type decl.
+func lintGenDecl(d *ast.GenDecl, report func(pos token.Pos, kind, name string)) {
+	kind := map[token.Token]string{token.TYPE: "type", token.VAR: "var", token.CONST: "const"}[d.Tok]
+	if kind == "" {
+		return // import decls
+	}
+	for _, spec := range d.Specs {
+		switch s := spec.(type) {
+		case *ast.TypeSpec:
+			if s.Name.IsExported() && d.Doc == nil && s.Doc == nil && s.Comment == nil {
+				report(s.Pos(), kind, s.Name.Name)
+			}
+		case *ast.ValueSpec:
+			for _, name := range s.Names {
+				if name.IsExported() && d.Doc == nil && s.Doc == nil && s.Comment == nil {
+					report(name.Pos(), kind, name.Name)
+					break // one report per spec line
+				}
+			}
+		}
+	}
+}
+
+// exportedReceiver reports whether a function is package-level or a
+// method whose receiver type is exported; methods on unexported types do
+// not appear in godoc and need no doc comment.
+func exportedReceiver(d *ast.FuncDecl) bool {
+	if d.Recv == nil || len(d.Recv.List) == 0 {
+		return true
+	}
+	t := d.Recv.List[0].Type
+	for {
+		switch tt := t.(type) {
+		case *ast.StarExpr:
+			t = tt.X
+		case *ast.IndexExpr: // generic receiver T[P]
+			t = tt.X
+		case *ast.IndexListExpr:
+			t = tt.X
+		case *ast.Ident:
+			return tt.IsExported()
+		default:
+			return true // unrecognized shape: err on the side of linting
+		}
+	}
+}
+
+// isGenerated implements the standard "Code generated ... DO NOT EDIT."
+// detection over the file's leading comments.
+func isGenerated(file *ast.File) bool {
+	for _, cg := range file.Comments {
+		if cg.Pos() > file.Package {
+			break
+		}
+		for _, c := range cg.List {
+			if strings.HasPrefix(c.Text, "// Code generated ") && strings.HasSuffix(c.Text, " DO NOT EDIT.") {
+				return true
+			}
+		}
+	}
+	return false
+}

@@ -30,6 +30,7 @@ func main() {
 		lines      = flag.Int("lines", 0, "working-set lines per core (0 = default)")
 		warmup     = flag.Int("warmup", 0, "warm-up writebacks (0 = default)")
 		seed       = flag.Int64("seed", 1, "workload generator seed")
+		shards     = flag.Int("timingshards", 0, "costing shards per timed run: 1 = sequential engine, N > 1 = sharded engine, 0 = auto-size from free CPUs (results are bit-identical)")
 		format     = flag.String("format", "text", "output format: text or csv")
 		outDir     = flag.String("outdir", "", "also write each experiment's output (and a runmeta.json manifest) into this directory")
 		metricsOut = flag.String("metrics", "", "export suite-level metrics (per-experiment wall time, cell counts) as an obs snapshot JSON to this file")
@@ -96,10 +97,11 @@ func main() {
 	}
 
 	rc := exp.RunConfig{
-		Writebacks: *writebacks,
-		Lines:      *lines,
-		Warmup:     *warmup,
-		Seed:       *seed,
+		Writebacks:   *writebacks,
+		Lines:        *lines,
+		Warmup:       *warmup,
+		Seed:         *seed,
+		TimingShards: *shards,
 	}
 
 	// Grid cells are announced incrementally (each experiment adds its own
@@ -118,6 +120,7 @@ func main() {
 		meta.Config = map[string]interface{}{
 			"experiment": *experiment, "writebacks": *writebacks,
 			"lines": *lines, "warmup": *warmup, "seed": *seed, "format": *format,
+			"timingshards": *shards,
 		}
 	}
 

@@ -15,6 +15,7 @@
 //	deucereport record -ledger runs.jsonl -id pr-7 -bench BENCH_writehot.json -metrics out.json
 //	deucereport compare -ledger runs.jsonl HEAD~1 HEAD
 //	deucereport compare -ledger runs.jsonl -baseline 3 HEAD
+//	deucereport compare -ledger runs.jsonl -baseline 5 -gate -out drift.md HEAD   # CI drift gate
 //	deucereport report -ledger runs.jsonl -out report.md
 //
 // check exits non-zero when any paper expectation fails, naming the
@@ -74,7 +75,8 @@ subcommands:
   check    run experiments and verdict every paper expectation (exit 1 on violation);
            -from re-verdicts recorded tables, -outdir records the run
   record   append a run's metrics (bench json/text, obs snapshots, runmeta) to the ledger
-  compare  benchstat-style per-metric deltas between two ledger runs
+  compare  benchstat-style per-metric deltas between two ledger runs;
+           -gate turns significant drift vs the baseline into a non-zero exit
   report   markdown artifact: fidelity matrix + cross-run trend sparklines
   ledger   maintenance for a persisted ledger: seed from a committed fallback, compact
 
@@ -86,11 +88,12 @@ run 'deucereport <subcommand> -h' for flags.
 // report. Defaults of 0 mean the exp package defaults (30000/2048); CI
 // passes -writebacks 6000 -lines 512 for the reduced-scale gate the
 // tolerances are calibrated for.
-func sizeFlags(fs *flag.FlagSet) (writebacks, lines, warmup *int, seed *int64) {
+func sizeFlags(fs *flag.FlagSet) (writebacks, lines, warmup *int, seed *int64, shards *int) {
 	writebacks = fs.Int("writebacks", 0, "measured writebacks per workload (0 = default 30000)")
 	lines = fs.Int("lines", 0, "working-set lines per core (0 = default 2048)")
 	warmup = fs.Int("warmup", 0, "warm-up writebacks (0 = default 2x working set)")
 	seed = fs.Int64("seed", 1, "workload generator seed")
+	shards = fs.Int("timingshards", 0, "costing shards per timed run (0 = auto, 1 = sequential; results are bit-identical)")
 	return
 }
 
@@ -123,7 +126,7 @@ func selectExpectations(spec string) ([]fidelity.Expectation, error) {
 func cmdCheck(args []string) error {
 	fs := flag.NewFlagSet("check", flag.ExitOnError)
 	experiment := fs.String("experiment", "all", "experiment IDs to gate: 'all' or a comma-separated list (fig5,fig10,...)")
-	writebacks, lines, warmup, seed := sizeFlags(fs)
+	writebacks, lines, warmup, seed, shards := sizeFlags(fs)
 	out := fs.String("out", "", "also write the fidelity matrix as markdown to this file")
 	from := fs.String("from", "", "re-verdict recorded table JSON from this directory (zero experiment runs)")
 	outdir := fs.String("outdir", "", "write each experiment's table JSON here, so the gate run doubles as a recording")
@@ -136,7 +139,7 @@ func cmdCheck(args []string) error {
 	if err != nil {
 		return err
 	}
-	rc := exp.RunConfig{Writebacks: *writebacks, Lines: *lines, Warmup: *warmup, Seed: *seed}
+	rc := exp.RunConfig{Writebacks: *writebacks, Lines: *lines, Warmup: *warmup, Seed: *seed, TimingShards: *shards}
 
 	var report *fidelity.Report
 	var tables map[string]*exp.Table
@@ -308,6 +311,7 @@ func cmdCompare(args []string) error {
 	baselineN := fs.Int("baseline", 0, "compare NEW against a median-of-last-N baseline instead of a named OLD run")
 	all := fs.Bool("all", false, "list every metric, including ones within the noise threshold")
 	out := fs.String("out", "", "also write the comparison as markdown to this file")
+	gate := fs.Bool("gate", false, "exit non-zero when a metric present in both runs drifts beyond the threshold; metrics that only appeared or vanished are reported but do not gate, and an empty baseline passes (fresh ledger)")
 	fs.Parse(args)
 
 	if *ledger == "" {
@@ -328,6 +332,13 @@ func cmdCompare(args []string) error {
 		}
 		prior := priorRuns(runs, newRun, *baselineN)
 		if len(prior) == 0 {
+			if *gate {
+				// A drift gate on a fresh (or just-seeded) ledger has
+				// nothing to drift against; failing here would make the
+				// first CI run on every new branch red by construction.
+				fmt.Printf("drift gate: no prior runs in %s to form a baseline; passing\n", *ledger)
+				return nil
+			}
 			return fmt.Errorf("no prior runs to form a baseline from")
 		}
 		oldRun, err = regress.Baseline(prior, min(2, len(prior)))
@@ -357,12 +368,27 @@ func cmdCompare(args []string) error {
 		fmt.Printf("\nwrote %s\n", *out)
 	}
 	sig := 0
+	var drifted []regress.Delta
 	for _, d := range deltas {
-		if d.Significant(*threshold) {
-			sig++
+		if !d.Significant(*threshold) {
+			continue
+		}
+		sig++
+		// The gate only fires on metrics both runs measured: a metric
+		// this change introduced (or retired) is expected churn, not
+		// drift, and would otherwise fail every PR that adds telemetry.
+		if d.OnlyIn == "" {
+			drifted = append(drifted, d)
 		}
 	}
 	fmt.Printf("\n%d of %d metrics changed beyond ±%.3g%%\n", sig, len(deltas), *threshold)
+	if *gate && len(drifted) > 0 {
+		for _, d := range drifted {
+			fmt.Fprintf(os.Stderr, "DRIFT %s: %g -> %g (%+.2f%% vs ±%.3g%%)\n",
+				d.Metric, d.Old, d.New, d.Pct, *threshold)
+		}
+		return fmt.Errorf("%d metrics drifted beyond ±%.3g%% against baseline %q", len(drifted), *threshold, oldRun.ID)
+	}
 	return nil
 }
 
@@ -430,14 +456,14 @@ func cmdReport(args []string) error {
 	ledger := fs.String("ledger", "", "JSONL ledger to render trends from (optional)")
 	out := fs.String("out", "report.md", "markdown output path")
 	experiment := fs.String("experiment", "all", "experiment IDs for the fidelity matrix ('none' to skip running experiments)")
-	writebacks, lines, warmup, seed := sizeFlags(fs)
+	writebacks, lines, warmup, seed, shards := sizeFlags(fs)
 	width := fs.Int("width", 32, "sparkline width in the trend table")
 	filter := fs.String("filter", "", "only trend metrics containing this substring")
 	fs.Parse(args)
 
 	var b strings.Builder
 	b.WriteString("# DEUCE reproduction report\n\n")
-	rc := exp.RunConfig{Writebacks: *writebacks, Lines: *lines, Warmup: *warmup, Seed: *seed}
+	rc := exp.RunConfig{Writebacks: *writebacks, Lines: *lines, Warmup: *warmup, Seed: *seed, TimingShards: *shards}
 
 	pass := true
 	if *experiment != "none" {

@@ -1,0 +1,83 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"deuce/internal/regress"
+)
+
+// gateLedger writes a three-run ledger: two stable baseline runs and a
+// head run with one drifted metric plus one brand-new metric.
+func gateLedger(t *testing.T) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "ledger.jsonl")
+	base := time.Date(2026, 1, 1, 0, 0, 0, 0, time.UTC)
+	runs := []regress.Run{
+		{ID: "r1", Time: base, Metrics: map[string]float64{"bench:X:ns_per_op": 100}},
+		{ID: "r2", Time: base.Add(time.Hour), Metrics: map[string]float64{"bench:X:ns_per_op": 101}},
+		{ID: "head", Time: base.Add(2 * time.Hour), Metrics: map[string]float64{
+			"bench:X:ns_per_op":   150, // +49% vs the median baseline
+			"bench:New:ns_per_op": 5,   // introduced by "head": must not gate
+		}},
+	}
+	for _, r := range runs {
+		if err := regress.Append(path, r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return path
+}
+
+func TestCompareGateFailsOnDrift(t *testing.T) {
+	ledger := gateLedger(t)
+	err := cmdCompare([]string{"-ledger", ledger, "-baseline", "2", "-gate", "head"})
+	if err == nil {
+		t.Fatal("gate passed a 49% drift")
+	}
+	if !strings.Contains(err.Error(), "drifted") {
+		t.Errorf("gate error %q does not name the drift", err)
+	}
+}
+
+func TestCompareGatePassesStableRun(t *testing.T) {
+	ledger := gateLedger(t)
+	if err := cmdCompare([]string{"-ledger", ledger, "-baseline", "1", "-gate", "r2"}); err != nil {
+		t.Errorf("gate failed a 1%% change under the default 2%% threshold: %v", err)
+	}
+}
+
+func TestCompareGatePassesEmptyBaseline(t *testing.T) {
+	ledger := gateLedger(t)
+	// r1 is the oldest run: no priors exist, and a fresh ledger must not
+	// fail CI by construction.
+	if err := cmdCompare([]string{"-ledger", ledger, "-baseline", "5", "-gate", "r1"}); err != nil {
+		t.Errorf("gate failed with an empty baseline: %v", err)
+	}
+}
+
+func TestCompareGateDriftReportArtifact(t *testing.T) {
+	ledger := gateLedger(t)
+	out := filepath.Join(t.TempDir(), "drift.md")
+	err := cmdCompare([]string{"-ledger", ledger, "-baseline", "2", "-gate", "-out", out, "head"})
+	if err == nil {
+		t.Fatal("gate passed a 49% drift")
+	}
+	md, rerr := os.ReadFile(out)
+	if rerr != nil {
+		t.Fatalf("drift report not written: %v", rerr)
+	}
+	if !strings.Contains(string(md), "bench:X:ns_per_op") {
+		t.Errorf("drift report %q omits the drifted metric", md)
+	}
+}
+
+func TestCompareWithoutGateStillExitsZeroOnDrift(t *testing.T) {
+	ledger := gateLedger(t)
+	if err := cmdCompare([]string{"-ledger", ledger, "-baseline", "2", "head"}); err != nil {
+		t.Errorf("plain compare must stay informational, got %v", err)
+	}
+}

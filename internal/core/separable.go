@@ -1,0 +1,37 @@
+package core
+
+// lineSeparable classifies every registered scheme kind by whether its
+// per-line write results are a function of that line's own history alone.
+// A kind is separable when Write(line, data) — the returned cost and all
+// observable per-line state — never depends on writes to other lines.
+// Separability is what lets the sharded timing engine evaluate disjoint
+// line sets on independent scheme instances and still reproduce the
+// sequential engine bit for bit (see internal/timing.Sharded and
+// DESIGN.md §9).
+//
+// The pad cache (Params.PadCacheEntries) is shared across lines but is
+// results-neutral by contract, so it does not affect classification.
+var lineSeparable = map[Kind]bool{
+	KindPlainDCW: true, // per-line cells only
+	KindPlainFNW: true, // per-line cells + flip bits
+	KindEncrDCW:  true, // per-line counter + cells
+	KindEncrFNW:  true, // per-line counter + flip bits
+	KindDeuce:    true, // per-line dual counters + modified bits
+	KindDeuceFNW: true, // DEUCE state + per-line flip bits
+	KindDynDeuce: true, // per-line epoch mode bit on top of DEUCE
+	KindBLE:      true, // per-block counters, all within the line
+	KindBLEDeuce: true, // BLE + DEUCE state, all within the line
+	KindSecret:   true, // DEUCE state + per-word zero flags
+	KindAddrPad:  true, // stateless address-derived pads
+
+	// i-NVMM keeps a global hot-line LRU: writing one line can evict
+	// another from the hot set and change that other line's next write
+	// cost, so results depend on the cross-line write interleaving.
+	KindINVMM: false,
+}
+
+// LineSeparable reports whether the kind's per-line write results are
+// independent of other lines' writes — the property the sharded timing
+// engine requires of its cost model. Unknown kinds conservatively report
+// false.
+func LineSeparable(k Kind) bool { return lineSeparable[k] }

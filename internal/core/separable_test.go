@@ -1,0 +1,31 @@
+package core
+
+import "testing"
+
+// TestLineSeparableCoversAllKinds forces a conscious classification: a
+// newly registered scheme kind must be added to the lineSeparable map (and
+// its cross-line behavior actually audited) before it can ship, or this
+// test fails. LineSeparable's default for unknown kinds is false, which is
+// safe but silently forfeits the sharded engine.
+func TestLineSeparableCoversAllKinds(t *testing.T) {
+	for _, k := range Kinds() {
+		if _, ok := lineSeparable[k]; !ok {
+			t.Errorf("kind %q is not classified in lineSeparable; audit its cross-line state and add it", k)
+		}
+	}
+	if len(lineSeparable) != len(Kinds()) {
+		t.Errorf("lineSeparable has %d entries, registry has %d kinds", len(lineSeparable), len(Kinds()))
+	}
+}
+
+func TestLineSeparableKnownAnswers(t *testing.T) {
+	if LineSeparable(KindINVMM) {
+		t.Error("invmm has a global hot-set LRU and must not be separable")
+	}
+	if !LineSeparable(KindDeuce) {
+		t.Error("deuce state is per-line and must be separable")
+	}
+	if LineSeparable(Kind("no-such-scheme")) {
+		t.Error("unknown kinds must conservatively be non-separable")
+	}
+}

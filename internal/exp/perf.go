@@ -35,6 +35,12 @@ func RunPerf(prof workload.Profile, kind core.Kind, params core.Params, rc RunCo
 		return PerfResult{}, fmt.Errorf("exp: workload %q has non-positive WBPKI (%g): cannot size the event budget",
 			prof.Name, prof.WBPKI)
 	}
+	// The sharded engine requires line-separable costing and exclusive
+	// ownership of the write path, which the single-writer Trace hook
+	// would break; both fallbacks preserve results exactly (DESIGN.md §9).
+	if shards := resolveTimingShards(rc.TimingShards); shards > 1 && rc.Trace == nil && core.LineSeparable(kind) {
+		return runPerfSharded(prof, kind, params, rc, shards)
+	}
 	const cpus = 8
 	var s core.Scheme
 	gen, err := workload.New(prof, workload.Config{

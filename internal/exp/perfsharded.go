@@ -1,0 +1,183 @@
+package exp
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"deuce/internal/core"
+	"deuce/internal/ctrcache"
+	"deuce/internal/pcmdev"
+	"deuce/internal/timing"
+	"deuce/internal/trace"
+	"deuce/internal/workload"
+)
+
+// maxAutoShards caps auto-sized costing shards. Past this point the
+// sequential draw and simulation stages dominate (Amdahl), so extra
+// shards only add barrier traffic.
+const maxAutoShards = 8
+
+// resolveTimingShards turns RunConfig.TimingShards into an effective
+// shard count. Explicit positive values pass through; 0 auto-sizes by
+// dividing GOMAXPROCS among the cell-pool workers currently running, so
+// a saturated sweep keeps its cells sequential while a lone timed run
+// (or a sweep on a many-core host) claims the idle processors for
+// bank-level parallelism.
+func resolveTimingShards(requested int) int {
+	if requested > 0 {
+		return requested
+	}
+	procs := runtime.GOMAXPROCS(0)
+	workers := int(activeCellWorkers.Load())
+	if workers < 1 {
+		workers = 1
+	}
+	free := procs / workers
+	if free < 2 {
+		return 1
+	}
+	if free > maxAutoShards {
+		return maxAutoShards
+	}
+	return free
+}
+
+// warmItem is one recorded warmup operation, replayed in order on the
+// owning shard's scheme instance.
+type warmItem struct {
+	install bool
+	line    uint64
+	data    []byte
+}
+
+// runPerfSharded is RunPerf on the sharded timing engine: identical
+// machine model and event stream, with per-writeback scheme costing
+// partitioned across shards goroutines by bank. Callers guarantee the
+// scheme kind is line-separable (core.LineSeparable) and rc.Trace is nil;
+// under those preconditions the PerfResult is bit-identical to the
+// sequential path for every shard count.
+func runPerfSharded(prof workload.Profile, kind core.Kind, params core.Params, rc RunConfig, shards int) (PerfResult, error) {
+	const cpus = 8
+
+	// Each shard gets its own full scheme instance; a shard only ever
+	// touches the lines it owns, so instance state stays disjoint and
+	// per-shard device stats sum to the sequential totals.
+	schemes := make([]core.Scheme, shards)
+	var eng *timing.Sharded
+	warmLists := make([][]warmItem, shards)
+	warmup := true
+	gen, err := workload.New(prof, workload.Config{
+		Seed:        rc.Seed,
+		CPUs:        cpus,
+		LinesPerCPU: rc.Lines / 2, // 8 cores: keep total memory bounded
+		FirstTouch: func(line uint64, initial []byte) {
+			// initial is caller-owned (the generator copies), so the
+			// deferred closure may capture it without another copy.
+			si := eng.ShardOf(line)
+			if warmup {
+				warmLists[si] = append(warmLists[si], warmItem{install: true, line: line, data: initial})
+				return
+			}
+			eng.Defer(line, func() { schemes[si].Install(line, initial) })
+		},
+	})
+	if err != nil {
+		return PerfResult{}, err
+	}
+	params.Lines = gen.Lines()
+	for i := range schemes {
+		s, err := core.New(kind, params)
+		if err != nil {
+			return PerfResult{}, err
+		}
+		schemes[i] = s
+	}
+	costers := make([]timing.SlotCoster, shards)
+	for i := range costers {
+		s := schemes[i]
+		costers[i] = timing.SlotCosterFunc(func(line uint64, data []byte) int {
+			return s.Write(line, data).Slots
+		})
+	}
+
+	events := int(float64(rc.Writebacks) * (prof.MPKI + prof.WBPKI) / prof.WBPKI)
+	var src trace.Source = &limitSource{inner: gen, remaining: events}
+	if rc.CounterCacheBlocks > 0 {
+		cc, err := ctrcache.New(ctrcache.Config{Blocks: rc.CounterCacheBlocks})
+		if err != nil {
+			return PerfResult{}, err
+		}
+		src = ctrcache.NewFetchSource(src, cc, uint64(2*gen.Lines()))
+	}
+	eng, err = timing.NewSharded(timing.Config{
+		Cores:              cpus,
+		MaxConcurrentSlots: budgetSlots,
+		WritePausing:       rc.WritePausing,
+		ReadLatencyNs:      rc.ReadLatencyNs,
+	}, src, costers, timing.ShardedConfig{})
+	if err != nil {
+		return PerfResult{}, err
+	}
+
+	// Warmup: synthesis must stay sequential (one generator RNG stream),
+	// but the writes partition by line ownership, so recording them into
+	// per-shard lists and replaying the lists concurrently reproduces the
+	// sequential warmup exactly — each line sees its install and writes
+	// in synthesis order, on its one owning scheme instance.
+	for i := 0; i < rc.Warmup; i++ {
+		line, data := gen.NextWriteback(i % cpus)
+		warmLists[eng.ShardOf(line)] = append(warmLists[eng.ShardOf(line)], warmItem{line: line, data: data})
+	}
+	warmup = false
+	warm := make([]pcmdev.Stats, shards)
+	var wg sync.WaitGroup
+	for i := range schemes {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			for _, it := range warmLists[i] {
+				if it.install {
+					schemes[i].Install(it.line, it.data)
+				} else {
+					schemes[i].Write(it.line, it.data)
+				}
+			}
+			schemes[i].Device().ResetStats()
+			warm[i] = schemes[i].Device().Stats()
+		}(i)
+	}
+	wg.Wait()
+	warmLists = nil
+
+	res, err := eng.Run(1 << 30) // the source enforces the budget
+	if err != nil {
+		return PerfResult{}, err
+	}
+	if rc.Metrics != nil {
+		recordShardMetrics(rc, eng.Stats())
+	}
+	var flips uint64
+	for i := range schemes {
+		flips += schemes[i].Device().Stats().Delta(warm[i]).TotalFlips()
+	}
+	return PerfResult{
+		Workload: prof.Name,
+		Scheme:   schemes[0].Name(),
+		Timing:   res,
+		BitFlips: flips,
+	}, nil
+}
+
+// recordShardMetrics publishes the sharded engine's pipeline accounting
+// into the run's metrics registry. Grid sweeps clear rc.Metrics before
+// fanning out (single-writer contract), so this only fires for lone runs.
+func recordShardMetrics(rc RunConfig, st timing.ShardStats) {
+	rc.Metrics.Gauge("timing_shards").Set(float64(st.Shards))
+	rc.Metrics.Counter("timing_epochs").Add(uint64(st.Epochs))
+	rc.Metrics.Counter("timing_events").Add(st.Events)
+	rc.Metrics.Counter("timing_barrier_stall_ns").Add(uint64(st.BarrierStallNs))
+	for i, c := range st.CostedWritebacks {
+		rc.Metrics.Counter(fmt.Sprintf("timing_shard%d_costed", i)).Add(c)
+	}
+}

@@ -1,0 +1,125 @@
+package exp
+
+import (
+	"reflect"
+	"runtime"
+	"testing"
+
+	"deuce/internal/core"
+	"deuce/internal/workload"
+)
+
+// perfShardedRC keeps the sharded differential runs fast; perf runs are
+// far more expensive than flip replays, so the window is small.
+func perfShardedRC() RunConfig {
+	return RunConfig{Writebacks: 1200, Lines: 128, Seed: 3}
+}
+
+// TestRunPerfShardedDifferential pins the end-to-end determinism
+// contract at the experiment layer: RunPerf must produce a bit-identical
+// PerfResult (timing Result and BitFlips) for the sequential engine and
+// every sharded configuration, across schemes and machine settings.
+func TestRunPerfShardedDifferential(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs timed simulations")
+	}
+	prof, _ := workload.ByName("mcf")
+	for _, kind := range []core.Kind{core.KindEncrDCW, core.KindDeuce, core.KindSecret} {
+		for _, variant := range []RunConfig{
+			{},
+			{WritePausing: true},
+			{CounterCacheBlocks: 32},
+		} {
+			rc := perfShardedRC()
+			rc.WritePausing = variant.WritePausing
+			rc.CounterCacheBlocks = variant.CounterCacheBlocks
+
+			rc.TimingShards = 1
+			want, err := RunPerf(prof, kind, core.Params{}, rc)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, shards := range []int{2, 5} {
+				rc.TimingShards = shards
+				got, err := RunPerf(prof, kind, core.Params{}, rc)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !reflect.DeepEqual(got, want) {
+					t.Errorf("%s pause=%t ccb=%d shards=%d: %+v != sequential %+v",
+						kind, rc.WritePausing, rc.CounterCacheBlocks, shards, got, want)
+				}
+			}
+		}
+	}
+}
+
+// TestRunPerfShardedNonSeparableFallsBack: invmm's global hot-set LRU is
+// not line-separable, so a sharded request must silently run the
+// sequential engine and still produce the sequential result.
+func TestRunPerfShardedNonSeparableFallsBack(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs timed simulations")
+	}
+	prof, _ := workload.ByName("astar")
+	rc := perfShardedRC()
+	rc.TimingShards = 1
+	want, err := RunPerf(prof, core.KindINVMM, core.Params{}, rc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rc.TimingShards = 4
+	got, err := RunPerf(prof, core.KindINVMM, core.Params{}, rc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("invmm with TimingShards=4: %+v != %+v", got, want)
+	}
+}
+
+func TestResolveTimingShards(t *testing.T) {
+	for _, n := range []int{1, 3, 8, 64} {
+		if got := resolveTimingShards(n); got != n {
+			t.Errorf("explicit %d resolved to %d", n, got)
+		}
+	}
+	old := runtime.GOMAXPROCS(0)
+	defer runtime.GOMAXPROCS(old)
+
+	runtime.GOMAXPROCS(1)
+	if got := resolveTimingShards(0); got != 1 {
+		t.Errorf("auto on 1 proc = %d, want 1 (sequential)", got)
+	}
+	runtime.GOMAXPROCS(4)
+	if got := resolveTimingShards(0); got != 4 {
+		t.Errorf("auto on 4 free procs = %d, want 4", got)
+	}
+	runtime.GOMAXPROCS(32)
+	if got := resolveTimingShards(0); got != maxAutoShards {
+		t.Errorf("auto on 32 procs = %d, want cap %d", got, maxAutoShards)
+	}
+}
+
+// TestResolveTimingShardsUnderPool: inside a saturated cell pool every
+// worker must stay sequential — bank-level parallelism on top of
+// cell-level parallelism would oversubscribe the machine.
+func TestResolveTimingShardsUnderPool(t *testing.T) {
+	old := runtime.GOMAXPROCS(0)
+	defer runtime.GOMAXPROCS(old)
+	runtime.GOMAXPROCS(4)
+
+	got := make([]int, 8)
+	err := forEachCellN(4, len(got), func(i int) error {
+		got[i] = resolveTimingShards(0)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, g := range got {
+		if g != 1 {
+			t.Errorf("cell %d auto-sized to %d shards inside a 4-worker pool on 4 procs, want 1", i, g)
+		}
+	}
+}

@@ -1,0 +1,313 @@
+package timing
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"sync"
+
+	"deuce/internal/trace"
+)
+
+// ErrSharedLine reports a violation of the sharded engine's determinism
+// contract: a writeback stream in which the same line is written by more
+// than one core. The sharded engine costs writebacks in trace order, per
+// line, ahead of simulated time; that is only equal to the sequential
+// engine's issue-order costing when each line's writebacks come from a
+// single core (whose issue order is its trace order). The workload
+// generator guarantees this by construction (per-core private working
+// sets); arbitrary recorded traces may not, and must use the sequential
+// Simulator instead.
+var ErrSharedLine = errors.New("timing: sharded engine requires single-writer lines")
+
+// errPipelineDone terminates the inner Simulator's event stream. The
+// sequential engine treats every source error as end-of-trace, so io.EOF
+// keeps the two engines' semantics aligned; pipeline failures
+// (ErrSharedLine) surface from Sharded.Run itself, never through the
+// source.
+var errPipelineDone = io.EOF
+
+// ShardedConfig sizes the sharded engine's pipeline. The zero value
+// selects sensible defaults; results are bit-identical for every setting.
+type ShardedConfig struct {
+	// EpochEvents is the number of trace events per pipeline epoch;
+	// 0 means 1024. Smaller epochs lower the memory held in flight and
+	// the cost of a mid-stream shutdown; larger epochs amortize barrier
+	// overhead.
+	EpochEvents int
+	// Depth is the number of epochs in flight between the draw stage and
+	// the simulation stage; 0 means 4. It bounds how far the costing
+	// shards may run ahead of simulated time.
+	Depth int
+}
+
+func (sc *ShardedConfig) setDefaults() {
+	if sc.EpochEvents == 0 {
+		sc.EpochEvents = 1024
+	}
+	if sc.Depth == 0 {
+		sc.Depth = 4
+	}
+}
+
+// ShardStats describes one completed sharded run; see Sharded.Stats.
+type ShardStats struct {
+	// Shards is the number of costing shards the run used.
+	Shards int
+	// Epochs is the number of pipeline epochs dispatched.
+	Epochs int
+	// Events is the number of trace events drawn from the source.
+	Events uint64
+	// CostedWritebacks[i] is the number of writebacks shard i evaluated.
+	// The sum can exceed the writebacks the Simulator issued: costing
+	// runs ahead of simulated time, so a maxEvents cutoff can leave a
+	// costed tail the simulation never consumed.
+	CostedWritebacks []uint64
+	// BarrierStallNs is simulated-run wall time the simulation stage
+	// spent waiting on epoch barriers — non-zero means the costing
+	// shards, not the event loop, were the bottleneck.
+	BarrierStallNs int64
+}
+
+// Sharded is the parallel counterpart of Simulator: the identical
+// event-driven machine model, with the expensive per-writeback slot
+// costing sharded across goroutines by bank and pipelined against both
+// the trace draw and the event loop.
+//
+// The engine produces a Result bit-identical to the sequential Simulator
+// for every configuration and shard count. The event loop itself — cores,
+// banks, the global current budget — is deliberately NOT sharded: posted
+// writebacks and current-budget hand-off couple banks at zero simulated-
+// time distance, so no conservative lookahead window can reorder them
+// without changing results (see DESIGN.md §9 for the full argument).
+// What is sharded is everything whose order across banks provably cannot
+// matter: per-line coster state, partitioned by the same line→bank map
+// the machine uses.
+//
+// Construction is cheap; Run spawns len(costers)+1 goroutines (the
+// costing shards and the draw stage) for the duration of the run and
+// joins them before returning. A Sharded is single-use: Run may be
+// called once.
+type Sharded struct {
+	cfg    Config
+	sc     ShardedConfig
+	rawSrc trace.Source
+	shards []*shard
+	sim    *Simulator
+	src    *epochSource
+
+	ready chan *epoch
+	done  chan struct{}
+
+	// Draw-goroutine state.
+	cur    *epoch
+	owner  map[uint64]int // line → issuing core, for the ErrSharedLine guard
+	epochs int
+	events uint64
+
+	pipeErr error
+	started bool
+	stats   ShardStats
+}
+
+// NewSharded builds a sharded simulator over a trace source.
+//
+// costers[i] evaluates the writebacks of every bank b with
+// b % len(costers) == i (banks are line % cfg.Banks, as in the sequential
+// engine). Each coster is called from a single dedicated goroutine, so
+// per-coster state needs no synchronization — but distinct costers run
+// concurrently, so they must not share mutable state with each other.
+// Bit-identical results additionally require each coster's per-line
+// answers to be independent of other lines' writebacks (the determinism
+// contract, DESIGN.md §9); the experiment harness enforces this via
+// core.LineSeparable.
+func NewSharded(cfg Config, src trace.Source, costers []SlotCoster, sc ShardedConfig) (*Sharded, error) {
+	cfg.setDefaults()
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	if src == nil {
+		return nil, fmt.Errorf("timing: nil source")
+	}
+	if len(costers) < 1 {
+		return nil, fmt.Errorf("timing: sharded engine needs at least one coster")
+	}
+	if len(costers) > cfg.Banks {
+		return nil, fmt.Errorf("timing: %d costing shards exceed %d banks", len(costers), cfg.Banks)
+	}
+	for i, c := range costers {
+		if c == nil {
+			return nil, fmt.Errorf("timing: nil coster for shard %d", i)
+		}
+	}
+	sc.setDefaults()
+	if sc.EpochEvents < 1 || sc.Depth < 1 {
+		return nil, fmt.Errorf("timing: non-positive epoch size or depth in %+v", sc)
+	}
+	e := &Sharded{
+		cfg:    cfg,
+		sc:     sc,
+		rawSrc: src,
+		ready:  make(chan *epoch, sc.Depth),
+		done:   make(chan struct{}),
+		owner:  make(map[uint64]int, 1024),
+	}
+	for i := range costers {
+		e.shards = append(e.shards, &shard{
+			id:     i,
+			shards: len(costers),
+			banks:  cfg.Banks,
+			coster: costers[i],
+			in:     make(chan *epoch, sc.Depth),
+		})
+	}
+	e.src = &epochSource{ready: e.ready, fifo: make(map[uint64][]int, 1024)}
+	sim, err := NewSimulator(cfg, e.src, fifoCoster{src: e.src})
+	if err != nil {
+		return nil, err
+	}
+	e.sim = sim
+	return e, nil
+}
+
+// ShardOf returns the index of the costing shard that owns line. Callers
+// that keep per-line side state (scheme instances, install routing) must
+// partition it with this same map to match the engine's ownership.
+func (e *Sharded) ShardOf(line uint64) int {
+	return int(line%uint64(e.cfg.Banks)) % len(e.shards)
+}
+
+// Defer schedules fn to run on the goroutine of the shard owning line,
+// ordered before the costing of the event currently being drawn. It
+// exists for lazily-materialized per-line state: a workload generator's
+// first-touch install hook fires while the engine draws the line's first
+// writeback, and Defer routes the install to the owning shard so it is
+// applied before that writeback is costed — the same install-before-
+// first-write order the sequential engine produces.
+//
+// Defer must only be called from within the source's Next method (i.e.
+// from hooks that fire while the engine draws); calling it from anywhere
+// else panics.
+func (e *Sharded) Defer(line uint64, fn func()) {
+	ep := e.cur
+	if ep == nil {
+		panic("timing: Sharded.Defer called outside a source draw")
+	}
+	ep.ops = append(ep.ops, shardOp{pos: len(ep.events), shard: e.ShardOf(line), fn: fn})
+}
+
+// Run simulates until maxEvents trace events have been issued (or the
+// source ends) and returns the same Result the sequential Simulator
+// would. It spawns the pipeline goroutines, runs the event loop on the
+// calling goroutine, and joins everything before returning.
+func (e *Sharded) Run(maxEvents int) (Result, error) {
+	if maxEvents <= 0 {
+		return Result{}, fmt.Errorf("timing: maxEvents must be positive, got %d", maxEvents)
+	}
+	if e.started {
+		return Result{}, fmt.Errorf("timing: Sharded.Run called twice")
+	}
+	e.started = true
+
+	var join sync.WaitGroup
+	for _, sh := range e.shards {
+		join.Add(1)
+		go sh.loop(join.Done)
+	}
+	drawDone := make(chan struct{})
+	go func() {
+		defer close(drawDone)
+		e.drawLoop()
+	}()
+
+	res, err := e.sim.Run(maxEvents)
+
+	// Unblock the draw stage if the event loop stopped early (maxEvents),
+	// then join the pipeline. Shards drain any epochs still buffered on
+	// their channels — bounded by Depth — before exiting.
+	close(e.done)
+	<-drawDone
+	join.Wait()
+
+	e.stats = ShardStats{
+		Shards:           len(e.shards),
+		Epochs:           e.epochs,
+		Events:           e.events,
+		CostedWritebacks: make([]uint64, len(e.shards)),
+		BarrierStallNs:   e.src.stallNs,
+	}
+	for i, sh := range e.shards {
+		e.stats.CostedWritebacks[i] = sh.costed
+	}
+	if e.pipeErr != nil {
+		return Result{}, e.pipeErr
+	}
+	return res, err
+}
+
+// Stats reports pipeline behavior for the completed run. Valid only
+// after Run has returned.
+func (e *Sharded) Stats() ShardStats { return e.stats }
+
+// drawLoop is the draw-stage goroutine: it pulls events from the raw
+// source into epochs, enforces the single-writer-line contract, and
+// dispatches each filled epoch to every shard and then to the simulation
+// stage. It owns e.cur, e.owner, e.epochs and e.events exclusively.
+func (e *Sharded) drawLoop() {
+	defer func() {
+		for _, sh := range e.shards {
+			close(sh.in)
+		}
+		close(e.ready)
+	}()
+	for {
+		ep := &epoch{
+			events: make([]trace.Event, 0, e.sc.EpochEvents),
+			costs:  make([]int, e.sc.EpochEvents),
+		}
+		e.cur = ep
+		srcDone := false
+		for len(ep.events) < e.sc.EpochEvents {
+			ev, err := e.rawSrc.Next()
+			if err != nil {
+				// Any source error ends the stream, exactly as the
+				// sequential engine's pull does.
+				srcDone = true
+				break
+			}
+			if ev.Kind == trace.Writeback {
+				c := int(ev.CPU) % e.cfg.Cores
+				if prev, ok := e.owner[ev.Line]; !ok {
+					e.owner[ev.Line] = c
+				} else if prev != c {
+					e.pipeErr = fmt.Errorf("%w: line %d written by core %d after core %d",
+						ErrSharedLine, ev.Line, c, prev)
+					return
+				}
+			}
+			ep.events = append(ep.events, ev)
+			e.events++
+		}
+		ep.costs = ep.costs[:len(ep.events)]
+		if len(ep.events) == 0 && len(ep.ops) == 0 {
+			return
+		}
+		e.epochs++
+		ep.wg.Add(len(e.shards))
+		for _, sh := range e.shards {
+			select {
+			case sh.in <- ep:
+			case <-e.done:
+				return
+			}
+		}
+		select {
+		case e.ready <- ep:
+		case <-e.done:
+			return
+		}
+		if srcDone {
+			return
+		}
+	}
+}

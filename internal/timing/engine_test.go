@@ -1,0 +1,372 @@
+package timing
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"math/bits"
+	"math/rand"
+	"testing"
+
+	"deuce/internal/trace"
+)
+
+// diffCoster is a stateful per-line SlotCoster: slot cost is the Hamming
+// distance to the line's previous content, mimicking how the experiment
+// harness derives costs from per-line scheme state. Shardability requires
+// exactly the property this models: the answer for a line depends only on
+// that line's own write history.
+type diffCoster struct {
+	last map[uint64][]byte
+}
+
+func newDiffCoster() *diffCoster { return &diffCoster{last: make(map[uint64][]byte)} }
+
+func (d *diffCoster) WriteSlots(line uint64, data []byte) int {
+	prev := d.last[line]
+	n := 0
+	for i := range data {
+		var p byte
+		if prev != nil {
+			p = prev[i]
+		}
+		n += bits.OnesCount8(p ^ data[i])
+	}
+	cp := make([]byte, len(data))
+	copy(cp, data)
+	d.last[line] = cp
+	return n / 8
+}
+
+// genTrace builds a deterministic pseudo-random trace obeying the sharded
+// engine's contract: each line is written by exactly one CPU (per-CPU
+// disjoint line regions, like the workload generator), reads may alias.
+func genTrace(seed int64, cpus, linesPerCPU, n int) []trace.Event {
+	rng := rand.New(rand.NewSource(seed))
+	evs := make([]trace.Event, 0, n)
+	for i := 0; i < n; i++ {
+		cpu := uint8(i % cpus)
+		line := uint64(cpu)*uint64(linesPerCPU) + uint64(rng.Intn(linesPerCPU))
+		gap := uint32(rng.Intn(400))
+		if rng.Intn(3) == 0 {
+			evs = append(evs, trace.Event{Kind: trace.Read, Line: line, CPU: cpu, Gap: gap})
+		} else {
+			data := make([]byte, 64)
+			rng.Read(data)
+			evs = append(evs, trace.Event{Kind: trace.Writeback, Line: line, CPU: cpu, Gap: gap, Data: data})
+		}
+	}
+	return evs
+}
+
+// runSeq runs the reference sequential engine over evs.
+func runSeq(t *testing.T, cfg Config, evs []trace.Event, maxEvents int) Result {
+	t.Helper()
+	s, err := NewSimulator(cfg, &sliceSource{events: evs}, newDiffCoster())
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := s.Run(maxEvents)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+// runSharded runs the sharded engine with nshards independent costers.
+func runSharded(t *testing.T, cfg Config, sc ShardedConfig, nshards int, evs []trace.Event, maxEvents int) (Result, ShardStats) {
+	t.Helper()
+	costers := make([]SlotCoster, nshards)
+	for i := range costers {
+		costers[i] = newDiffCoster()
+	}
+	e, err := NewSharded(cfg, &sliceSource{events: evs}, costers, sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := e.Run(maxEvents)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res, e.Stats()
+}
+
+// TestShardedDifferential is the core determinism suite: the sharded
+// engine must produce a bit-identical Result to the sequential engine
+// across seeds × cores × banks × shard counts × WritePausing.
+func TestShardedDifferential(t *testing.T) {
+	const nEvents = 4000
+	for _, seed := range []int64{1, 2, 3} {
+		for _, cpus := range []int{1, 4} {
+			evs := genTrace(seed, cpus, 64, nEvents)
+			for _, banks := range []int{1, 4, 32} {
+				for _, pausing := range []bool{false, true} {
+					cfg := Config{Cores: cpus, Banks: banks, WritePausing: pausing}
+					want := runSeq(t, cfg, evs, nEvents)
+					for _, shards := range []int{1, 2, 3, 8} {
+						if shards > banks {
+							continue
+						}
+						name := fmt.Sprintf("seed=%d cpus=%d banks=%d pause=%t shards=%d",
+							seed, cpus, banks, pausing, shards)
+						got, _ := runSharded(t, cfg, ShardedConfig{}, shards, evs, nEvents)
+						if got != want {
+							t.Errorf("%s: sharded %+v != sequential %+v", name, got, want)
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestShardedEpochGeometry varies pipeline sizing: epoch size and depth
+// must never change the Result, including the degenerate 1-event epoch.
+func TestShardedEpochGeometry(t *testing.T) {
+	evs := genTrace(7, 4, 32, 2500)
+	cfg := Config{Cores: 4, Banks: 16, WritePausing: true}
+	want := runSeq(t, cfg, evs, len(evs))
+	for _, epoch := range []int{1, 7, 256, 4096} {
+		for _, depth := range []int{1, 8} {
+			got, _ := runSharded(t, cfg, ShardedConfig{EpochEvents: epoch, Depth: depth}, 4, evs, len(evs))
+			if got != want {
+				t.Errorf("epoch=%d depth=%d: %+v != %+v", epoch, depth, got, want)
+			}
+		}
+	}
+}
+
+// TestShardedMaxEventsTruncation stops the simulation mid-stream; the
+// sharded pipeline runs ahead of the event loop, so the cutoff exercises
+// the shutdown path (costed-but-unissued tail, draw-stage unblock).
+func TestShardedMaxEventsTruncation(t *testing.T) {
+	evs := genTrace(11, 4, 32, 3000)
+	cfg := Config{Cores: 4, Banks: 8}
+	for _, maxEvents := range []int{1, 10, 999, 2999, 3000, 3001, 1 << 30} {
+		want := runSeq(t, cfg, evs, maxEvents)
+		got, _ := runSharded(t, cfg, ShardedConfig{EpochEvents: 64}, 4, evs, maxEvents)
+		if got != want {
+			t.Errorf("maxEvents=%d: %+v != %+v", maxEvents, got, want)
+		}
+	}
+}
+
+// TestShardedSharedReadLines verifies the single-writer guard ignores
+// reads: a line read by every core but written by one is legal.
+func TestShardedSharedReadLines(t *testing.T) {
+	evs := []trace.Event{
+		wb(5, 0, 100),
+		rd(5, 1, 100),
+		rd(5, 2, 100),
+		wb(5, 0, 100),
+		rd(5, 3, 100),
+	}
+	cfg := Config{Cores: 4, Banks: 4}
+	want := runSeq(t, cfg, evs, len(evs))
+	got, _ := runSharded(t, cfg, ShardedConfig{}, 2, evs, len(evs))
+	if got != want {
+		t.Errorf("shared-read line: %+v != %+v", got, want)
+	}
+}
+
+// TestShardedSharedWriteRejected: a line written from two distinct cores
+// violates the determinism contract and must fail with ErrSharedLine.
+func TestShardedSharedWriteRejected(t *testing.T) {
+	evs := []trace.Event{wb(5, 0, 100), wb(5, 1, 100)}
+	e, err := NewSharded(Config{Cores: 4, Banks: 4}, &sliceSource{events: evs},
+		[]SlotCoster{newDiffCoster(), newDiffCoster()}, ShardedConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Run(len(evs)); !errors.Is(err, ErrSharedLine) {
+		t.Errorf("got %v, want ErrSharedLine", err)
+	}
+}
+
+// TestShardedSharedWriteSameCore: distinct CPUs that fold onto the same
+// core (CPU % Cores) are a single writer and must be accepted.
+func TestShardedSharedWriteSameCore(t *testing.T) {
+	evs := []trace.Event{wb(5, 0, 100), wb(5, 2, 100)}
+	cfg := Config{Cores: 2, Banks: 4}
+	want := runSeq(t, cfg, evs, len(evs))
+	got, _ := runSharded(t, cfg, ShardedConfig{}, 2, evs, len(evs))
+	if got != want {
+		t.Errorf("same-core aliased writers: %+v != %+v", got, want)
+	}
+}
+
+// installSource simulates the experiment harness's lazy first-touch line
+// materialization: the first writeback of a line triggers an install that
+// must be applied to the owning shard's coster before that writeback is
+// costed. With eng == nil (sequential reference) installs apply inline.
+type installSource struct {
+	evs       []trace.Event
+	i         int
+	eng       *Sharded
+	installed map[uint64]bool
+	install   func(line uint64)
+}
+
+func (s *installSource) Next() (trace.Event, error) {
+	if s.i >= len(s.evs) {
+		return trace.Event{}, io.EOF
+	}
+	ev := s.evs[s.i]
+	s.i++
+	if ev.Kind == trace.Writeback && !s.installed[ev.Line] {
+		s.installed[ev.Line] = true
+		line := ev.Line
+		if s.eng != nil {
+			s.eng.Defer(line, func() { s.install(line) })
+		} else {
+			s.install(line)
+		}
+	}
+	return ev, nil
+}
+
+// installCoster charges a penalty for lines that were not installed
+// before their first write, making any install/write reorder visible in
+// the Result.
+type installCoster struct {
+	ready map[uint64]bool
+}
+
+func (c *installCoster) WriteSlots(line uint64, _ []byte) int {
+	if c.ready[line] {
+		return 2
+	}
+	return 500
+}
+
+// TestShardedDeferInstallOrder pins Defer's ordering guarantee: installs
+// land on the owning shard before the triggering writeback is costed, so
+// results match the sequential engine's inline-install behavior.
+func TestShardedDeferInstallOrder(t *testing.T) {
+	const banks, shards = 8, 3
+	evs := genTrace(13, 2, 48, 2000)
+	cfg := Config{Cores: 2, Banks: banks}
+
+	seqCoster := &installCoster{ready: make(map[uint64]bool)}
+	seqSrc := &installSource{
+		evs:       evs,
+		installed: make(map[uint64]bool),
+		install:   func(line uint64) { seqCoster.ready[line] = true },
+	}
+	seq, err := NewSimulator(cfg, seqSrc, seqCoster)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := seq.Run(len(evs))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	costers := make([]SlotCoster, shards)
+	for i := range costers {
+		costers[i] = &installCoster{ready: make(map[uint64]bool)}
+	}
+	parSrc := &installSource{
+		evs:       evs,
+		installed: make(map[uint64]bool),
+		// Routed through Defer, the closure runs on the goroutine of the
+		// shard owning line, which is also the only goroutine reading
+		// that line's ready entry.
+		install: func(line uint64) {
+			costers[int(line%banks)%shards].(*installCoster).ready[line] = true
+		},
+	}
+	e, err := NewSharded(cfg, parSrc, costers, ShardedConfig{EpochEvents: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	parSrc.eng = e
+	got, err := e.Run(len(evs))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != want {
+		t.Errorf("deferred installs: %+v != %+v", got, want)
+	}
+	if got.SlotsIssued > want.Reads+want.Writes*2 {
+		t.Errorf("install penalty leaked into costs: SlotsIssued=%d", got.SlotsIssued)
+	}
+}
+
+func TestShardedValidation(t *testing.T) {
+	src := &sliceSource{}
+	ok := []SlotCoster{fixedSlots(1)}
+	if _, err := NewSharded(Config{Banks: 4}, src, nil, ShardedConfig{}); err == nil {
+		t.Error("empty coster slice accepted")
+	}
+	if _, err := NewSharded(Config{Banks: 4}, src, []SlotCoster{nil}, ShardedConfig{}); err == nil {
+		t.Error("nil coster accepted")
+	}
+	if _, err := NewSharded(Config{Banks: 2}, src, []SlotCoster{fixedSlots(1), fixedSlots(1), fixedSlots(1)}, ShardedConfig{}); err == nil {
+		t.Error("shards > banks accepted")
+	}
+	if _, err := NewSharded(Config{}, nil, ok, ShardedConfig{}); err == nil {
+		t.Error("nil source accepted")
+	}
+	if _, err := NewSharded(Config{Cores: -1}, src, ok, ShardedConfig{}); err == nil {
+		t.Error("invalid config accepted")
+	}
+	if _, err := NewSharded(Config{}, src, ok, ShardedConfig{EpochEvents: -1}); err == nil {
+		t.Error("negative epoch size accepted")
+	}
+	e, err := NewSharded(Config{}, src, ok, ShardedConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Run(0); err == nil {
+		t.Error("zero maxEvents accepted")
+	}
+	if _, err := e.Run(10); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Run(10); err == nil {
+		t.Error("second Run accepted")
+	}
+}
+
+func TestShardedDeferOutsideDrawPanics(t *testing.T) {
+	e, err := NewSharded(Config{}, &sliceSource{}, []SlotCoster{fixedSlots(1)}, ShardedConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("Defer outside a draw did not panic")
+		}
+	}()
+	e.Defer(0, func() {})
+}
+
+// TestShardedStats sanity-checks the pipeline accounting: every drawn
+// event is counted, every issued writeback was costed by exactly the
+// owning shard, and shard coverage partitions the writebacks.
+func TestShardedStats(t *testing.T) {
+	evs := genTrace(17, 4, 32, 3000)
+	cfg := Config{Cores: 4, Banks: 8}
+	res, st := runSharded(t, cfg, ShardedConfig{EpochEvents: 128}, 4, evs, len(evs))
+	if st.Shards != 4 {
+		t.Errorf("Shards = %d, want 4", st.Shards)
+	}
+	if st.Events != uint64(len(evs)) {
+		t.Errorf("Events = %d, want %d", st.Events, len(evs))
+	}
+	wantEpochs := (len(evs) + 127) / 128
+	if st.Epochs != wantEpochs {
+		t.Errorf("Epochs = %d, want %d", st.Epochs, wantEpochs)
+	}
+	var costed uint64
+	for _, c := range st.CostedWritebacks {
+		costed += c
+	}
+	if costed != res.Writes {
+		t.Errorf("costed %d writebacks, simulator issued %d", costed, res.Writes)
+	}
+	if st.BarrierStallNs < 0 {
+		t.Errorf("negative BarrierStallNs %d", st.BarrierStallNs)
+	}
+}

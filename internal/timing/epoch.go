@@ -1,0 +1,109 @@
+package timing
+
+import (
+	"sync"
+	"time"
+
+	"deuce/internal/trace"
+)
+
+// epoch is one batch of the event stream flowing through the sharded
+// engine's pipeline. The draw stage fills it from the trace source, every
+// costing shard scans it (writing slot costs only at the indices of the
+// writebacks it owns, so the writes are disjoint), and the simulation
+// stage consumes it after the epoch's barrier — wg — reports that all
+// shards are done with it.
+//
+// Happens-before: the draw goroutine publishes an epoch by sending it on
+// the shard and ready channels; shards publish their cost writes through
+// wg.Done; the simulation goroutine reads costs only after wg.Wait. No
+// field is accessed concurrently outside that protocol.
+type epoch struct {
+	// events are the drawn trace events, in draw order.
+	events []trace.Event
+	// costs[i] is the slot cost of events[i] if it is a writeback
+	// (filled in by the owning shard); untouched for reads.
+	costs []int
+	// ops are shard-local preamble operations (lazy line installs —
+	// see Sharded.Defer), ordered by the event index they must precede.
+	ops []shardOp
+	// wg is the epoch barrier: one Done per shard.
+	wg sync.WaitGroup
+}
+
+// shardOp is a deferred operation delivered to the shard owning a line,
+// executed before the epoch's event at index pos is costed. The engine
+// uses it to route lazily-materialized line state (first-touch installs)
+// to the goroutine that owns the line, preserving the install-before-
+// first-write order of the sequential engine.
+type shardOp struct {
+	pos   int
+	shard int
+	fn    func()
+}
+
+// epochSource adapts the draw stage's costed epochs back into a
+// trace.Source for the inner sequential Simulator. It runs entirely on
+// the simulation goroutine.
+//
+// As events are handed to the Simulator, each writeback's precomputed
+// cost is pushed onto its line's FIFO; the paired fifoCoster pops it when
+// the Simulator issues the writeback. The per-line FIFO is what makes the
+// cost hand-off independent of issue order: the Simulator issues a line's
+// writebacks in draw order (the determinism contract), but interleaves
+// lines according to simulated timing, which the FIFO absorbs.
+type epochSource struct {
+	ready <-chan *epoch
+	cur   *epoch
+	idx   int
+	fifo  map[uint64][]int
+
+	// stallNs accumulates simulation time spent blocked on epoch
+	// barriers — the pipeline's "shards are behind" signal.
+	stallNs int64
+	epochs  int
+	events  uint64
+}
+
+// Next implements trace.Source over the costed epoch stream.
+func (s *epochSource) Next() (trace.Event, error) {
+	for s.cur == nil || s.idx >= len(s.cur.events) {
+		ep, ok := <-s.ready
+		if !ok {
+			return trace.Event{}, errPipelineDone
+		}
+		t0 := time.Now()
+		ep.wg.Wait()
+		s.stallNs += time.Since(t0).Nanoseconds()
+		s.cur, s.idx = ep, 0
+		s.epochs++
+	}
+	ev := s.cur.events[s.idx]
+	if ev.Kind == trace.Writeback {
+		s.fifo[ev.Line] = append(s.fifo[ev.Line], s.cur.costs[s.idx])
+	}
+	s.idx++
+	s.events++
+	return ev, nil
+}
+
+// fifoCoster satisfies the inner Simulator's SlotCoster by popping the
+// cost precomputed by the owning shard. It runs on the simulation
+// goroutine only.
+type fifoCoster struct {
+	src *epochSource
+}
+
+// WriteSlots implements SlotCoster from the per-line cost FIFO.
+func (c fifoCoster) WriteSlots(line uint64, _ []byte) int {
+	q := c.src.fifo[line]
+	if len(q) == 0 {
+		// The Simulator only issues events it pulled, and every pulled
+		// writeback pushed its cost; an empty queue means engine
+		// corruption, not a caller error.
+		panic("timing: sharded engine cost underflow — writeback issued with no precomputed cost")
+	}
+	cost := q[0]
+	c.src.fifo[line] = q[1:]
+	return cost
+}

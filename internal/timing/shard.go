@@ -1,0 +1,65 @@
+package timing
+
+import (
+	"deuce/internal/trace"
+)
+
+// shard is one costing worker of the sharded engine. It owns the banks b
+// of the machine with b % shards == id, and with them every cache line
+// that maps to those banks: the shard's SlotCoster is the only goroutine
+// that ever evaluates those lines' writebacks, so per-line coster state
+// needs no locking.
+//
+// A shard consumes epochs in draw order from its channel and, for each,
+// walks the full event slice costing only the writebacks it owns. Cost
+// writes land at disjoint indices across shards (bank ownership is a
+// partition), so the epoch's cost slice is written race-free. Deferred
+// ops (lazy installs) interleave positionally: an op scheduled before
+// event i runs before event i is costed, preserving the sequential
+// engine's install-before-first-write order for every line.
+type shard struct {
+	id     int
+	shards int
+	banks  int
+	coster SlotCoster
+	in     chan *epoch
+
+	// costed counts writebacks this shard evaluated; read by the engine
+	// only after the shard goroutine has been joined.
+	costed uint64
+}
+
+// owns reports whether the shard owns the bank of the given line.
+func (sh *shard) owns(line uint64) bool {
+	return int(line%uint64(sh.banks))%sh.shards == sh.id
+}
+
+// loop is the shard goroutine body: cost epochs until the draw stage
+// closes the channel.
+func (sh *shard) loop(join func()) {
+	defer join()
+	for ep := range sh.in {
+		oi := 0
+		for i := range ep.events {
+			for oi < len(ep.ops) && ep.ops[oi].pos <= i {
+				if ep.ops[oi].shard == sh.id {
+					ep.ops[oi].fn()
+				}
+				oi++
+			}
+			ev := &ep.events[i]
+			if ev.Kind == trace.Writeback && sh.owns(ev.Line) {
+				ep.costs[i] = sh.coster.WriteSlots(ev.Line, ev.Data)
+				sh.costed++
+			}
+		}
+		// Ops appended while drawing the event that ended the epoch
+		// (or after the last drawn event) trail the event slice.
+		for ; oi < len(ep.ops); oi++ {
+			if ep.ops[oi].shard == sh.id {
+				ep.ops[oi].fn()
+			}
+		}
+		ep.wg.Done()
+	}
+}

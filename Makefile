@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check fmt-check doclint build vet test race race-timing bench-smoke bench-writehot bench-timing fidelity fidelity-report fidelity-reverdict
+.PHONY: check fmt-check doclint build vet test race race-timing bench-smoke bench-writehot bench-timing bench-warm fidelity fidelity-report fidelity-reverdict
 
 # check is the pre-merge gate: static checks, full tests under the race
 # detector, and a short smoke of the steady-state write benchmark so a
@@ -29,13 +29,17 @@ test:
 race:
 	$(GO) test -race ./...
 
-# race-timing is the focused race pass for the sharded timing engine: the
-# differential suites in internal/timing and the parallel grid path in
-# internal/exp, under the race detector. A subset of `race`, split out so
-# CI can run it on every push even when the full race matrix is pruned.
+# race-timing is the focused race pass for the deterministic-parallelism
+# machinery: the sharded timing engine's differential suites in
+# internal/timing, the parallel grid / warm-fork / planner paths in
+# internal/exp, and the fork bit-identity suites in internal/core and
+# internal/workload, all under the race detector. A subset of `race`,
+# split out so CI can run it on every push even when the full race matrix
+# is pruned.
 race-timing:
 	$(GO) test -race ./internal/timing/
-	$(GO) test -race -run 'TestRunPerfSharded|TestResolveTimingShards|TestPerfGrid' ./internal/exp/
+	$(GO) test -race -run 'TestRunPerfSharded|TestResolveTimingShards|TestPerfGrid|TestWarm|TestPlan' ./internal/exp/
+	$(GO) test -race -run 'TestFork' ./internal/core/ ./internal/workload/
 
 # bench-smoke only checks that the hot-write benchmarks still run and stay
 # allocation-free; 100 iterations is too few for timing, use bench-writehot
@@ -51,6 +55,15 @@ bench-writehot:
 # timed perf cell at 1/2/4/8 costing shards.
 bench-timing:
 	$(GO) test -run '^$$' -bench BenchmarkTimedCell -benchmem ./internal/exp/
+
+# bench-warm regenerates BENCH_warm.json: the full fidelity gate's wall
+# clock at CI scale in its three execution modes — cold (warm-state reuse
+# off, the pre-reuse baseline), with warm-state reuse and the planner, and
+# as an incremental recheck against the run's own recording (zero
+# experiment re-runs). Also cross-checks that all three modes verdict
+# identically.
+bench-warm:
+	$(GO) run ./ci/benchwarm -writebacks 6000 -lines 512 -out BENCH_warm.json
 
 # fidelity runs the paper-fidelity gate at the reduced CI scale: every
 # EXPERIMENTS.md headline value is checked against the paper with

@@ -9,7 +9,9 @@
 //	deucereport check -experiment all            # run the fidelity gate
 //	deucereport check -experiment fig10,fig15 -writebacks 6000 -lines 512
 //	deucereport check -experiment all -outdir results/   # gate run doubles as a recording
+//	deucereport check -experiment all -outdir results/   # again: incremental, unchanged experiments reused
 //	deucereport check -from results/             # re-verdict the recording, zero runs
+//	deucereport plan -experiment all -writebacks 6000 -lines 512   # dry-run the execution DAG
 //	deucereport check -experiment all -ledger runs.jsonl -id $(git rev-parse --short HEAD)
 //	deucereport ledger -ledger runs.jsonl -seed ci/ledger-seed.jsonl -keep 200
 //	deucereport record -ledger runs.jsonl -id pr-7 -bench BENCH_writehot.json -metrics out.json
@@ -46,6 +48,8 @@ func main() {
 	switch os.Args[1] {
 	case "check":
 		err = cmdCheck(os.Args[2:])
+	case "plan":
+		err = cmdPlan(os.Args[2:])
 	case "record":
 		err = cmdRecord(os.Args[2:])
 	case "compare":
@@ -73,7 +77,10 @@ func usage() {
 
 subcommands:
   check    run experiments and verdict every paper expectation (exit 1 on violation);
-           -from re-verdicts recorded tables, -outdir records the run
+           -from re-verdicts recorded tables, -outdir records the run and makes
+           later checks incremental (unchanged experiments reuse the recording)
+  plan     dry-run the experiment planner: the deduplicated warmup/cell/table
+           DAG a gate run would execute, without running anything
   record   append a run's metrics (bench json/text, obs snapshots, runmeta) to the ledger
   compare  benchstat-style per-metric deltas between two ledger runs;
            -gate turns significant drift vs the baseline into a non-zero exit
@@ -169,9 +176,24 @@ func cmdCheck(args []string) error {
 		report = fidelity.EvaluateTables(tables, exps)
 		source = "deucereport check -from"
 	} else {
-		report, tables, err = fidelity.Check(rc, exps)
+		// Incremental mode: when -outdir already holds a recording, reuse
+		// every recorded table whose Inputs hash still matches the live
+		// configuration and re-run only the rest. A missing or unreadable
+		// directory simply means a full (cold) run that will seed it.
+		var recorded map[string]*exp.Table
+		if *outdir != "" {
+			if prev, lerr := exp.LoadTables(*outdir); lerr == nil {
+				recorded = prev
+			}
+		}
+		var inc fidelity.Incremental
+		report, tables, inc, err = fidelity.CheckWithRecorded(rc, exps, recorded)
 		if err != nil {
 			return err
+		}
+		if recorded != nil {
+			fmt.Printf("incremental: %d reused, %d re-run (of %d experiments)\n",
+				len(inc.Reused), len(inc.Reran), len(inc.Reused)+len(inc.Reran))
 		}
 	}
 	elapsed := time.Since(start).Round(time.Millisecond)
@@ -195,6 +217,7 @@ func cmdCheck(args []string) error {
 		fmt.Printf("%s (%d recorded tables from %s, in %v)\n", report.Summary(), len(tables), *from, elapsed)
 	} else {
 		fmt.Printf("%s (%d experiments in %v)\n", report.Summary(), len(tables), elapsed)
+		fmt.Println(reuseLine())
 	}
 
 	if *outdir != "" {
@@ -239,6 +262,45 @@ func cmdCheck(args []string) error {
 	if !report.Pass() {
 		return fmt.Errorf("%d of %d expectations violated", len(report.Failures())+len(report.Missing),
 			len(report.Verdicts)+len(report.Missing))
+	}
+	return nil
+}
+
+// reuseLine renders warm-state reuse and experiment-cache effectiveness
+// for the run so far, one line for check/report output.
+func reuseLine() string {
+	r := exp.Reuse()
+	return fmt.Sprintf("reuse: %d warm forks, %d cold warmups; cache %d hits / %d misses",
+		r.WarmForks, r.ColdWarmups, r.CacheHits, r.CacheMisses)
+}
+
+// cmdPlan renders the experiment planner's dry run: the deduplicated
+// warm-stream -> warm-scheme -> cell -> table DAG a gate over the selected
+// experiments would execute at the given scale, without running anything.
+func cmdPlan(args []string) error {
+	fs := flag.NewFlagSet("plan", flag.ExitOnError)
+	experiment := fs.String("experiment", "all", "experiment IDs to plan: 'all' or a comma-separated list (fig5,fig10,...)")
+	writebacks, lines, warmup, seed, shards := sizeFlags(fs)
+	out := fs.String("out", "", "also write the dry-run to this file")
+	fs.Parse(args)
+
+	exps, err := selectExpectations(*experiment)
+	if err != nil {
+		return err
+	}
+	rc := exp.RunConfig{Writebacks: *writebacks, Lines: *lines, Warmup: *warmup, Seed: *seed, TimingShards: *shards}
+	plan, err := exp.BuildPlan(fidelity.ExperimentIDs(exps), rc)
+	if err != nil {
+		return err
+	}
+	plan.Render(os.Stdout)
+	if *out != "" {
+		var b strings.Builder
+		plan.Render(&b)
+		if err := writeFileMkdir(*out, b.String()); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s\n", *out)
 	}
 	return nil
 }
@@ -478,6 +540,7 @@ func cmdReport(args []string) error {
 		}
 		pass = report.Pass()
 		fmt.Printf("%s (in %v)\n", report.Summary(), time.Since(start).Round(time.Millisecond))
+		fmt.Println(reuseLine())
 		b.WriteString("## Fidelity matrix\n\n")
 		b.WriteString(reportHeader("", rc))
 		b.WriteString(report.Markdown())

@@ -1,0 +1,113 @@
+// Package clonerand wraps math/rand with a cloneable deterministic stream.
+//
+// The workload generators (internal/workload) draw every stochastic decision
+// from one rand.Rand seeded by the run's seed; the warm-state reuse layer
+// (internal/exp) needs to snapshot a generator after warmup and continue the
+// identical stream independently in several forked copies. math/rand's
+// rngSource carries ~5 KB of hidden state with no copy API, so the snapshot
+// is taken the other way around: a counting wrapper records how many values
+// the source has produced, and Clone replays that many draws into a freshly
+// seeded source — a fast-forward of a few hundred thousand steps costs
+// single-digit milliseconds, orders of magnitude less than re-running the
+// scheme writes the warmup consists of.
+//
+// The contract that everything downstream rests on: a clonerand.Rand seeded
+// with s produces the bit-identical value stream to rand.New(rand.NewSource(s))
+// for every method the generators use (Int63, Intn, Float64, ExpFloat64,
+// Read, ...), and a Clone continues exactly where its original stood at
+// clone time while the two advance independently afterwards. The
+// differential suite in clonerand_test.go pins both properties; changing
+// the stream would silently shift every measured workload statistic and
+// invalidate the calibrated fidelity tolerances (internal/fidelity).
+package clonerand
+
+import "math/rand"
+
+// source counts the draws of an underlying math/rand source. Every
+// top-level rand.Rand method consumes source values in whole steps
+// (Int63 and Uint64 each advance the rngSource exactly once), so the
+// count alone pins the stream position.
+type source struct {
+	inner rand.Source64
+	n     uint64
+}
+
+// Int63 draws from the wrapped source, counting the step.
+func (s *source) Int63() int64 {
+	s.n++
+	return s.inner.Int63()
+}
+
+// Uint64 draws from the wrapped source, counting the step.
+func (s *source) Uint64() uint64 {
+	s.n++
+	return s.inner.Uint64()
+}
+
+// Seed is required by rand.Source but must not be called: reseeding would
+// desynchronize the draw count from the stream position.
+func (s *source) Seed(int64) {
+	panic("clonerand: Seed after construction would break Clone")
+}
+
+// Rand is a cloneable rand.Rand. The embedded Rand serves every
+// distribution method; Read is shadowed (see below) so its carry state
+// lives where Clone can copy it.
+type Rand struct {
+	*rand.Rand
+	src  *source
+	seed int64
+
+	// readVal/readPos replicate rand.Rand's byte-carry across Read calls
+	// (seven bytes are served per Int63 draw). rand.Rand keeps them in
+	// unexported fields; holding our own copy — and shadowing Read so the
+	// embedded ones stay untouched at zero — makes the carry cloneable.
+	readVal int64
+	readPos int8
+}
+
+// New returns a Rand whose value stream is bit-identical to
+// rand.New(rand.NewSource(seed)).
+func New(seed int64) *Rand {
+	src := &source{inner: rand.NewSource(seed).(rand.Source64)}
+	return &Rand{Rand: rand.New(src), src: src, seed: seed}
+}
+
+// Read fills p with random bytes, continuing any partially-consumed draw
+// from the previous Read. The algorithm is math/rand's: each Int63 supplies
+// seven bytes, the leftover carries to the next call.
+func (r *Rand) Read(p []byte) (int, error) {
+	pos := r.readPos
+	val := r.readVal
+	for n := 0; n < len(p); n++ {
+		if pos == 0 {
+			val = r.src.Int63()
+			pos = 7
+		}
+		p[n] = byte(val)
+		val >>= 8
+		pos--
+	}
+	r.readPos = pos
+	r.readVal = val
+	return len(p), nil
+}
+
+// Clone returns an independent Rand positioned at exactly this Rand's
+// stream state: it will produce the same future values, and advancing
+// either copy does not affect the other. Cost is one draw per step
+// consumed so far.
+func (r *Rand) Clone() *Rand {
+	src := &source{inner: rand.NewSource(r.seed).(rand.Source64)}
+	for i := uint64(0); i < r.src.n; i++ {
+		src.inner.Uint64()
+	}
+	src.n = r.src.n
+	return &Rand{
+		Rand:    rand.New(src),
+		src:     src,
+		seed:    r.seed,
+		readVal: r.readVal,
+		readPos: r.readPos,
+	}
+}

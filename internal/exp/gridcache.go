@@ -1,6 +1,7 @@
 package exp
 
 import (
+	"crypto/sha256"
 	"encoding/hex"
 	"fmt"
 	"sync"
@@ -136,12 +137,25 @@ func (rc RunConfig) key() string {
 // core.Params. The second return is false when the params carry inputs
 // with no canonical encoding (MakeArray, Trace) — such a configuration
 // must not be cached.
+//
+// Params are canonicalized first, so the zero value and an explicit
+// spelling of the defaults share one key — that equivalence is what lets
+// cells recur across figures (e.g. Figure 8's 2-byte DEUCE and Figure 10's
+// default DEUCE are the same cell).
+//
+// The AES key enters as a short SHA-256 digest, never as raw material:
+// cache keys travel into logs, dry-run plans and recorded run metadata,
+// none of which may leak a key a caller supplied. Eight bytes of digest
+// are plenty for cache discrimination (keys are not adversarial inputs
+// here) and are unambiguously not the key itself.
 func paramsKey(p core.Params) (string, bool) {
 	if p.MakeArray != nil || p.Trace != nil {
 		return "", false
 	}
-	return fmt.Sprintf("lines=%d lb=%d key=%s epoch=%d word=%d ctr=%d wear=%t hot=%d pad=%d",
-		p.Lines, p.LineBytes, hex.EncodeToString(p.Key), p.EpochInterval,
+	p = p.Canonical()
+	keyDigest := sha256.Sum256(p.Key)
+	return fmt.Sprintf("lines=%d lb=%d keysha=%s epoch=%d word=%d ctr=%d wear=%t hot=%d pad=%d",
+		p.Lines, p.LineBytes, hex.EncodeToString(keyDigest[:8]), p.EpochInterval,
 		p.WordBytes, p.CounterBits, p.TrackPerLineWear, p.HotCapacity,
 		p.PadCacheEntries), true
 }

@@ -1,0 +1,52 @@
+package exp
+
+import (
+	"encoding/hex"
+	"strings"
+	"testing"
+
+	"deuce/internal/core"
+)
+
+// TestParamsKeyLeaksNoKeyMaterial: cache keys travel into logs, dry-run
+// plans and recorded run metadata, so the AES key must never appear in one
+// — not raw, not hex-encoded.
+func TestParamsKeyLeaksNoKeyMaterial(t *testing.T) {
+	secret := []byte("super-secret-16b")
+	pk, ok := paramsKey(core.Params{Key: secret})
+	if !ok {
+		t.Fatal("plain params should be cacheable")
+	}
+	for _, leak := range []string{string(secret), hex.EncodeToString(secret)} {
+		if strings.Contains(pk, leak) {
+			t.Fatalf("paramsKey %q contains key material %q", pk, leak)
+		}
+	}
+	// The digest must still discriminate between keys.
+	pk2, _ := paramsKey(core.Params{Key: []byte("other-secret-16b")})
+	if pk == pk2 {
+		t.Fatal("different keys produced identical cache keys")
+	}
+}
+
+// TestParamsKeyCanonicalizes: the zero params and an explicit spelling of
+// the defaults construct identical schemes, so they must share a cache key
+// — this is what lets cells recur across figures (Figure 8's 2-byte DEUCE
+// vs Figure 10's default DEUCE).
+func TestParamsKeyCanonicalizes(t *testing.T) {
+	a, ok := paramsKey(core.Params{})
+	if !ok {
+		t.Fatal("zero params should be cacheable")
+	}
+	b, ok := paramsKey(core.Params{WordBytes: 2, EpochInterval: 32})
+	if !ok {
+		t.Fatal("explicit-default params should be cacheable")
+	}
+	if a != b {
+		t.Fatalf("canonical equivalents got distinct keys:\n %s\n %s", a, b)
+	}
+	c, _ := paramsKey(core.Params{WordBytes: 4})
+	if a == c {
+		t.Fatal("non-default params collided with the default key")
+	}
+}

@@ -25,8 +25,13 @@ type PerfResult struct {
 
 // RunPerf simulates one workload on one scheme with the 8-core machine of
 // Table 1 and returns execution time and activity.
+//
+// Like RunFlips, eligible cells (see cellCacheable) are memoized: the
+// result is all-scalar, and both timing engines are deterministic in the
+// cell key, so a cell shared between figures executes once. TimingShards
+// is deliberately absent from the key — sharded and sequential runs are
+// bit-identical by contract (DESIGN.md §9).
 func RunPerf(prof workload.Profile, kind core.Kind, params core.Params, rc RunConfig) (PerfResult, error) {
-	perfRuns.Add(1)
 	rc.setDefaults()
 	// The event budget below divides by WBPKI; guard here so a
 	// hand-built profile fails with the budget's own diagnosis instead
@@ -35,34 +40,32 @@ func RunPerf(prof workload.Profile, kind core.Kind, params core.Params, rc RunCo
 		return PerfResult{}, fmt.Errorf("exp: workload %q has non-positive WBPKI (%g): cannot size the event budget",
 			prof.Name, prof.WBPKI)
 	}
+	if !cellCacheable(params, rc) {
+		return runPerfDispatch(prof, kind, params, rc)
+	}
+	pk, _ := paramsKey(params)
+	key := perfCellKey(prof, kind, pk, rc)
+	v, err := sharedCache.Do(key, func() (interface{}, error) {
+		return runPerfDispatch(prof, kind, params, rc)
+	})
+	if err != nil {
+		return PerfResult{}, err
+	}
+	return v.(PerfResult), nil
+}
+
+// runPerfDispatch picks the timing engine and executes the cell for real.
+func runPerfDispatch(prof workload.Profile, kind core.Kind, params core.Params, rc RunConfig) (PerfResult, error) {
+	perfRuns.Add(1)
 	// The sharded engine requires line-separable costing and exclusive
 	// ownership of the write path, which the single-writer Trace hook
 	// would break; both fallbacks preserve results exactly (DESIGN.md §9).
 	if shards := resolveTimingShards(rc.TimingShards); shards > 1 && rc.Trace == nil && core.LineSeparable(kind) {
 		return runPerfSharded(prof, kind, params, rc, shards)
 	}
-	const cpus = 8
-	var s core.Scheme
-	gen, err := workload.New(prof, workload.Config{
-		Seed:        rc.Seed,
-		CPUs:        cpus,
-		LinesPerCPU: rc.Lines / 2, // 8 cores: keep total memory bounded
-		FirstTouch:  func(line uint64, initial []byte) { s.Install(line, initial) },
-	})
+	s, gen, err := warmedScheme(prof, kind, params, rc, perfTopology(rc))
 	if err != nil {
 		return PerfResult{}, err
-	}
-	params.Lines = gen.Lines()
-	params.Trace = rc.Trace
-	s, err = core.New(kind, params)
-	if err != nil {
-		return PerfResult{}, err
-	}
-
-	// Warm the epoch/footprint state so the timed window is steady-state.
-	for i := 0; i < rc.Warmup; i++ {
-		line, data := gen.NextWriteback(i % cpus)
-		s.Write(line, data)
 	}
 	s.Device().ResetStats()
 	warm := s.Device().Stats()
@@ -88,7 +91,7 @@ func RunPerf(prof workload.Profile, kind core.Kind, params core.Params, rc RunCo
 		src = ctrcache.NewFetchSource(src, cc, uint64(2*gen.Lines()))
 	}
 	sim, err := timing.NewSimulator(timing.Config{
-		Cores:              cpus,
+		Cores:              perfCPUs,
 		MaxConcurrentSlots: budgetSlots,
 		WritePausing:       rc.WritePausing,
 		ReadLatencyNs:      rc.ReadLatencyNs,
@@ -283,3 +286,6 @@ func Fig17(rc RunConfig) (*Table, error) {
 // budgetSlots is the global write-current budget used by the performance
 // experiments, calibrated against Figure 16 (see EXPERIMENTS.md).
 const budgetSlots = 15
+
+// perfCPUs is the simulated core count of Table 1's machine.
+const perfCPUs = 8

@@ -58,7 +58,21 @@ type warmItem struct {
 // under those preconditions the PerfResult is bit-identical to the
 // sequential path for every shard count.
 func runPerfSharded(prof workload.Profile, kind core.Kind, params core.Params, rc RunConfig, shards int) (PerfResult, error) {
-	const cpus = 8
+	const cpus = perfCPUs
+
+	// Warm fast path: fork the one cached fully-warmed scheme per shard.
+	// Line separability (a caller precondition here) makes the full copy
+	// sound: a shard only ever writes the lines it owns, the non-owned
+	// lines' state sits inert, and the measured-window stats deltas are
+	// the owned writes only — identical to the recorded-replay path, with
+	// the same per-line install/write order.
+	if warmReuseEnabled() && rc.Trace == nil {
+		if _, ok := paramsKey(params); ok {
+			if res, err, handled := runPerfShardedWarm(prof, kind, params, rc, shards); handled {
+				return res, err
+			}
+		}
+	}
 
 	// Each shard gets its own full scheme instance; a shard only ever
 	// touches the lines it owns, so instance state stays disjoint and
@@ -167,6 +181,85 @@ func runPerfSharded(prof workload.Profile, kind core.Kind, params core.Params, r
 		Timing:   res,
 		BitFlips: flips,
 	}, nil
+}
+
+// runPerfShardedWarm is the warm-fork variant of runPerfSharded. The third
+// return is false when the warm state could not be built or forked, in
+// which case the caller falls back to the cold recorded-replay path.
+func runPerfShardedWarm(prof workload.Profile, kind core.Kind, params core.Params, rc RunConfig, shards int) (PerfResult, error, bool) {
+	const cpus = perfCPUs
+	streamKey, e, err := warmStreamFor(prof, rc, perfTopology(rc))
+	if err != nil {
+		return PerfResult{}, nil, false
+	}
+	params.Lines = e.gen.Lines()
+	src0, err := warmSchemeFor(streamKey, e, kind, params)
+	if err != nil {
+		return PerfResult{}, nil, false
+	}
+	schemes := make([]core.Scheme, shards)
+	warm := make([]pcmdev.Stats, shards)
+	for i := range schemes {
+		s, err := core.Fork(src0)
+		if err != nil {
+			return PerfResult{}, nil, false
+		}
+		s.Device().ResetStats()
+		warm[i] = s.Device().Stats()
+		schemes[i] = s
+	}
+	warmForks.Add(1)
+
+	var eng *timing.Sharded
+	gen := e.gen.Fork(func(line uint64, initial []byte) {
+		// initial is caller-owned (the generator copies), so the
+		// deferred closure may capture it without another copy.
+		si := eng.ShardOf(line)
+		eng.Defer(line, func() { schemes[si].Install(line, initial) })
+	})
+	costers := make([]timing.SlotCoster, shards)
+	for i := range costers {
+		s := schemes[i]
+		costers[i] = timing.SlotCosterFunc(func(line uint64, data []byte) int {
+			return s.Write(line, data).Slots
+		})
+	}
+
+	events := int(float64(rc.Writebacks) * (prof.MPKI + prof.WBPKI) / prof.WBPKI)
+	var src trace.Source = &limitSource{inner: gen, remaining: events}
+	if rc.CounterCacheBlocks > 0 {
+		cc, err := ctrcache.New(ctrcache.Config{Blocks: rc.CounterCacheBlocks})
+		if err != nil {
+			return PerfResult{}, err, true
+		}
+		src = ctrcache.NewFetchSource(src, cc, uint64(2*gen.Lines()))
+	}
+	eng, err = timing.NewSharded(timing.Config{
+		Cores:              cpus,
+		MaxConcurrentSlots: budgetSlots,
+		WritePausing:       rc.WritePausing,
+		ReadLatencyNs:      rc.ReadLatencyNs,
+	}, src, costers, timing.ShardedConfig{})
+	if err != nil {
+		return PerfResult{}, err, true
+	}
+	res, err := eng.Run(1 << 30) // the source enforces the budget
+	if err != nil {
+		return PerfResult{}, err, true
+	}
+	if rc.Metrics != nil {
+		recordShardMetrics(rc, eng.Stats())
+	}
+	var flips uint64
+	for i := range schemes {
+		flips += schemes[i].Device().Stats().Delta(warm[i]).TotalFlips()
+	}
+	return PerfResult{
+		Workload: prof.Name,
+		Scheme:   schemes[0].Name(),
+		Timing:   res,
+		BitFlips: flips,
+	}, nil, true
 }
 
 // recordShardMetrics publishes the sharded engine's pipeline accounting

@@ -114,31 +114,43 @@ type FlipResult struct {
 // RunFlips replays a synthetic workload against a freshly constructed
 // scheme and reports flip statistics. keepPositions retains the per-bit
 // wear profile (costs a copy).
+//
+// When warm-state reuse is enabled and the cell has a canonical key (see
+// cellCacheable), the result is memoized: several gate experiments share
+// identical (workload, scheme, params, config) cells, and the second
+// consumer is served the recorded result instead of re-running. The cached
+// run always retains positions; the flag only controls what the caller
+// receives.
 func RunFlips(prof workload.Profile, kind core.Kind, params core.Params, rc RunConfig, keepPositions bool) (FlipResult, error) {
-	flipRuns.Add(1)
 	rc.setDefaults()
-	var s core.Scheme
-	gen, err := workload.New(prof, workload.Config{
-		Seed:        rc.Seed,
-		LinesPerCPU: rc.Lines,
-		// Initial page placement goes through Install so a line's
-		// first writeback is an ordinary update, not a whole-line
-		// transition from zero (paper §3.1).
-		FirstTouch: func(line uint64, initial []byte) { s.Install(line, initial) },
+	if !cellCacheable(params, rc) {
+		return runFlipsMeasured(prof, kind, params, rc, keepPositions)
+	}
+	pk, _ := paramsKey(params)
+	key := flipCellKey(prof, kind, pk, rc)
+	v, err := sharedCache.Do(key, func() (interface{}, error) {
+		return runFlipsMeasured(prof, kind, params, rc, true)
 	})
 	if err != nil {
 		return FlipResult{}, err
 	}
-	params.Lines = gen.Lines()
-	params.Trace = rc.Trace
-	s, err = core.New(kind, params)
+	r := v.(FlipResult)
+	if keepPositions {
+		// Hand out a copy so callers cannot mutate the cached profile.
+		r.PositionWrites = append([]uint64(nil), r.PositionWrites...)
+	} else {
+		r.PositionWrites = nil
+	}
+	return r, nil
+}
+
+// runFlipsMeasured executes a flip run for real: a warmed scheme and
+// generator (forked or cold), then the measured window.
+func runFlipsMeasured(prof workload.Profile, kind core.Kind, params core.Params, rc RunConfig, keepPositions bool) (FlipResult, error) {
+	flipRuns.Add(1)
+	s, gen, err := warmedScheme(prof, kind, params, rc, flipTopology(rc))
 	if err != nil {
 		return FlipResult{}, err
-	}
-
-	for i := 0; i < rc.Warmup; i++ {
-		line, data := gen.NextWriteback(0)
-		s.Write(line, data)
 	}
 	// ResetStats carves the measured window for the per-position wear
 	// profile; warm+Delta does the same for the scalar stats and keeps the
@@ -307,7 +319,31 @@ type WearResult struct {
 
 // RunWear replays a workload against a scheme whose array is wrapped in a
 // Start-Gap leveler with the given mode, and analyzes the wear profile.
+//
+// The wrapped array makes the underlying flip run uncacheable and
+// unforkable (the leveler's state is outside core.Fork's reach), so wear
+// cells always warm up cold; the result itself is still memoized here,
+// keyed by the pre-wrap params plus the leveler configuration.
 func RunWear(prof workload.Profile, kind core.Kind, params core.Params, mode wear.Mode, psi int, rc RunConfig) (WearResult, error) {
+	rc.setDefaults()
+	if !cellCacheable(params, rc) {
+		return runWearMeasured(prof, kind, params, mode, psi, rc)
+	}
+	pk, _ := paramsKey(params)
+	key := wearCellKey(prof, kind, pk, mode, psi, rc)
+	v, err := sharedCache.Do(key, func() (interface{}, error) {
+		return runWearMeasured(prof, kind, params, mode, psi, rc)
+	})
+	if err != nil {
+		return WearResult{}, err
+	}
+	r := v.(WearResult)
+	r.PositionWrites = append([]uint64(nil), r.PositionWrites...)
+	return r, nil
+}
+
+// runWearMeasured executes a wear cell for real.
+func runWearMeasured(prof workload.Profile, kind core.Kind, params core.Params, mode wear.Mode, psi int, rc RunConfig) (WearResult, error) {
 	params.MakeArray = func(cfg pcmdev.Config) (pcmdev.Array, error) {
 		// Gap-move copies are excluded from the wear ledger: at the
 		// paper's scale they are <1% of programs, but at simulation

@@ -35,6 +35,14 @@ type Table struct {
 	// across runs — the machine-readable counterpart of the free-text
 	// paper references in the title.
 	Values map[string]float64
+
+	// Inputs is the content hash of everything that determined this
+	// table (see InputsHash): the measurement-code version salt, the
+	// experiment ID, the RunConfig key and the planned cell keys. The
+	// incremental fidelity gate reuses a recorded table only while its
+	// Inputs still match what a live run would compute; empty means the
+	// run was not hashable (observability hooks) and is never reused.
+	Inputs string
 }
 
 // SetValue records one headline quantity under "metric/series".
@@ -73,7 +81,7 @@ func (t *Table) Clone() *Table {
 	if t == nil {
 		return nil
 	}
-	out := &Table{ID: t.ID, Title: t.Title, Note: t.Note}
+	out := &Table{ID: t.ID, Title: t.Title, Note: t.Note, Inputs: t.Inputs}
 	out.Columns = append([]string(nil), t.Columns...)
 	out.Rows = make([][]string, len(t.Rows))
 	for i, row := range t.Rows {
@@ -165,6 +173,7 @@ type tableJSON struct {
 	ID      string             `json:"id,omitempty"`
 	Title   string             `json:"title"`
 	Note    string             `json:"note,omitempty"`
+	Inputs  string             `json:"inputs,omitempty"`
 	Columns []string           `json:"columns"`
 	Rows    [][]Cell           `json:"rows"`
 	Values  map[string]float64 `json:"values,omitempty"`
@@ -177,6 +186,7 @@ func (t *Table) MarshalJSON() ([]byte, error) {
 		ID:      t.ID,
 		Title:   t.Title,
 		Note:    t.Note,
+		Inputs:  t.Inputs,
 		Columns: t.Columns,
 		Rows:    make([][]Cell, len(t.Rows)),
 		Values:  t.Values,
@@ -199,6 +209,7 @@ func (t *Table) UnmarshalJSON(data []byte) error {
 		return err
 	}
 	t.ID, t.Title, t.Note, t.Columns, t.Values = in.ID, in.Title, in.Note, in.Columns, in.Values
+	t.Inputs = in.Inputs
 	t.Rows = make([][]string, len(in.Rows))
 	for i, row := range in.Rows {
 		t.Rows[i] = make([]string, len(row))

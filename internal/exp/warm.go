@@ -1,0 +1,229 @@
+package exp
+
+import (
+	"fmt"
+
+	"deuce/internal/core"
+	"deuce/internal/wear"
+	"deuce/internal/workload"
+)
+
+// Warm-state reuse (DESIGN.md §10). Every grid cell historically built a
+// fresh generator and scheme and replayed rc.Warmup writebacks before its
+// measured window — identical work wherever cells share a (workload,
+// geometry, seed, params) tuple. This file caches that work at two levels:
+//
+//  1. warmEntry: one warmup synthesis per (profile, topology, seed,
+//     warmup) — the recorded install/write stream plus the generator
+//     parked at the warmup/measured boundary.
+//  2. a fully warmed scheme per (warmEntry, kind, params) — built by
+//     replaying the recorded stream once.
+//
+// A cell then takes core.Fork of the warmed scheme and Generator.Fork of
+// the parked generator, both bit-identical to having run the warmup cold
+// (pinned by the warm differential suite). Cached warm objects are never
+// advanced after construction — consumers only fork them — which is what
+// makes concurrent cells safe without locks beyond the cache's own
+// single-flight.
+
+// warmOp is one recorded warmup operation: an initial page placement
+// (install) or a warmup writeback, in synthesis order.
+type warmOp struct {
+	install bool
+	line    uint64
+	data    []byte
+}
+
+// warmEntry is a cached warmup: the recorded operation stream and the
+// generator parked exactly at the end of warmup. Both are frozen —
+// consumers replay ops into fresh schemes and Fork the generator.
+type warmEntry struct {
+	ops []warmOp
+	gen *workload.Generator
+}
+
+// warmTopology pins the generator shape a runner warms with: RunFlips uses
+// one CPU over the full working set, RunPerf eight CPUs over half.
+type warmTopology struct {
+	cpus int
+	lpc  int // LinesPerCPU
+}
+
+func flipTopology(rc RunConfig) warmTopology { return warmTopology{cpus: 1, lpc: rc.Lines} }
+
+// perfTopology halves the per-CPU working set: 8 cores, total memory
+// bounded (see RunPerf).
+func perfTopology(rc RunConfig) warmTopology {
+	return warmTopology{cpus: perfCPUs, lpc: rc.Lines / 2}
+}
+
+// warmStreamKey identifies one warmup synthesis: profile, topology, seed
+// and warmup length. The planner uses the same key to predict sharing.
+func warmStreamKey(prof workload.Profile, rc RunConfig, topo warmTopology) string {
+	return fmt.Sprintf("warmStream|prof=%+v|cpus=%d|lpc=%d|seed=%d|warm=%d",
+		prof, topo.cpus, topo.lpc, rc.Seed, rc.Warmup)
+}
+
+// warmSchemeKey identifies one fully-warmed scheme over a warm stream.
+func warmSchemeKey(streamKey string, kind core.Kind, pk string) string {
+	return fmt.Sprintf("warmScheme|%s|kind=%s|%s", streamKey, kind, pk)
+}
+
+// warmStreamFor returns the cached warmup synthesis for the tuple,
+// building it on first use. rc must be defaulted.
+func warmStreamFor(prof workload.Profile, rc RunConfig, topo warmTopology) (string, *warmEntry, error) {
+	key := warmStreamKey(prof, rc, topo)
+	v, err := sharedCache.Do(key, func() (interface{}, error) {
+		e := &warmEntry{}
+		gen, err := workload.New(prof, workload.Config{
+			Seed:        rc.Seed,
+			CPUs:        topo.cpus,
+			LinesPerCPU: topo.lpc,
+			// Record installs instead of applying them; the replay
+			// interleaves them with the writes in synthesis order,
+			// exactly as a cold run's FirstTouch would fire.
+			FirstTouch: func(line uint64, initial []byte) {
+				e.ops = append(e.ops, warmOp{install: true, line: line, data: initial})
+			},
+		})
+		if err != nil {
+			return nil, err
+		}
+		for i := 0; i < rc.Warmup; i++ {
+			line, data := gen.NextWriteback(i % topo.cpus)
+			e.ops = append(e.ops, warmOp{line: line, data: data})
+		}
+		e.gen = gen
+		return e, nil
+	})
+	if err != nil {
+		return "", nil, err
+	}
+	return key, v.(*warmEntry), nil
+}
+
+// warmSchemeFor returns the cached fully-warmed scheme for (stream, kind,
+// params), building it by replaying the recorded warmup once. params.Lines
+// must already be set to the stream generator's line count. The returned
+// scheme is shared and frozen; callers must core.Fork it, never write it.
+func warmSchemeFor(streamKey string, e *warmEntry, kind core.Kind, params core.Params) (core.Scheme, error) {
+	pk, ok := paramsKey(params)
+	if !ok {
+		return nil, fmt.Errorf("exp: uncacheable params reached the warm-scheme cache")
+	}
+	key := warmSchemeKey(streamKey, kind, pk)
+	v, err := sharedCache.Do(key, func() (interface{}, error) {
+		coldWarmups.Add(1)
+		s, err := core.New(kind, params)
+		if err != nil {
+			return nil, err
+		}
+		for _, op := range e.ops {
+			if op.install {
+				s.Install(op.line, op.data)
+			} else {
+				s.Write(op.line, op.data)
+			}
+		}
+		return s, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return v.(core.Scheme), nil
+}
+
+// warmedScheme hands a runner a scheme warmed through rc.Warmup writebacks
+// plus the matching generator parked at the measured window, either by
+// forking cached warm state (fast path) or by running the warmup cold.
+// The cold path reproduces the historical per-cell behavior exactly; the
+// fast path is bit-identical to it by the fork contracts.
+func warmedScheme(prof workload.Profile, kind core.Kind, params core.Params, rc RunConfig, topo warmTopology) (core.Scheme, *workload.Generator, error) {
+	if warmReuseEnabled() && rc.Trace == nil {
+		if _, ok := paramsKey(params); ok {
+			s, gen, err := warmFork(prof, kind, params, rc, topo)
+			if err == nil {
+				return s, gen, nil
+			}
+			// A fork failure (e.g. an array type Fork cannot reach)
+			// falls back to the cold path rather than failing the cell.
+		}
+	}
+
+	coldWarmups.Add(1)
+	var s core.Scheme
+	gen, err := workload.New(prof, workload.Config{
+		Seed:        rc.Seed,
+		CPUs:        topo.cpus,
+		LinesPerCPU: topo.lpc,
+		// Initial page placement goes through Install so a line's first
+		// writeback is an ordinary update, not a whole-line transition
+		// from zero (paper §3.1).
+		FirstTouch: func(line uint64, initial []byte) { s.Install(line, initial) },
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	params.Lines = gen.Lines()
+	params.Trace = rc.Trace
+	s, err = core.New(kind, params)
+	if err != nil {
+		return nil, nil, err
+	}
+	for i := 0; i < rc.Warmup; i++ {
+		line, data := gen.NextWriteback(i % topo.cpus)
+		s.Write(line, data)
+	}
+	return s, gen, nil
+}
+
+// warmFork is the fast path behind warmedScheme: fork the cached warm
+// state for this cell.
+func warmFork(prof workload.Profile, kind core.Kind, params core.Params, rc RunConfig, topo warmTopology) (core.Scheme, *workload.Generator, error) {
+	streamKey, e, err := warmStreamFor(prof, rc, topo)
+	if err != nil {
+		return nil, nil, err
+	}
+	params.Lines = e.gen.Lines()
+	src, err := warmSchemeFor(streamKey, e, kind, params)
+	if err != nil {
+		return nil, nil, err
+	}
+	forked, err := core.Fork(src)
+	if err != nil {
+		return nil, nil, err
+	}
+	gen := e.gen.Fork(func(line uint64, initial []byte) { forked.Install(line, initial) })
+	warmForks.Add(1)
+	return forked, gen, nil
+}
+
+// Cell cache keys. The planner predicts runtime sharing by computing the
+// same strings the result caches use, so the two can never drift: a plan
+// node and a cache entry coincide exactly when their keys are equal.
+
+func flipCellKey(prof workload.Profile, kind core.Kind, pk string, rc RunConfig) string {
+	return fmt.Sprintf("flipCell|prof=%+v|kind=%s|%s|%s", prof, kind, pk, rc.key())
+}
+
+func perfCellKey(prof workload.Profile, kind core.Kind, pk string, rc RunConfig) string {
+	return fmt.Sprintf("perfCell|prof=%+v|kind=%s|%s|%s", prof, kind, pk, rc.key())
+}
+
+func wearCellKey(prof workload.Profile, kind core.Kind, pk string, mode wear.Mode, psi int, rc RunConfig) string {
+	return fmt.Sprintf("wearCell|prof=%+v|kind=%s|%s|mode=%v|psi=%d|%s", prof, kind, pk, mode, psi, rc.key())
+}
+
+// cellCacheable reports whether a single cell's result may be memoized:
+// the params must have a canonical key and the config must carry no
+// single-run observability hook (a cached result records nothing, so a
+// hooked run must execute for real).
+func cellCacheable(params core.Params, rc RunConfig) bool {
+	if !warmReuseEnabled() {
+		return false
+	}
+	if _, ok := paramsKey(params); !ok {
+		return false
+	}
+	return rc.Trace == nil && rc.Heatmap == nil && rc.Metrics == nil
+}

@@ -1,0 +1,223 @@
+package exp
+
+import (
+	"reflect"
+	"testing"
+
+	"deuce/internal/core"
+	"deuce/internal/wear"
+	"deuce/internal/workload"
+)
+
+// coldRun executes fn with warm-state reuse disabled and a cold cache, so
+// its result reflects the historical per-cell behavior (fresh scheme,
+// replayed warmup), then restores reuse for the caller.
+func coldRun[T any](t *testing.T, fn func() (T, error)) T {
+	t.Helper()
+	SetWarmReuse(false)
+	ResetCache()
+	defer func() {
+		SetWarmReuse(true)
+		ResetCache()
+	}()
+	v, err := fn()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return v
+}
+
+// TestWarmFlipBitIdentical: warm-forked flip cells must be bit-identical
+// to cold runs across schemes, seeds and geometries. The first warm call
+// builds the shared warm state (one cold warmup); a second scheme over the
+// same workload then forks it, and both must equal their cold twins.
+func TestWarmFlipBitIdentical(t *testing.T) {
+	profs := []string{"mcf", "libq"}
+	kinds := []core.Kind{core.KindDeuce, core.KindEncrFNW, core.KindDynDeuce, core.KindINVMM}
+	for _, seed := range []int64{0, 9} {
+		for _, lines := range []int{64, 128} {
+			rc := RunConfig{Writebacks: 400, Lines: lines, Seed: seed}
+			for _, pn := range profs {
+				prof, err := workload.ByName(pn)
+				if err != nil {
+					t.Fatal(err)
+				}
+				for _, kind := range kinds {
+					cold := coldRun(t, func() (FlipResult, error) {
+						return RunFlips(prof, kind, core.Params{}, rc, true)
+					})
+					SetWarmReuse(true)
+					ResetCache()
+					ResetReuse()
+					warm, err := RunFlips(prof, kind, core.Params{}, rc, true)
+					if err != nil {
+						t.Fatal(err)
+					}
+					if !reflect.DeepEqual(cold, warm) {
+						t.Errorf("%s/%s seed=%d lines=%d: warm-forked result diverges\n cold: %+v\n warm: %+v",
+							pn, kind, seed, lines, cold, warm)
+					}
+				}
+			}
+		}
+	}
+	ResetCache()
+}
+
+// TestWarmForkActuallyForks: the second scheme sharing a warm stream must
+// be served by a fork, not a cold warmup — otherwise the suite above only
+// proves the cold path against itself.
+func TestWarmForkActuallyForks(t *testing.T) {
+	prof, err := workload.ByName("mcf")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rc := RunConfig{Writebacks: 300, Lines: 64, Seed: 5}
+	SetWarmReuse(true)
+	ResetCache()
+	t.Cleanup(ResetCache)
+	ResetReuse()
+	if _, err := RunFlips(prof, core.KindDeuce, core.Params{}, rc, false); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := RunFlips(prof, core.KindEncrFNW, core.Params{}, rc, false); err != nil {
+		t.Fatal(err)
+	}
+	r := Reuse()
+	if r.WarmForks < 2 {
+		t.Errorf("expected both cells to fork the shared warm state, got WarmForks=%d (ColdWarmups=%d)",
+			r.WarmForks, r.ColdWarmups)
+	}
+	if r.ColdWarmups != 2 {
+		// One flip warm-scheme build per kind; the stream is shared.
+		t.Errorf("expected exactly 2 cold warmups (one warm-scheme build per kind), got %d", r.ColdWarmups)
+	}
+}
+
+// TestWarmPerfBitIdentical: warm-forked timed cells must match cold runs
+// on both the sequential and the sharded engine, and the two engines must
+// keep matching each other (the §9 contract composed with warm forking).
+func TestWarmPerfBitIdentical(t *testing.T) {
+	prof, err := workload.ByName("mcf")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, kind := range []core.Kind{core.KindDeuce, core.KindEncrFNW} {
+		for _, shards := range []int{1, 2} {
+			rc := RunConfig{Writebacks: 400, Lines: 64, Seed: 3, TimingShards: shards}
+			cold := coldRun(t, func() (PerfResult, error) {
+				return RunPerf(prof, kind, core.Params{}, rc)
+			})
+			SetWarmReuse(true)
+			ResetCache()
+			ResetReuse()
+			warm, err := RunPerf(prof, kind, core.Params{}, rc)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if cold != warm {
+				t.Errorf("%s shards=%d: warm-forked perf diverges\n cold: %+v\n warm: %+v",
+					kind, shards, cold, warm)
+			}
+		}
+	}
+	ResetCache()
+}
+
+// TestWarmSequentialShardedShareCell: a sequential run and a sharded run
+// of the same cell must be served from one cache entry (TimingShards is
+// excluded from the key by the determinism contract).
+func TestWarmSequentialShardedShareCell(t *testing.T) {
+	prof, err := workload.ByName("libq")
+	if err != nil {
+		t.Fatal(err)
+	}
+	SetWarmReuse(true)
+	ResetCache()
+	t.Cleanup(ResetCache)
+	seq, err := RunPerf(prof, core.KindDeuce, core.Params{}, RunConfig{Writebacks: 300, Lines: 64, Seed: 1, TimingShards: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := RunPerfCalls()
+	sh, err := RunPerf(prof, core.KindDeuce, core.Params{}, RunConfig{Writebacks: 300, Lines: 64, Seed: 1, TimingShards: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := RunPerfCalls(); got != before {
+		t.Errorf("sharded twin re-executed the cell: RunPerfCalls %d -> %d", before, got)
+	}
+	if seq != sh {
+		t.Errorf("cached cell served different results: %+v vs %+v", seq, sh)
+	}
+}
+
+// TestWarmWearBitIdentical: wear cells cannot fork (wrapped array) but are
+// memoized; the memoized result must equal the cold one, and the wear
+// profile must be a caller-owned copy.
+func TestWarmWearBitIdentical(t *testing.T) {
+	prof, err := workload.ByName("mcf")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rc := RunConfig{Writebacks: 2000, Lines: 64, Seed: 2}
+	cold := coldRun(t, func() (WearResult, error) {
+		return RunWear(prof, core.KindDeuce, core.Params{}, wear.VWLOnly, 1, rc)
+	})
+	SetWarmReuse(true)
+	ResetCache()
+	t.Cleanup(ResetCache)
+	warm, err := RunWear(prof, core.KindDeuce, core.Params{}, wear.VWLOnly, 1, rc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(cold, warm) {
+		t.Errorf("memoized wear cell diverges from cold run")
+	}
+	again, err := RunWear(prof, core.KindDeuce, core.Params{}, wear.VWLOnly, 1, rc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	again.PositionWrites[0]++ // must not corrupt the cache
+	final, err := RunWear(prof, core.KindDeuce, core.Params{}, wear.VWLOnly, 1, rc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(cold.PositionWrites, final.PositionWrites) {
+		t.Error("mutating a returned wear profile corrupted the cached copy")
+	}
+}
+
+// TestWarmDisabledRestoresColdCounting: with reuse off, every cell must
+// execute and warm up for itself — the PR-4 baseline the cold leg of
+// bench-warm depends on.
+func TestWarmDisabledRestoresColdCounting(t *testing.T) {
+	prof, err := workload.ByName("mcf")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rc := RunConfig{Writebacks: 200, Lines: 64, Seed: 8}
+	SetWarmReuse(false)
+	ResetCache()
+	ResetReuse()
+	defer func() {
+		SetWarmReuse(true)
+		ResetCache()
+	}()
+	before := RunFlipsCalls()
+	for i := 0; i < 2; i++ {
+		if _, err := RunFlips(prof, core.KindDeuce, core.Params{}, rc, false); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := RunFlipsCalls() - before; got != 2 {
+		t.Errorf("reuse disabled: expected 2 executions, got %d", got)
+	}
+	r := Reuse()
+	if r.WarmForks != 0 {
+		t.Errorf("reuse disabled but WarmForks=%d", r.WarmForks)
+	}
+	if r.ColdWarmups != 2 {
+		t.Errorf("expected 2 cold warmups, got %d", r.ColdWarmups)
+	}
+}

@@ -262,24 +262,78 @@ func EvaluateTables(tables map[string]*exp.Table, exps []Expectation) *Report {
 // sharing results across its expectations) and evaluates them. A nil or
 // empty expectation slice checks the full table.
 func Check(rc exp.RunConfig, exps []Expectation) (*Report, map[string]*exp.Table, error) {
+	report, tables, _, err := CheckWithRecorded(rc, exps, nil)
+	return report, tables, err
+}
+
+// Incremental describes what an incremental check did per experiment.
+type Incremental struct {
+	// Reused lists experiments served from the recording: their stamped
+	// Inputs hash matched what a live run would compute.
+	Reused []string
+	// Reran lists experiments measured for real: absent from the
+	// recording, stamped with a different hash, or not hashable.
+	Reran []string
+}
+
+// CheckWithRecorded is the incremental fidelity gate: like Check, but a
+// recorded table (from exp.LoadTables over a `check -outdir` recording)
+// whose Inputs hash still matches the live configuration is reused instead
+// of re-measured — only experiments whose inputs changed (scale, seed,
+// scheme parameters, or the measurement code via its version salt) run for
+// real. Recorded tables from before the Inputs stamp (or whose config
+// carried observability hooks) have an empty hash and always re-run.
+//
+// Experiments that do run go through the experiment planner first when
+// warm-state reuse is active: BuildPlan deduplicates their cells across
+// experiments and ExecuteCells fans the unique ones through the
+// work-stealing pool, so the subsequent per-experiment table assembly is
+// pure cache readout (widest win: Figure 14's 48 wear cells, otherwise
+// sequential inside its Run function).
+func CheckWithRecorded(rc exp.RunConfig, exps []Expectation, recorded map[string]*exp.Table) (*Report, map[string]*exp.Table, Incremental, error) {
 	if len(exps) == 0 {
 		exps = Expectations()
 	}
-	values := make(map[string]map[string]float64)
+	var inc Incremental
 	tables := make(map[string]*exp.Table)
 	for _, id := range ExperimentIDs(exps) {
+		if t := recorded[id]; t != nil && t.Inputs != "" && t.Inputs == exp.InputsHash(id, rc) {
+			tables[id] = t.Clone()
+			inc.Reused = append(inc.Reused, id)
+			continue
+		}
+		inc.Reran = append(inc.Reran, id)
+	}
+	// The pre-pass only pays off when cell results are cacheable: with
+	// warm reuse off, or with single-run observability hooks attached,
+	// executed cells would not be served back to the table assembly and
+	// every cell would run twice.
+	hooked := rc.Trace != nil || rc.Heatmap != nil || rc.Metrics != nil
+	if len(inc.Reran) > 0 && exp.WarmReuseActive() && !hooked {
+		plan, err := exp.BuildPlan(inc.Reran, rc)
+		if err != nil {
+			return nil, nil, inc, err
+		}
+		if err := plan.ExecuteCells(rc.Progress); err != nil {
+			return nil, nil, inc, err
+		}
+	}
+	for _, id := range inc.Reran {
 		e, err := exp.ByID(id)
 		if err != nil {
-			return nil, nil, err
+			return nil, nil, inc, err
 		}
 		t, err := e.RunTable(rc)
 		if err != nil {
-			return nil, nil, fmt.Errorf("fidelity: %s: %w", id, err)
+			return nil, nil, inc, fmt.Errorf("fidelity: %s: %w", id, err)
 		}
 		tables[id] = t
+	}
+	values := make(map[string]map[string]float64, len(tables))
+	for id, t := range tables {
 		values[id] = t.Values
 	}
-	return Evaluate(values, exps), tables, nil
+	return Evaluate(values, exps), tables, inc, nil
 }
 
 // Markdown renders the report as a fidelity matrix: one row per

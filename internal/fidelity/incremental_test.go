@@ -1,0 +1,83 @@
+package fidelity
+
+import (
+	"reflect"
+	"testing"
+
+	"deuce/internal/exp"
+)
+
+// TestIncrementalCheckReuses is the incremental gate's contract: a second
+// check against an unchanged recording re-runs zero experiments and
+// reproduces the live verdicts exactly; any input change (scale) or a
+// tampered stamp forces a real re-run.
+func TestIncrementalCheckReuses(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs a real experiment")
+	}
+	exps := Filter(Expectations(), []string{"fig5"})
+	rc := exp.RunConfig{Writebacks: 400, Lines: 64, Seed: 3}
+	exp.ResetCache()
+	t.Cleanup(exp.ResetCache)
+
+	live, tables, inc, err := CheckWithRecorded(rc, exps, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(inc.Reused) != 0 || len(inc.Reran) != 1 {
+		t.Fatalf("cold check: reused %v, reran %v", inc.Reused, inc.Reran)
+	}
+
+	// Round-trip through the recording format, as `check -outdir` does.
+	dir := t.TempDir()
+	if err := exp.WriteTables(dir, tables); err != nil {
+		t.Fatal(err)
+	}
+	recorded, err := exp.LoadTables(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Unchanged inputs: zero executions (the cache is cold, so any re-run
+	// would show up in the call counters).
+	exp.ResetCache()
+	f0 := exp.RunFlipsCalls()
+	again, _, inc2, err := CheckWithRecorded(rc, exps, recorded)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(inc2.Reran) != 0 || len(inc2.Reused) != 1 {
+		t.Fatalf("unchanged recording: reused %v, reran %v", inc2.Reused, inc2.Reran)
+	}
+	if got := exp.RunFlipsCalls() - f0; got != 0 {
+		t.Errorf("incremental check executed %d cells against an unchanged recording", got)
+	}
+	if !reflect.DeepEqual(live, again) {
+		t.Errorf("reused verdicts differ from live check:\nlive:\n%s\nreused:\n%s",
+			live.Markdown(), again.Markdown())
+	}
+
+	// A scale change invalidates the recording.
+	changed := rc
+	changed.Writebacks = 500
+	exp.ResetCache()
+	_, _, inc3, err := CheckWithRecorded(changed, exps, recorded)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(inc3.Reran) != 1 {
+		t.Errorf("scale change not re-run: reused %v, reran %v", inc3.Reused, inc3.Reran)
+	}
+
+	// A tampered (or pre-stamp) recording must not be trusted.
+	tampered := recorded["fig5"].Clone()
+	tampered.Inputs = ""
+	exp.ResetCache()
+	_, _, inc4, err := CheckWithRecorded(rc, exps, map[string]*exp.Table{"fig5": tampered})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(inc4.Reran) != 1 {
+		t.Errorf("unstamped recording reused: reused %v, reran %v", inc4.Reused, inc4.Reran)
+	}
+}

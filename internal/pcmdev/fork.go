@@ -1,0 +1,43 @@
+package pcmdev
+
+// Fork returns an independent deep copy of the device: contents, metadata,
+// statistics and wear profiles are duplicated, so writes to either device
+// never affect the other. It is the in-memory fast path behind warm-state
+// reuse (internal/exp): a device warmed once is forked per grid cell
+// instead of replaying the warmup, with bit-identical results — the copy
+// preserves every field that Serialize/Restore would round-trip, plus the
+// statistics counters the measured window subtracts away via ResetStats.
+func (d *Device) Fork() *Device {
+	nd := &Device{
+		cfg:        d.cfg,
+		data:       forkMatrix(d.data),
+		meta:       forkMatrix(d.meta),
+		stats:      d.stats,
+		posWrites:  append([]uint64(nil), d.posWrites...),
+		lineWrites: append([]uint64(nil), d.lineWrites...),
+	}
+	if d.lineWear != nil {
+		nd.lineWear = make([][]uint32, len(d.lineWear))
+		for i, w := range d.lineWear {
+			nd.lineWear[i] = append([]uint32(nil), w...)
+		}
+	}
+	if d.slotScratch != nil {
+		nd.slotScratch = make([]int, len(d.slotScratch))
+	}
+	return nd
+}
+
+// forkMatrix deep-copies a per-line byte matrix, preserving nil rows.
+func forkMatrix(m [][]byte) [][]byte {
+	if m == nil {
+		return nil
+	}
+	out := make([][]byte, len(m))
+	for i, row := range m {
+		if row != nil {
+			out[i] = append([]byte(nil), row...)
+		}
+	}
+	return out
+}

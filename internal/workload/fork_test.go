@@ -1,0 +1,98 @@
+package workload
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+)
+
+// transcript drives n mixed events (trace stream plus direct writebacks)
+// and returns a byte transcript pinning lines, payloads and gaps.
+func transcript(g *Generator, n int) []byte {
+	var out bytes.Buffer
+	for i := 0; i < n; i++ {
+		if i%3 == 0 {
+			line, data := g.NextWriteback(i % g.cfg.CPUs)
+			fmt.Fprintf(&out, "wb %d %x\n", line, data)
+			continue
+		}
+		ev, err := g.Next()
+		if err != nil {
+			panic(err)
+		}
+		fmt.Fprintf(&out, "ev %d %d %d %d %x\n", ev.Kind, ev.Line, ev.CPU, ev.Gap, ev.Data)
+	}
+	wb, rd := g.Stats()
+	fmt.Fprintf(&out, "stats %d %d\n", wb, rd)
+	return out.Bytes()
+}
+
+func testGen(seed int64) *Generator {
+	return MustNew(mustProf("mcf"), Config{CPUs: 4, LinesPerCPU: 64, Seed: seed})
+}
+
+// TestForkBitIdentical: a fork taken mid-stream must produce the same
+// future events as its original.
+func TestForkBitIdentical(t *testing.T) {
+	g := testGen(7)
+	transcript(g, 500) // consume a prefix, leaving rng Read carry state
+	f := g.Fork(nil)
+	a := transcript(g, 500)
+	b := transcript(f, 500)
+	if !bytes.Equal(a, b) {
+		t.Fatal("forked generator diverges from original")
+	}
+}
+
+// TestForkIndependent: advancing a fork must not perturb the original.
+func TestForkIndependent(t *testing.T) {
+	g := testGen(11)
+	ref := testGen(11)
+	transcript(g, 300)
+	transcript(ref, 300)
+	f := g.Fork(nil)
+	transcript(f, 200)
+	if !bytes.Equal(transcript(g, 200), transcript(ref, 200)) {
+		t.Fatal("advancing the fork perturbed the original")
+	}
+}
+
+// TestForkReplacesFirstTouch: the fork must invoke the replacement
+// callback (not the original's) for lines first touched after the fork,
+// and must not re-invoke it for lines already materialized.
+func TestForkReplacesFirstTouch(t *testing.T) {
+	origTouched := map[uint64]bool{}
+	g := MustNew(mustProf("mcf"), Config{
+		CPUs: 1, LinesPerCPU: 64, Seed: 3,
+		FirstTouch: func(line uint64, _ []byte) { origTouched[line] = true },
+	})
+	for i := 0; i < 100; i++ {
+		g.NextWriteback(0)
+	}
+
+	forkTouched := map[uint64]bool{}
+	f := g.Fork(func(line uint64, _ []byte) { forkTouched[line] = true })
+	before := len(origTouched)
+	for i := 0; i < 500; i++ {
+		f.NextWriteback(0)
+	}
+	if len(origTouched) != before {
+		t.Fatal("fork invoked the original's FirstTouch callback")
+	}
+	for line := range forkTouched {
+		if origTouched[line] {
+			t.Fatalf("fork re-touched line %d already materialized before the fork", line)
+		}
+	}
+	if len(forkTouched) == 0 {
+		t.Fatal("fork never touched a new line; test workload too small")
+	}
+}
+
+func mustProf(name string) Profile {
+	p, err := ByName(name)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}

@@ -7,6 +7,7 @@ import (
 	"math"
 	"math/rand"
 
+	"deuce/internal/clonerand"
 	"deuce/internal/trace"
 )
 
@@ -63,7 +64,10 @@ type lineState struct {
 type Generator struct {
 	prof Profile
 	cfg  Config
-	rng  *rand.Rand
+	// rng drives every stochastic decision. The clonerand wrapper is
+	// bit-identical to rand.New(rand.NewSource(seed)) but snapshotable,
+	// which is what makes Fork possible.
+	rng *clonerand.Rand
 
 	lines []lineState // cfg.CPUs * cfg.LinesPerCPU entries
 	base  []int       // benchmark-wide base footprint offsets
@@ -90,7 +94,7 @@ func New(prof Profile, cfg Config) (*Generator, error) {
 	g := &Generator{
 		prof:  prof,
 		cfg:   cfg,
-		rng:   rand.New(rand.NewSource(cfg.Seed ^ int64(profileHash(prof.Name)))),
+		rng:   clonerand.New(cfg.Seed ^ int64(profileHash(prof.Name))),
 		lines: make([]lineState, cfg.CPUs*cfg.LinesPerCPU),
 	}
 	// Benchmark-wide base footprint, seeded by the profile name so every

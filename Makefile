@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check fmt-check doclint build vet test race race-timing bench-smoke bench-writehot bench-timing bench-warm fidelity fidelity-report fidelity-reverdict
+.PHONY: check fmt-check doclint build vet test race race-timing bench-smoke bench-writehot bench-timing bench-warm bench-spans fidelity fidelity-report fidelity-reverdict
 
 # check is the pre-merge gate: static checks, full tests under the race
 # detector, and a short smoke of the steady-state write benchmark so a
@@ -64,6 +64,13 @@ bench-timing:
 # identically.
 bench-warm:
 	$(GO) run ./ci/benchwarm -writebacks 6000 -lines 512 -out BENCH_warm.json
+
+# bench-spans regenerates BENCH_spans.json: the fidelity gate's wall clock
+# with span tracing off vs on (min of two runs per leg), pinning the
+# tracer's <2% overhead target. Also cross-checks that the traced and
+# untraced gates verdict identically.
+bench-spans:
+	$(GO) run ./ci/benchspans -writebacks 6000 -lines 512 -out BENCH_spans.json
 
 # fidelity runs the paper-fidelity gate at the reduced CI scale: every
 # EXPERIMENTS.md headline value is checked against the paper with

@@ -21,6 +21,7 @@ import (
 
 	"deuce/internal/exp"
 	"deuce/internal/obs"
+	"deuce/internal/obs/span"
 )
 
 func main() {
@@ -34,6 +35,7 @@ func main() {
 		format     = flag.String("format", "text", "output format: text or csv")
 		outDir     = flag.String("outdir", "", "also write each experiment's output (and a runmeta.json manifest) into this directory")
 		metricsOut = flag.String("metrics", "", "export suite-level metrics (per-experiment wall time, cell counts) as an obs snapshot JSON to this file")
+		spansDir   = flag.String("spans", "", "trace the suite with hierarchical spans and write chrome-trace.json + self-profile.json to this directory")
 		progress   = flag.Bool("progress", false, "report live grid-cell progress/throughput/ETA on stderr")
 		httpAddr   = flag.String("http", "", "serve expvar and pprof on this address (e.g. :6060) while experiments run")
 		list       = flag.Bool("list", false, "list experiments and exit")
@@ -102,6 +104,11 @@ func main() {
 		Warmup:       *warmup,
 		Seed:         *seed,
 		TimingShards: *shards,
+	}
+	var tracer *span.Tracer
+	if *spansDir != "" {
+		tracer = span.New()
+		rc.Spans = tracer
 	}
 
 	// Grid cells are announced incrementally (each experiment adds its own
@@ -211,7 +218,17 @@ func main() {
 	if stopWatch != nil {
 		stopWatch()
 	}
+	if tracer != nil {
+		if err := writeSpanOutputs(*spansDir, tracer, meta); err != nil {
+			fail("", err)
+		}
+	}
 	if reg != nil {
+		// Fold in the process-wide reuse and timing-engine aggregates: grid
+		// sweeps clear the per-run Metrics hook, so these totals are the
+		// only place the sweeps' cache and pipeline behaviour surfaces.
+		exp.RecordReuseMetrics(reg)
+		exp.RecordTimingMetrics(reg)
 		if err := reg.Snapshot().WriteJSONFile(*metricsOut); err != nil {
 			fail("", err)
 		}
@@ -227,4 +244,45 @@ func main() {
 		}
 		fmt.Fprintf(os.Stderr, "deucebench: wrote %s\n", path)
 	}
+}
+
+// writeSpanOutputs snapshots the tracer and writes the suite's span
+// artifacts — the Chrome trace-event timeline and the per-name
+// self-profile — into dir, registering both with the run manifest.
+func writeSpanOutputs(dir string, tracer *span.Tracer, meta *obs.RunMeta) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	tree := tracer.Snapshot()
+	tracePath := filepath.Join(dir, "chrome-trace.json")
+	tf, err := os.Create(tracePath)
+	if err != nil {
+		return err
+	}
+	if err := tree.WriteChromeTrace(tf); err != nil {
+		tf.Close()
+		return err
+	}
+	if err := tf.Close(); err != nil {
+		return err
+	}
+	profPath := filepath.Join(dir, "self-profile.json")
+	pf, err := os.Create(profPath)
+	if err != nil {
+		return err
+	}
+	if err := tree.Profile().WriteJSON(pf); err != nil {
+		pf.Close()
+		return err
+	}
+	if err := pf.Close(); err != nil {
+		return err
+	}
+	if meta != nil {
+		meta.AddOutput(tracePath)
+		meta.AddOutput(profPath)
+	}
+	fmt.Fprintf(os.Stderr, "deucebench: %d spans covering %s; wrote %s and %s\n",
+		tree.Spans, span.FormatNs(tree.WallNs()), tracePath, profPath)
+	return nil
 }

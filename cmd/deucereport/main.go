@@ -11,13 +11,16 @@
 //	deucereport check -experiment all -outdir results/   # gate run doubles as a recording
 //	deucereport check -experiment all -outdir results/   # again: incremental, unchanged experiments reused
 //	deucereport check -from results/             # re-verdict the recording, zero runs
+//	deucereport check -experiment all -spans out/     # + chrome trace, self-profile, critical path
 //	deucereport plan -experiment all -writebacks 6000 -lines 512   # dry-run the execution DAG
+//	deucereport plan -experiment all -profile         # execute the DAG traced; per-node durations
 //	deucereport check -experiment all -ledger runs.jsonl -id $(git rev-parse --short HEAD)
 //	deucereport ledger -ledger runs.jsonl -seed ci/ledger-seed.jsonl -keep 200
 //	deucereport record -ledger runs.jsonl -id pr-7 -bench BENCH_writehot.json -metrics out.json
 //	deucereport compare -ledger runs.jsonl HEAD~1 HEAD
 //	deucereport compare -ledger runs.jsonl -baseline 3 HEAD
 //	deucereport compare -ledger runs.jsonl -baseline 5 -gate -out drift.md HEAD   # CI drift gate
+//	deucereport compare -ledger runs.jsonl -baseline 5 -gate -walltime-threshold 25 HEAD
 //	deucereport report -ledger runs.jsonl -out report.md
 //
 // check exits non-zero when any paper expectation fails, naming the
@@ -36,6 +39,7 @@ import (
 
 	"deuce/internal/exp"
 	"deuce/internal/fidelity"
+	"deuce/internal/obs/span"
 	"deuce/internal/regress"
 )
 
@@ -78,13 +82,17 @@ func usage() {
 subcommands:
   check    run experiments and verdict every paper expectation (exit 1 on violation);
            -from re-verdicts recorded tables, -outdir records the run and makes
-           later checks incremental (unchanged experiments reuse the recording)
+           later checks incremental (unchanged experiments reuse the recording),
+           -spans writes a Chrome trace, self-profile and critical-path table
   plan     dry-run the experiment planner: the deduplicated warmup/cell/table
-           DAG a gate run would execute, without running anything
-  record   append a run's metrics (bench json/text, obs snapshots, runmeta) to the ledger
+           DAG a gate run would execute, without running anything;
+           -profile executes the cells traced and renders the DAG critical path
+  record   append a run's metrics (bench json/text, obs snapshots, runmeta,
+           span self-profiles) to the ledger
   compare  benchstat-style per-metric deltas between two ledger runs;
-           -gate turns significant drift vs the baseline into a non-zero exit
-  report   markdown artifact: fidelity matrix + cross-run trend sparklines
+           -gate turns significant drift vs the baseline into a non-zero exit,
+           -walltime-threshold additionally gates walltime: duration metrics
+  report   markdown artifact: fidelity matrix + time attribution + cross-run trends
   ledger   maintenance for a persisted ledger: seed from a committed fallback, compact
 
 run 'deucereport <subcommand> -h' for flags.
@@ -139,6 +147,7 @@ func cmdCheck(args []string) error {
 	outdir := fs.String("outdir", "", "write each experiment's table JSON here, so the gate run doubles as a recording")
 	ledger := fs.String("ledger", "", "append the measured values to this JSONL ledger (requires -id)")
 	id := fs.String("id", "", "run ID to record under with -ledger")
+	spans := fs.String("spans", "", "trace the gate with hierarchical spans and write chrome-trace.json, self-profile.json and critical-path.md to this directory")
 	verbose := fs.Bool("v", false, "print every verdict, not just failures")
 	fs.Parse(args)
 
@@ -147,6 +156,11 @@ func cmdCheck(args []string) error {
 		return err
 	}
 	rc := exp.RunConfig{Writebacks: *writebacks, Lines: *lines, Warmup: *warmup, Seed: *seed, TimingShards: *shards}
+	var tracer *span.Tracer
+	if *spans != "" {
+		tracer = span.New()
+		rc.Spans = tracer
+	}
 
 	var report *fidelity.Report
 	var tables map[string]*exp.Table
@@ -159,7 +173,7 @@ func cmdCheck(args []string) error {
 		var conflict []string
 		fs.Visit(func(f *flag.Flag) {
 			switch f.Name {
-			case "writebacks", "lines", "warmup", "seed", "outdir":
+			case "writebacks", "lines", "warmup", "seed", "outdir", "spans":
 				conflict = append(conflict, "-"+f.Name)
 			}
 		})
@@ -220,6 +234,15 @@ func cmdCheck(args []string) error {
 		fmt.Println(reuseLine())
 	}
 
+	if tracer != nil {
+		tree := tracer.Snapshot()
+		if err := writeSpanArtifacts(*spans, tree, elapsed); err != nil {
+			return err
+		}
+		fmt.Printf("spans: %d spans covering %s of the %v gate; wrote %s\n",
+			tree.Spans, span.FormatNs(tree.WallNs()), elapsed, *spans)
+	}
+
 	if *outdir != "" {
 		if err := exp.WriteTables(*outdir, tables); err != nil {
 			return err
@@ -254,6 +277,23 @@ func cmdCheck(args []string) error {
 				regress.IngestValues(&run, expID, t.Values)
 			}
 		}
+		// Wall-clock metrics ride the same ledger under the "walltime:"
+		// namespace, so compare can gate gate-duration regressions — at
+		// its own threshold, never the value threshold.
+		if *from == "" {
+			run.Set("walltime:gate:ns", float64(elapsed.Nanoseconds()))
+		}
+		if tracer != nil {
+			f, err := os.Open(filepath.Join(*spans, "self-profile.json"))
+			if err != nil {
+				return err
+			}
+			err = regress.IngestSpanProfile(&run, f)
+			f.Close()
+			if err != nil {
+				return err
+			}
+		}
 		if err := regress.Append(*ledger, run); err != nil {
 			return err
 		}
@@ -281,7 +321,8 @@ func cmdPlan(args []string) error {
 	fs := flag.NewFlagSet("plan", flag.ExitOnError)
 	experiment := fs.String("experiment", "all", "experiment IDs to plan: 'all' or a comma-separated list (fig5,fig10,...)")
 	writebacks, lines, warmup, seed, shards := sizeFlags(fs)
-	out := fs.String("out", "", "also write the dry-run to this file")
+	out := fs.String("out", "", "also write the dry-run (or profile) to this file")
+	profile := fs.Bool("profile", false, "execute the plan's cells under span tracing and render per-node durations plus the DAG critical path (runs real work, unlike the default dry run)")
 	fs.Parse(args)
 
 	exps, err := selectExpectations(*experiment)
@@ -289,20 +330,88 @@ func cmdPlan(args []string) error {
 		return err
 	}
 	rc := exp.RunConfig{Writebacks: *writebacks, Lines: *lines, Warmup: *warmup, Seed: *seed, TimingShards: *shards}
+	var tracer *span.Tracer
+	if *profile {
+		tracer = span.New()
+		rc.Spans = tracer
+	}
 	plan, err := exp.BuildPlan(fidelity.ExperimentIDs(exps), rc)
 	if err != nil {
 		return err
 	}
-	plan.Render(os.Stdout)
-	if *out != "" {
+	var rendered string
+	if *profile {
+		start := time.Now()
+		if err := plan.ExecuteCells(nil); err != nil {
+			return err
+		}
+		elapsed := time.Since(start)
+		tree := tracer.Snapshot()
+		// The tree's "key" identity attributes carry the same cache-key
+		// strings the plan nodes use, so measured durations map straight
+		// onto the DAG.
+		rendered = planProfileMarkdown(plan, plan.SpanDAG(tree.MaxDurByAttr("key")), tree, elapsed)
+		fmt.Print(rendered)
+	} else {
+		plan.Render(os.Stdout)
 		var b strings.Builder
 		plan.Render(&b)
-		if err := writeFileMkdir(*out, b.String()); err != nil {
+		rendered = b.String()
+	}
+	if *out != "" {
+		if err := writeFileMkdir(*out, rendered); err != nil {
 			return err
 		}
 		fmt.Printf("wrote %s\n", *out)
 	}
 	return nil
+}
+
+// planProfileMarkdown renders a profiled plan execution: the DAG critical
+// path — the dependency chain that bounds wall clock no matter how many
+// workers run — and the slowest individual nodes, with measured durations
+// recovered from the span tree via each node's cache key.
+func planProfileMarkdown(p *exp.Plan, nodes []span.DAGNode, tree *span.Tree, elapsed time.Duration) string {
+	chain, totalNs := span.CriticalPathDAG(nodes)
+	st := p.Stats()
+	var b strings.Builder
+	b.WriteString("# Plan execution profile\n\n")
+	fmt.Fprintf(&b, "%d experiments, %d plan nodes (%d unique cells), cells executed in %v (%d spans collected).\n\n",
+		len(p.Experiments), len(nodes), st.Cells, elapsed.Round(time.Millisecond), tree.Spans)
+	fmt.Fprintf(&b, "Critical path: %s across %d nodes — the wall-clock lower bound however many workers run",
+		span.FormatNs(totalNs), len(chain))
+	if totalNs > 0 && elapsed.Nanoseconds() > 0 {
+		fmt.Fprintf(&b, " (measured wall clock is %.2fx that bound)", float64(elapsed.Nanoseconds())/float64(totalNs))
+	}
+	b.WriteString(".\n\n| # | Node | Duration | Finish |\n|---|---|---|---|\n")
+	var finish int64
+	for i, ni := range chain {
+		finish += nodes[ni].DurNs
+		fmt.Fprintf(&b, "| %d | %s | %s | %s |\n", i+1, nodes[ni].Label,
+			span.FormatNs(nodes[ni].DurNs), span.FormatNs(finish))
+	}
+	// Slowest nodes overall, not just on the chain: once the chain's head
+	// is optimized, the next-longest nodes are where the bound moves to.
+	order := make([]int, len(nodes))
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, c int) bool {
+		if nodes[order[a]].DurNs != nodes[order[c]].DurNs {
+			return nodes[order[a]].DurNs > nodes[order[c]].DurNs
+		}
+		return nodes[order[a]].Label < nodes[order[c]].Label
+	})
+	b.WriteString("\n## Slowest nodes\n\n| Node | Duration |\n|---|---|\n")
+	shown := 0
+	for _, i := range order {
+		if shown == 12 || nodes[i].DurNs == 0 {
+			break
+		}
+		fmt.Fprintf(&b, "| %s | %s |\n", nodes[i].Label, span.FormatNs(nodes[i].DurNs))
+		shown++
+	}
+	return b.String()
 }
 
 // multiFlag collects a repeatable -flag value.
@@ -317,11 +426,12 @@ func cmdRecord(args []string) error {
 	id := fs.String("id", "", "run ID (required; a commit SHA, PR number, or label)")
 	source := fs.String("source", "", "what produced the metrics (tool, CI job)")
 	commit := fs.String("commit", "", "VCS revision (defaults to the runmeta build revision when ingested)")
-	var metrics, bench, benchtext, runmeta multiFlag
+	var metrics, bench, benchtext, runmeta, spanprofile multiFlag
 	fs.Var(&metrics, "metrics", "obs snapshot JSON (the cmds' -metrics output); repeatable")
 	fs.Var(&bench, "bench", "BENCH_writehot.json-style benchmark record; repeatable")
 	fs.Var(&benchtext, "benchtext", "raw 'go test -bench' output file; repeatable")
 	fs.Var(&runmeta, "runmeta", "runmeta.json manifest; repeatable")
+	fs.Var(&spanprofile, "spanprofile", "span self-profile JSON (the check -spans self-profile.json artifact), ingested as walltime: metrics; repeatable")
 	fs.Parse(args)
 
 	if *ledger == "" || *id == "" {
@@ -350,6 +460,7 @@ func cmdRecord(args []string) error {
 		{bench, func(r *regress.Run, f *os.File) error { return regress.IngestBenchJSON(r, f) }},
 		{benchtext, func(r *regress.Run, f *os.File) error { return regress.IngestBenchText(r, f) }},
 		{runmeta, func(r *regress.Run, f *os.File) error { return regress.IngestRunMetaJSON(r, f) }},
+		{spanprofile, func(r *regress.Run, f *os.File) error { return regress.IngestSpanProfile(r, f) }},
 	}
 	for _, s := range steps {
 		if err := ingest(s.paths, s.f); err != nil {
@@ -357,7 +468,7 @@ func cmdRecord(args []string) error {
 		}
 	}
 	if len(run.Metrics) == 0 {
-		return fmt.Errorf("no metrics ingested (pass at least one of -metrics, -bench, -benchtext, -runmeta)")
+		return fmt.Errorf("no metrics ingested (pass at least one of -metrics, -bench, -benchtext, -runmeta, -spanprofile)")
 	}
 	if err := regress.Append(*ledger, run); err != nil {
 		return err
@@ -374,6 +485,7 @@ func cmdCompare(args []string) error {
 	all := fs.Bool("all", false, "list every metric, including ones within the noise threshold")
 	out := fs.String("out", "", "also write the comparison as markdown to this file")
 	gate := fs.Bool("gate", false, "exit non-zero when a metric present in both runs drifts beyond the threshold; metrics that only appeared or vanished are reported but do not gate, and an empty baseline passes (fresh ledger)")
+	wallThreshold := fs.Float64("walltime-threshold", 0, "percent drift at which walltime: metrics (gate/span durations) gate; 0 reports them without gating — wall clock is noisy, so it never rides the value threshold")
 	fs.Parse(args)
 
 	if *ledger == "" {
@@ -430,9 +542,24 @@ func cmdCompare(args []string) error {
 		fmt.Printf("\nwrote %s\n", *out)
 	}
 	sig := 0
-	var drifted []regress.Delta
+	type driftEntry struct {
+		d  regress.Delta
+		th float64
+	}
+	var drifted []driftEntry
 	for _, d := range deltas {
-		if !d.Significant(*threshold) {
+		// Walltime metrics (span/gate durations) never ride the value
+		// threshold: wall clock drifts with machine load in ways simulated
+		// values cannot, so they gate only at their own opted-into
+		// threshold and are merely reported otherwise.
+		th := *threshold
+		if regress.IsWalltime(d.Metric) {
+			if *wallThreshold <= 0 {
+				continue
+			}
+			th = *wallThreshold
+		}
+		if !d.Significant(th) {
 			continue
 		}
 		sig++
@@ -440,16 +567,19 @@ func cmdCompare(args []string) error {
 		// this change introduced (or retired) is expected churn, not
 		// drift, and would otherwise fail every PR that adds telemetry.
 		if d.OnlyIn == "" {
-			drifted = append(drifted, d)
+			drifted = append(drifted, driftEntry{d, th})
 		}
 	}
 	fmt.Printf("\n%d of %d metrics changed beyond ±%.3g%%\n", sig, len(deltas), *threshold)
+	if *wallThreshold > 0 {
+		fmt.Printf("(walltime: metrics gated at ±%.3g%%)\n", *wallThreshold)
+	}
 	if *gate && len(drifted) > 0 {
-		for _, d := range drifted {
+		for _, e := range drifted {
 			fmt.Fprintf(os.Stderr, "DRIFT %s: %g -> %g (%+.2f%% vs ±%.3g%%)\n",
-				d.Metric, d.Old, d.New, d.Pct, *threshold)
+				e.d.Metric, e.d.Old, e.d.New, e.d.Pct, e.th)
 		}
-		return fmt.Errorf("%d metrics drifted beyond ±%.3g%% against baseline %q", len(drifted), *threshold, oldRun.ID)
+		return fmt.Errorf("%d metrics drifted beyond their thresholds against baseline %q", len(drifted), oldRun.ID)
 	}
 	return nil
 }
@@ -533,18 +663,22 @@ func cmdReport(args []string) error {
 		if err != nil {
 			return err
 		}
+		tracer := span.New()
+		rc.Spans = tracer
 		start := time.Now()
 		report, _, err := fidelity.Check(rc, exps)
 		if err != nil {
 			return err
 		}
+		elapsed := time.Since(start)
 		pass = report.Pass()
-		fmt.Printf("%s (in %v)\n", report.Summary(), time.Since(start).Round(time.Millisecond))
+		fmt.Printf("%s (in %v)\n", report.Summary(), elapsed.Round(time.Millisecond))
 		fmt.Println(reuseLine())
 		b.WriteString("## Fidelity matrix\n\n")
 		b.WriteString(reportHeader("", rc))
 		b.WriteString(report.Markdown())
 		b.WriteString("\n" + report.Summary() + "\n\n")
+		b.WriteString(timeAttributionMarkdown(tracer.Snapshot(), elapsed))
 	}
 
 	if *ledger != "" {
@@ -596,6 +730,130 @@ func reportHeader(title string, rc exp.RunConfig) string {
 		s = title + "\n\n" + s
 	}
 	return s
+}
+
+// writeSpanArtifacts writes a traced gate's three artifacts into dir: the
+// Chrome trace-event timeline (chrome-trace.json), the per-name
+// self-profile (self-profile.json — what the ledger ingests as walltime
+// metrics), and the critical-path markdown table (critical-path.md).
+func writeSpanArtifacts(dir string, tree *span.Tree, gate time.Duration) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	ct, err := os.Create(filepath.Join(dir, "chrome-trace.json"))
+	if err != nil {
+		return err
+	}
+	if err := tree.WriteChromeTrace(ct); err != nil {
+		ct.Close()
+		return err
+	}
+	if err := ct.Close(); err != nil {
+		return err
+	}
+	prof := tree.Profile()
+	sf, err := os.Create(filepath.Join(dir, "self-profile.json"))
+	if err != nil {
+		return err
+	}
+	if err := prof.WriteJSON(sf); err != nil {
+		sf.Close()
+		return err
+	}
+	if err := sf.Close(); err != nil {
+		return err
+	}
+	return os.WriteFile(filepath.Join(dir, "critical-path.md"),
+		[]byte(criticalPathMarkdown(tree, prof, gate)), 0o644)
+}
+
+// criticalPathMarkdown renders a traced gate's time attribution: a
+// coverage line (how much of the measured wall clock the span tree
+// accounts for), the chain of spans whose completion gated the run's end,
+// and the per-name profile sorted by total time.
+func criticalPathMarkdown(tree *span.Tree, prof span.Profile, gate time.Duration) string {
+	var b strings.Builder
+	b.WriteString("# Gate time attribution\n\n")
+	cov := 0.0
+	if gate > 0 {
+		cov = 100 * float64(tree.WallNs()) / float64(gate.Nanoseconds())
+	}
+	fmt.Fprintf(&b, "Measured gate wall clock %v; %d spans covering %s (%.1f%% of the gate).\n",
+		gate, tree.Spans, span.FormatNs(tree.WallNs()), cov)
+	if cov < 95 {
+		b.WriteString("\nCoverage is below 95%: wall clock outside the traced check (table IO, ledger writes, process startup) makes up the gap.\n")
+	}
+	b.WriteString("\n## Critical path\n\n")
+	b.WriteString("| Span | Identity | Start | Duration | Self |\n|---|---|---|---|---|\n")
+	for _, n := range tree.CriticalPath() {
+		fmt.Fprintf(&b, "| %s | %s | %s | %s | %s |\n", n.Name, attrCell(n.Attrs),
+			span.FormatNs(n.StartNs), span.FormatNs(n.DurNs), span.FormatNs(n.SelfNs()))
+	}
+	b.WriteString("\n## Where the time went\n\n")
+	b.WriteString("| Span | Count | Total | Self | Max |\n|---|---|---|---|---|\n")
+	const topK = 12
+	for i, e := range prof.Entries {
+		if i == topK {
+			fmt.Fprintf(&b, "\n(%d further span names omitted)\n", len(prof.Entries)-topK)
+			break
+		}
+		fmt.Fprintf(&b, "| %s | %d | %s | %s | %s |\n", e.Name, e.Count,
+			span.FormatNs(e.TotalNs), span.FormatNs(e.SelfNs), span.FormatNs(e.MaxNs))
+	}
+	b.WriteString("\nTotals double-count nested and parallel spans against wall clock, as any cumulative profile does; warm-state computations additionally appear both inside the cell that triggered them and as their own roots.\n")
+	return b.String()
+}
+
+// attrCell renders a span's identity attributes for one markdown cell,
+// truncating long cache keys and escaping their '|' separators.
+func attrCell(attrs []span.Attr) string {
+	if len(attrs) == 0 {
+		return "—"
+	}
+	parts := make([]string, 0, len(attrs))
+	for _, a := range attrs {
+		v := a.Value
+		if len(v) > 40 {
+			v = v[:37] + "..."
+		}
+		parts = append(parts, a.Key+"="+strings.ReplaceAll(v, "|", "\\|"))
+	}
+	return strings.Join(parts, ", ")
+}
+
+// timeAttributionMarkdown is the report's condensed span summary: where
+// the checked experiments' wall clock went by span name, the critical
+// chain, and the parallel timing engine's aggregate activity.
+func timeAttributionMarkdown(tree *span.Tree, elapsed time.Duration) string {
+	if tree.Spans == 0 {
+		return ""
+	}
+	prof := tree.Profile()
+	var b strings.Builder
+	b.WriteString("## Time attribution\n\n")
+	fmt.Fprintf(&b, "%d spans covering %s of the %v check.\n\n",
+		tree.Spans, span.FormatNs(tree.WallNs()), elapsed.Round(time.Millisecond))
+	b.WriteString("| Span | Count | Total | Self |\n|---|---|---|---|\n")
+	for i, e := range prof.Entries {
+		if i == 8 {
+			break
+		}
+		fmt.Fprintf(&b, "| %s | %d | %s | %s |\n", e.Name, e.Count,
+			span.FormatNs(e.TotalNs), span.FormatNs(e.SelfNs))
+	}
+	var names []string
+	for _, n := range tree.CriticalPath() {
+		names = append(names, fmt.Sprintf("%s %s", n.Name, span.FormatNs(n.DurNs)))
+	}
+	if len(names) > 0 {
+		fmt.Fprintf(&b, "\nCritical path: %s.\n", strings.Join(names, " → "))
+	}
+	if ts := exp.Timing(); ts.ShardedRuns > 0 {
+		fmt.Fprintf(&b, "\nTiming engine: %d sharded runs over %d epochs, %s of costing moved off the event loops, %s of barrier stall.\n",
+			ts.ShardedRuns, ts.Epochs, span.FormatNs(ts.CostingNs), span.FormatNs(ts.BarrierStallNs))
+	}
+	b.WriteString("\n")
+	return b.String()
 }
 
 func writeFileMkdir(path, content string) error {

@@ -5,6 +5,7 @@ import (
 	"sort"
 
 	"deuce/internal/core"
+	"deuce/internal/obs/span"
 	"deuce/internal/stats"
 	"deuce/internal/wear"
 	"deuce/internal/workload"
@@ -31,8 +32,13 @@ type Experiment struct {
 // carrying per-run observability hooks bypass the cache — a recorded
 // table cannot replay the trace or heatmap of the run that produced it.
 func (e Experiment) RunTable(rc RunConfig) (*Table, error) {
+	key := "table|" + e.ID + "|" + rc.key()
 	run := func() (*Table, error) {
-		t, err := e.Run(rc)
+		trc := rc
+		sp := trc.startSpan("table/"+e.ID, span.Str("id", e.ID), span.Str("key", key))
+		defer sp.End()
+		trc.SpanParent = sp
+		t, err := e.Run(trc)
 		if t != nil {
 			t.ID = e.ID
 			// Stamp the inputs hash so a recording of this table carries
@@ -44,7 +50,7 @@ func (e Experiment) RunTable(rc RunConfig) (*Table, error) {
 	if !tableCacheable(rc) {
 		return run()
 	}
-	v, err := sharedCache.Do("table|"+e.ID+"|"+rc.key(), func() (interface{}, error) {
+	v, err := cachedDo(rc, "table", key, func() (interface{}, error) {
 		t, err := run()
 		if err != nil {
 			return nil, err

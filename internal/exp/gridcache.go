@@ -4,10 +4,13 @@ import (
 	"crypto/sha256"
 	"encoding/hex"
 	"fmt"
+	"strings"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"deuce/internal/core"
+	"deuce/internal/obs/span"
 )
 
 // GridCache memoizes whole-experiment computations within one process.
@@ -27,8 +30,9 @@ import (
 // change the result — the grid kind, the column schemes and their
 // core.Params, and the result-affecting scalar fields of RunConfig after
 // defaulting — and nothing else. Observability hooks (Trace, Heatmap,
-// Metrics, Progress) never enter a key: the grids clear the single-writer
-// hooks before fanning out, and Progress only narrates. Inputs that
+// Metrics, Progress, Spans) never enter a key: the grids clear the
+// single-writer hooks before fanning out, and Progress and Spans only
+// narrate. Inputs that
 // cannot be canonically encoded (a non-nil Params.MakeArray or
 // Params.Trace) make the computation uncacheable and bypass the cache
 // entirely rather than risk a false hit.
@@ -54,6 +58,15 @@ func NewGridCache() *GridCache {
 // first call. Concurrent callers with the same key block until the first
 // caller's compute returns, then share its result.
 func (c *GridCache) Do(key string, compute func() (interface{}, error)) (interface{}, error) {
+	v, err, _ := c.DoObserved(key, compute)
+	return v, err
+}
+
+// DoObserved is Do plus a report of whether this call performed the
+// computation itself; computed is false when the result was served from
+// the cache or by joining a computation already in flight (the
+// single-flight wait).
+func (c *GridCache) DoObserved(key string, compute func() (interface{}, error)) (v interface{}, err error, computed bool) {
 	c.mu.Lock()
 	e, ok := c.entries[key]
 	if !ok {
@@ -61,17 +74,16 @@ func (c *GridCache) Do(key string, compute func() (interface{}, error)) (interfa
 		c.entries[key] = e
 	}
 	c.mu.Unlock()
-	first := false
 	e.once.Do(func() {
-		first = true
+		computed = true
 		e.val, e.err = compute()
 	})
-	if first {
+	if computed {
 		c.misses.Add(1)
 	} else {
 		c.hits.Add(1)
 	}
-	return e.val, e.err
+	return e.val, e.err, computed
 }
 
 // Stats reports cache hits and misses since construction (or Reset).
@@ -95,6 +107,31 @@ func (c *GridCache) Reset() {
 // across callers is safe; tests that count executions call ResetCache
 // first.
 var sharedCache = NewGridCache()
+
+// cachedDo routes a computation through the shared cache and accounts for
+// the outcome against the run's observability hooks: computations record
+// their own spans inside compute, while calls served by the cache —
+// including single-flight joins on an in-flight computation — record a
+// "cache-hit" span covering the wait. Served cell-level calls also tick
+// the progress reporter's reused counter, so ETAs are computed from the
+// executed-cell rate rather than the (much faster) served completions.
+func cachedDo(rc RunConfig, kind, key string, compute func() (interface{}, error)) (interface{}, error) {
+	start := time.Now()
+	v, err, computed := sharedCache.DoObserved(key, compute)
+	if computed {
+		return v, err
+	}
+	if rc.Progress != nil && strings.HasPrefix(kind, "cell/") {
+		rc.Progress.AddReused(1)
+	}
+	if rc.Spans != nil {
+		sp := rc.Spans.StartAt(rc.SpanParent, "cache-hit", start,
+			span.Str("kind", kind), span.Str("key", key))
+		sp.Annotate(span.Int("wait_ns", time.Since(start).Nanoseconds()))
+		sp.EndAt(time.Since(start))
+	}
+	return v, err
+}
 
 // ResetCache empties the process-wide experiment cache. Long-lived
 // callers that mutate global experiment behavior between sweeps (none in

@@ -7,6 +7,7 @@ import (
 	"deuce/internal/core"
 	"deuce/internal/ctrcache"
 	"deuce/internal/energy"
+	"deuce/internal/obs/span"
 	"deuce/internal/stats"
 	"deuce/internal/timing"
 	"deuce/internal/trace"
@@ -45,7 +46,7 @@ func RunPerf(prof workload.Profile, kind core.Kind, params core.Params, rc RunCo
 	}
 	pk, _ := paramsKey(params)
 	key := perfCellKey(prof, kind, pk, rc)
-	v, err := sharedCache.Do(key, func() (interface{}, error) {
+	v, err := cachedDo(rc, "cell/perf", key, func() (interface{}, error) {
 		return runPerfDispatch(prof, kind, params, rc)
 	})
 	if err != nil {
@@ -57,6 +58,9 @@ func RunPerf(prof workload.Profile, kind core.Kind, params core.Params, rc RunCo
 // runPerfDispatch picks the timing engine and executes the cell for real.
 func runPerfDispatch(prof workload.Profile, kind core.Kind, params core.Params, rc RunConfig) (PerfResult, error) {
 	perfRuns.Add(1)
+	cell := rc.startSpan("cell/perf", cellAttrs(prof, kind, params, rc, perfCellKey)...)
+	defer cell.End()
+	rc.SpanParent = cell
 	// The sharded engine requires line-separable costing and exclusive
 	// ownership of the write path, which the single-writer Trace hook
 	// would break; both fallbacks preserve results exactly (DESIGN.md §9).
@@ -125,8 +129,12 @@ func perfGrid(cols []cell1, rc RunConfig) ([]workload.Profile, [][]PerfResult, e
 		profs []workload.Profile
 		grid  [][]PerfResult
 	}
-	v, err := sharedCache.Do("perfGrid|"+ck+"|"+rc.key(), func() (interface{}, error) {
-		profs, grid, err := perfGridRun(cols, rc)
+	v, err := cachedDo(rc, "grid/perf", "perfGrid|"+ck+"|"+rc.key(), func() (interface{}, error) {
+		grc := rc
+		sp := grc.startSpan("grid/perf", span.Str("key", "perfGrid|"+ck+"|"+grc.key()))
+		defer sp.End()
+		grc.SpanParent = sp
+		profs, grid, err := perfGridRun(cols, grc)
 		if err != nil {
 			return nil, err
 		}
@@ -148,7 +156,7 @@ func perfGridRun(cols []cell1, rc RunConfig) ([]workload.Profile, [][]PerfResult
 		results[wi] = make([]PerfResult, cells)
 	}
 	// Single-run observability objects cannot be shared across cells; see
-	// runGrid. Only the atomic Progress survives the fan-out.
+	// runGrid. Only the atomic Progress and Spans survive the fan-out.
 	rc.Trace, rc.Heatmap, rc.Metrics = nil, nil, nil
 	err := forEachCellObserved(len(profs)*cells, rc.Progress, func(i int) error {
 		wi, ci := i/cells, i%cells

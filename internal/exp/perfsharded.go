@@ -4,9 +4,11 @@ import (
 	"fmt"
 	"runtime"
 	"sync"
+	"time"
 
 	"deuce/internal/core"
 	"deuce/internal/ctrcache"
+	"deuce/internal/obs/span"
 	"deuce/internal/pcmdev"
 	"deuce/internal/timing"
 	"deuce/internal/trace"
@@ -73,6 +75,8 @@ func runPerfSharded(prof workload.Profile, kind core.Kind, params core.Params, r
 			}
 		}
 	}
+
+	wsp := rc.startSpan("warmup", span.Str("workload", prof.Name), span.Str("scheme", string(kind)))
 
 	// Each shard gets its own full scheme instance; a shard only ever
 	// touches the lines it owns, so instance state stays disjoint and
@@ -163,14 +167,15 @@ func runPerfSharded(prof workload.Profile, kind core.Kind, params core.Params, r
 	}
 	wg.Wait()
 	warmLists = nil
+	wsp.Annotate(span.Str("outcome", "cold"))
+	wsp.End()
 
+	runStart := time.Now()
 	res, err := eng.Run(1 << 30) // the source enforces the budget
 	if err != nil {
 		return PerfResult{}, err
 	}
-	if rc.Metrics != nil {
-		recordShardMetrics(rc, eng.Stats())
-	}
+	observeShardRun(rc, eng.Stats(), runStart)
 	var flips uint64
 	for i := range schemes {
 		flips += schemes[i].Device().Stats().Delta(warm[i]).TotalFlips()
@@ -188,13 +193,18 @@ func runPerfSharded(prof workload.Profile, kind core.Kind, params core.Params, r
 // which case the caller falls back to the cold recorded-replay path.
 func runPerfShardedWarm(prof workload.Profile, kind core.Kind, params core.Params, rc RunConfig, shards int) (PerfResult, error, bool) {
 	const cpus = perfCPUs
+	wsp := rc.startSpan("warmup", span.Str("workload", prof.Name), span.Str("scheme", string(kind)))
 	streamKey, e, err := warmStreamFor(prof, rc, perfTopology(rc))
 	if err != nil {
+		wsp.Annotate(span.Str("outcome", "abandoned"))
+		wsp.End()
 		return PerfResult{}, nil, false
 	}
 	params.Lines = e.gen.Lines()
-	src0, err := warmSchemeFor(streamKey, e, kind, params)
+	src0, err := warmSchemeFor(rc.Spans, streamKey, e, kind, params)
 	if err != nil {
+		wsp.Annotate(span.Str("outcome", "abandoned"))
+		wsp.End()
 		return PerfResult{}, nil, false
 	}
 	schemes := make([]core.Scheme, shards)
@@ -202,6 +212,8 @@ func runPerfShardedWarm(prof workload.Profile, kind core.Kind, params core.Param
 	for i := range schemes {
 		s, err := core.Fork(src0)
 		if err != nil {
+			wsp.Annotate(span.Str("outcome", "abandoned"))
+			wsp.End()
 			return PerfResult{}, nil, false
 		}
 		s.Device().ResetStats()
@@ -209,6 +221,8 @@ func runPerfShardedWarm(prof workload.Profile, kind core.Kind, params core.Param
 		schemes[i] = s
 	}
 	warmForks.Add(1)
+	wsp.Annotate(span.Str("outcome", "fork"))
+	wsp.End()
 
 	var eng *timing.Sharded
 	gen := e.gen.Fork(func(line uint64, initial []byte) {
@@ -243,13 +257,12 @@ func runPerfShardedWarm(prof workload.Profile, kind core.Kind, params core.Param
 	if err != nil {
 		return PerfResult{}, err, true
 	}
+	runStart := time.Now()
 	res, err := eng.Run(1 << 30) // the source enforces the budget
 	if err != nil {
 		return PerfResult{}, err, true
 	}
-	if rc.Metrics != nil {
-		recordShardMetrics(rc, eng.Stats())
-	}
+	observeShardRun(rc, eng.Stats(), runStart)
 	var flips uint64
 	for i := range schemes {
 		flips += schemes[i].Device().Stats().Delta(warm[i]).TotalFlips()
@@ -272,5 +285,40 @@ func recordShardMetrics(rc RunConfig, st timing.ShardStats) {
 	rc.Metrics.Counter("timing_barrier_stall_ns").Add(uint64(st.BarrierStallNs))
 	for i, c := range st.CostedWritebacks {
 		rc.Metrics.Counter(fmt.Sprintf("timing_shard%d_costed", i)).Add(c)
+	}
+	for i, ns := range st.CostingNs {
+		rc.Metrics.Counter(fmt.Sprintf("timing_shard%d_costing_ns", i)).Add(uint64(ns))
+	}
+}
+
+// observeShardRun publishes one completed sharded run everywhere it is
+// observable: the process-wide timing aggregates (always), the run's
+// metrics registry (lone hooked runs only — sweeps clear rc.Metrics), and
+// the run's span tracer as a "timing.run" span with one synthetic
+// "timing.shard" child per shard. The shard children are busy-time spans
+// reconstructed from engine statistics: they share the run's start
+// timestamp and carry the shard's accumulated costing time as duration,
+// not an aligned wall-clock interval.
+func observeShardRun(rc RunConfig, st timing.ShardStats, start time.Time) {
+	accumulateShardStats(st)
+	if rc.Metrics != nil {
+		recordShardMetrics(rc, st)
+	}
+	if rc.Spans == nil {
+		return
+	}
+	run := rc.Spans.StartAt(rc.SpanParent, "timing.run", start, span.Int("shards", int64(st.Shards)))
+	run.Annotate(
+		span.Int("epochs", int64(st.Epochs)),
+		span.Int("events", int64(st.Events)),
+		span.Int("barrier_stall_ns", st.BarrierStallNs))
+	run.EndAt(time.Since(start))
+	for i, ns := range st.CostingNs {
+		sh := rc.Spans.StartAt(run, "timing.shard", start, span.Int("shard", int64(i)))
+		if i < len(st.CostedWritebacks) {
+			sh.Annotate(span.Int("costed_writebacks", int64(st.CostedWritebacks[i])))
+		}
+		sh.Annotate(span.Int("costing_ns", ns))
+		sh.EndAt(time.Duration(ns))
 	}
 }

@@ -7,6 +7,7 @@ import (
 
 	"deuce/internal/core"
 	"deuce/internal/obs"
+	"deuce/internal/obs/span"
 	"deuce/internal/wear"
 	"deuce/internal/workload"
 )
@@ -118,6 +119,8 @@ func (c cellSpec) label() string {
 // run conventionally.
 func BuildPlan(ids []string, rc RunConfig) (*Plan, error) {
 	rc.setDefaults()
+	bsp := rc.startSpan("plan.build", span.Int("experiments", int64(len(ids))))
+	defer bsp.End()
 	p := &Plan{Config: rc, index: make(map[string]int)}
 	for _, id := range ids {
 		if _, err := ByID(id); err != nil {
@@ -139,6 +142,8 @@ func BuildPlan(ids []string, rc RunConfig) (*Plan, error) {
 		})
 		p.Experiments = append(p.Experiments, id)
 	}
+	st := p.Stats()
+	bsp.Annotate(span.Int("cells", int64(st.Cells)), span.Int("cell_refs", int64(st.CellRefs)))
 	return p, nil
 }
 
@@ -175,7 +180,13 @@ func (p *Plan) addCell(c cellSpec) (int, bool) {
 		sk := warmStreamKey(c.prof, c.rc, topo)
 		si := p.addNode(PlanNode{Kind: "warm-stream", Key: sk,
 			Label: fmt.Sprintf("warm %s x%d", c.prof.Name, c.rc.Warmup)})
-		pk, _ := paramsKey(c.params)
+		// The runtime hashes warm-scheme params with Lines already set from
+		// the parked generator — topo.cpus * topo.lpc by construction — so
+		// the plan must too, or its warm-scheme keys would never match the
+		// cache entries (and measured span durations) they stand for.
+		wp := c.params
+		wp.Lines = topo.cpus * topo.lpc
+		pk, _ := paramsKey(wp)
 		wi := p.addNode(PlanNode{Kind: "warm-scheme", Key: warmSchemeKey(sk, c.kind, pk),
 			Label: fmt.Sprintf("warm %s/%s", c.prof.Name, c.kind), Deps: []int{si}})
 		deps = append(deps, wi)
@@ -295,12 +306,34 @@ func (p *Plan) Record(reg *obs.Registry) {
 // cells (single-flight), in dependency order by construction.
 func (p *Plan) ExecuteCells(progress *obs.Progress) error {
 	cells := p.cells
+	exec := p.Config.Spans.Start(p.Config.SpanParent, "plan.execute", span.Int("cells", int64(len(cells))))
+	defer exec.End()
 	return forEachCellObserved(len(cells), progress, func(i int) error {
-		if err := cells[i].run(); err != nil {
-			return fmt.Errorf("%s: %w", cells[i].label(), err)
+		c := cells[i] // copy: the spec's RunConfig is re-parented per execution
+		c.rc.SpanParent = exec
+		if err := c.run(); err != nil {
+			return fmt.Errorf("%s: %w", c.label(), err)
 		}
 		return nil
 	})
+}
+
+// SpanDAG projects the plan onto span.DAGNode for critical-path analysis,
+// attaching each node's measured duration from durByKey — typically
+// span.Tree.MaxDurByAttr("key") over a traced run, whose "key" identity
+// attributes carry the very cache-key strings the plan nodes use. Nodes
+// with no measurement (work served from recordings, or never reached)
+// contribute zero duration.
+func (p *Plan) SpanDAG(durByKey map[string]int64) []span.DAGNode {
+	nodes := make([]span.DAGNode, len(p.Nodes))
+	for i, n := range p.Nodes {
+		nodes[i] = span.DAGNode{
+			Label: n.Kind + " " + n.Label,
+			DurNs: durByKey[n.Key],
+			Deps:  n.Deps,
+		}
+	}
+	return nodes
 }
 
 // WarmReuseActive reports whether the warm-state fast paths are enabled

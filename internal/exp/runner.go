@@ -9,6 +9,7 @@ import (
 	"deuce/internal/bitutil"
 	"deuce/internal/core"
 	"deuce/internal/obs"
+	"deuce/internal/obs/span"
 	"deuce/internal/pcmdev"
 	"deuce/internal/trace"
 	"deuce/internal/wear"
@@ -75,6 +76,24 @@ type RunConfig struct {
 	// Metrics, when non-nil, records per-writeback slot and flip
 	// histograms ("write_slots", "write_flips") over the measured window.
 	Metrics *obs.Registry
+	// Spans, when non-nil, collects a hierarchical wall-clock span per
+	// cell, warmup, grid, table and cache hit. Like Progress it is
+	// atomic-safe and crosses the worker pool, so sweeps keep it when
+	// they clear the single-writer hooks; like every hook it never enters
+	// a cache key — spans observe time, which the determinism contract
+	// puts outside measured results.
+	Spans *span.Tracer
+	// SpanParent is the span under which this run's spans nest; nil roots
+	// them at the tracer. Runners re-point it as they descend (table →
+	// grid → cell → warmup).
+	SpanParent *span.Span
+}
+
+// startSpan opens a span for this run under the run's current parent.
+// Nil-safe: with no tracer it returns a nil span and every downstream
+// method is a no-op.
+func (rc *RunConfig) startSpan(name string, attrs ...span.Attr) *span.Span {
+	return rc.Spans.Start(rc.SpanParent, name, attrs...)
 }
 
 func (rc *RunConfig) setDefaults() {
@@ -128,7 +147,7 @@ func RunFlips(prof workload.Profile, kind core.Kind, params core.Params, rc RunC
 	}
 	pk, _ := paramsKey(params)
 	key := flipCellKey(prof, kind, pk, rc)
-	v, err := sharedCache.Do(key, func() (interface{}, error) {
+	v, err := cachedDo(rc, "cell/flip", key, func() (interface{}, error) {
 		return runFlipsMeasured(prof, kind, params, rc, true)
 	})
 	if err != nil {
@@ -148,6 +167,9 @@ func RunFlips(prof workload.Profile, kind core.Kind, params core.Params, rc RunC
 // generator (forked or cold), then the measured window.
 func runFlipsMeasured(prof workload.Profile, kind core.Kind, params core.Params, rc RunConfig, keepPositions bool) (FlipResult, error) {
 	flipRuns.Add(1)
+	sp := rc.startSpan("cell/flip", cellAttrs(prof, kind, params, rc, flipCellKey)...)
+	defer sp.End()
+	rc.SpanParent = sp
 	s, gen, err := warmedScheme(prof, kind, params, rc, flipTopology(rc))
 	if err != nil {
 		return FlipResult{}, err
@@ -216,8 +238,12 @@ func runGrid(profs []workload.Profile, cfgs []cell1, rc RunConfig, keepPositions
 		names[i] = p.Name
 	}
 	key := fmt.Sprintf("flipGrid|profs=%s|keep=%t|%s|%s", strings.Join(names, ","), keepPositions, ck, rc.key())
-	v, err := sharedCache.Do(key, func() (interface{}, error) {
-		return runGridRun(profs, cfgs, rc, keepPositions)
+	v, err := cachedDo(rc, "grid/flip", key, func() (interface{}, error) {
+		grc := rc
+		sp := grc.startSpan("grid/flip", span.Str("key", key))
+		defer sp.End()
+		grc.SpanParent = sp
+		return runGridRun(profs, cfgs, grc, keepPositions)
 	})
 	if err != nil {
 		return nil, err
@@ -236,8 +262,8 @@ func runGridRun(profs []workload.Profile, cfgs []cell1, rc RunConfig, keepPositi
 	}
 	// Trace/Heatmap/Metrics are single-writer objects describing one run;
 	// sharing them across concurrently executing cells would race and
-	// interleave unrelated runs. Progress is the designed cross-worker
-	// channel and is the only hook a sweep keeps.
+	// interleave unrelated runs. Progress and Spans are the designed
+	// cross-worker hooks and are the ones a sweep keeps.
 	rc.Trace, rc.Heatmap, rc.Metrics = nil, nil, nil
 	err := forEachCellObserved(len(profs)*len(cfgs), rc.Progress, func(i int) error {
 		wi, ci := i/len(cfgs), i%len(cfgs)
@@ -331,7 +357,7 @@ func RunWear(prof workload.Profile, kind core.Kind, params core.Params, mode wea
 	}
 	pk, _ := paramsKey(params)
 	key := wearCellKey(prof, kind, pk, mode, psi, rc)
-	v, err := sharedCache.Do(key, func() (interface{}, error) {
+	v, err := cachedDo(rc, "cell/wear", key, func() (interface{}, error) {
 		return runWearMeasured(prof, kind, params, mode, psi, rc)
 	})
 	if err != nil {
@@ -344,6 +370,13 @@ func RunWear(prof workload.Profile, kind core.Kind, params core.Params, mode wea
 
 // runWearMeasured executes a wear cell for real.
 func runWearMeasured(prof workload.Profile, kind core.Kind, params core.Params, mode wear.Mode, psi int, rc RunConfig) (WearResult, error) {
+	attrs := []span.Attr{span.Str("workload", prof.Name), span.Str("scheme", string(kind))}
+	if pk, ok := paramsKey(params); ok {
+		attrs = append(attrs, span.Str("key", wearCellKey(prof, kind, pk, mode, psi, rc)))
+	}
+	sp := rc.startSpan("cell/wear", attrs...)
+	defer sp.End()
+	rc.SpanParent = sp
 	params.MakeArray = func(cfg pcmdev.Config) (pcmdev.Array, error) {
 		// Gap-move copies are excluded from the wear ledger: at the
 		// paper's scale they are <1% of programs, but at simulation

@@ -1,0 +1,97 @@
+package exp
+
+import (
+	"sync/atomic"
+
+	"deuce/internal/obs"
+	"deuce/internal/timing"
+)
+
+// Process-wide aggregates over every sharded timing run, the
+// timing.ShardStats counterpart of the reuse counters in reuse.go.
+// recordShardMetrics only fires for lone hooked runs (sweeps clear
+// rc.Metrics before fanning out), so without these totals the engine's
+// pipeline accounting was invisible exactly where it matters most — the
+// grid sweeps. Every completed sharded run folds in here regardless of
+// hooks, and RecordTimingMetrics publishes the totals next to the reuse
+// gauges.
+var (
+	timingShardedRuns      atomic.Int64
+	timingEpochs           atomic.Int64
+	timingEvents           atomic.Int64
+	timingBarrierStallNs   atomic.Int64
+	timingCostedWritebacks atomic.Int64
+	timingCostingNs        atomic.Int64
+)
+
+// TimingStats is a point-in-time snapshot of the process-wide sharded
+// timing-engine aggregates.
+type TimingStats struct {
+	// ShardedRuns is the number of completed timing.Sharded runs.
+	ShardedRuns int64
+	// Epochs and Events total the pipeline epochs dispatched and trace
+	// events drawn across all runs.
+	Epochs int64
+	Events int64
+	// BarrierStallNs totals wall time the simulation stages spent waiting
+	// on epoch barriers — non-zero means costing shards, not the event
+	// loops, were the bottleneck.
+	BarrierStallNs int64
+	// CostedWritebacks totals writebacks evaluated by costing shards.
+	CostedWritebacks int64
+	// CostingNs totals wall-clock shard busy time: the costing work the
+	// pipeline moved off the event loops.
+	CostingNs int64
+}
+
+// accumulateShardStats folds one completed sharded run into the
+// process-wide aggregates.
+func accumulateShardStats(st timing.ShardStats) {
+	timingShardedRuns.Add(1)
+	timingEpochs.Add(int64(st.Epochs))
+	timingEvents.Add(int64(st.Events))
+	timingBarrierStallNs.Add(st.BarrierStallNs)
+	for _, c := range st.CostedWritebacks {
+		timingCostedWritebacks.Add(int64(c))
+	}
+	for _, ns := range st.CostingNs {
+		timingCostingNs.Add(ns)
+	}
+}
+
+// Timing reports sharded timing-engine activity since process start (or
+// the last ResetTiming).
+func Timing() TimingStats {
+	return TimingStats{
+		ShardedRuns:      timingShardedRuns.Load(),
+		Epochs:           timingEpochs.Load(),
+		Events:           timingEvents.Load(),
+		BarrierStallNs:   timingBarrierStallNs.Load(),
+		CostedWritebacks: timingCostedWritebacks.Load(),
+		CostingNs:        timingCostingNs.Load(),
+	}
+}
+
+// ResetTiming zeroes the process-wide sharded timing aggregates, for
+// benchmarks that compare legs within one process.
+func ResetTiming() {
+	timingShardedRuns.Store(0)
+	timingEpochs.Store(0)
+	timingEvents.Store(0)
+	timingBarrierStallNs.Store(0)
+	timingCostedWritebacks.Store(0)
+	timingCostingNs.Store(0)
+}
+
+// RecordTimingMetrics publishes the sharded timing aggregates into a
+// metrics registry, the RecordReuseMetrics counterpart for the parallel
+// timing engine.
+func RecordTimingMetrics(reg *obs.Registry) {
+	st := Timing()
+	reg.Gauge("timing_sharded_runs").Set(float64(st.ShardedRuns))
+	reg.Gauge("timing_epochs_total").Set(float64(st.Epochs))
+	reg.Gauge("timing_events_total").Set(float64(st.Events))
+	reg.Gauge("timing_barrier_stall_ns_total").Set(float64(st.BarrierStallNs))
+	reg.Gauge("timing_costed_writebacks_total").Set(float64(st.CostedWritebacks))
+	reg.Gauge("timing_costing_ns_total").Set(float64(st.CostingNs))
+}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"deuce/internal/core"
+	"deuce/internal/obs/span"
 	"deuce/internal/wear"
 	"deuce/internal/workload"
 )
@@ -74,6 +75,11 @@ func warmSchemeKey(streamKey string, kind core.Kind, pk string) string {
 func warmStreamFor(prof workload.Profile, rc RunConfig, topo warmTopology) (string, *warmEntry, error) {
 	key := warmStreamKey(prof, rc, topo)
 	v, err := sharedCache.Do(key, func() (interface{}, error) {
+		// Rooted at the tracer, not the triggering cell: under the cell
+		// pool whichever cell reaches the single-flight entry first would
+		// otherwise become the parent, making the tree schedule-dependent.
+		sp := rc.Spans.Start(nil, "warm-stream", span.Str("key", key))
+		defer sp.End()
 		e := &warmEntry{}
 		gen, err := workload.New(prof, workload.Config{
 			Seed:        rc.Seed,
@@ -106,13 +112,16 @@ func warmStreamFor(prof workload.Profile, rc RunConfig, topo warmTopology) (stri
 // params), building it by replaying the recorded warmup once. params.Lines
 // must already be set to the stream generator's line count. The returned
 // scheme is shared and frozen; callers must core.Fork it, never write it.
-func warmSchemeFor(streamKey string, e *warmEntry, kind core.Kind, params core.Params) (core.Scheme, error) {
+func warmSchemeFor(tr *span.Tracer, streamKey string, e *warmEntry, kind core.Kind, params core.Params) (core.Scheme, error) {
 	pk, ok := paramsKey(params)
 	if !ok {
 		return nil, fmt.Errorf("exp: uncacheable params reached the warm-scheme cache")
 	}
 	key := warmSchemeKey(streamKey, kind, pk)
 	v, err := sharedCache.Do(key, func() (interface{}, error) {
+		// Rooted for the same schedule-independence reason as warm-stream.
+		sp := tr.Start(nil, "warm-scheme", span.Str("key", key))
+		defer sp.End()
 		coldWarmups.Add(1)
 		s, err := core.New(kind, params)
 		if err != nil {
@@ -139,10 +148,17 @@ func warmSchemeFor(streamKey string, e *warmEntry, kind core.Kind, params core.P
 // The cold path reproduces the historical per-cell behavior exactly; the
 // fast path is bit-identical to it by the fork contracts.
 func warmedScheme(prof workload.Profile, kind core.Kind, params core.Params, rc RunConfig, topo warmTopology) (core.Scheme, *workload.Generator, error) {
+	wsp := rc.startSpan("warmup", span.Str("workload", prof.Name), span.Str("scheme", string(kind)))
+	outcome := "cold"
+	defer func() {
+		wsp.Annotate(span.Str("outcome", outcome))
+		wsp.End()
+	}()
 	if warmReuseEnabled() && rc.Trace == nil {
 		if _, ok := paramsKey(params); ok {
 			s, gen, err := warmFork(prof, kind, params, rc, topo)
 			if err == nil {
+				outcome = "fork"
 				return s, gen, nil
 			}
 			// A fork failure (e.g. an array type Fork cannot reach)
@@ -185,7 +201,7 @@ func warmFork(prof workload.Profile, kind core.Kind, params core.Params, rc RunC
 		return nil, nil, err
 	}
 	params.Lines = e.gen.Lines()
-	src, err := warmSchemeFor(streamKey, e, kind, params)
+	src, err := warmSchemeFor(rc.Spans, streamKey, e, kind, params)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -212,6 +228,20 @@ func perfCellKey(prof workload.Profile, kind core.Kind, pk string, rc RunConfig)
 
 func wearCellKey(prof workload.Profile, kind core.Kind, pk string, mode wear.Mode, psi int, rc RunConfig) string {
 	return fmt.Sprintf("wearCell|prof=%+v|kind=%s|%s|mode=%v|psi=%d|%s", prof, kind, pk, mode, psi, rc.key())
+}
+
+// cellAttrs builds the identity attributes for a cell span: workload and
+// scheme always, plus the cell's cache key when it has one. The key attr
+// carries the exact string the plan node and cache entry use, which is
+// what lets the critical-path analysis map measured span durations back
+// onto plan-DAG nodes.
+func cellAttrs(prof workload.Profile, kind core.Kind, params core.Params, rc RunConfig,
+	keyFn func(workload.Profile, core.Kind, string, RunConfig) string) []span.Attr {
+	attrs := []span.Attr{span.Str("workload", prof.Name), span.Str("scheme", string(kind))}
+	if pk, ok := paramsKey(params); ok {
+		attrs = append(attrs, span.Str("key", keyFn(prof, kind, pk, rc)))
+	}
+	return attrs
 }
 
 // cellCacheable reports whether a single cell's result may be memoized:

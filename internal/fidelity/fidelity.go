@@ -20,6 +20,7 @@ import (
 	"strings"
 
 	"deuce/internal/exp"
+	"deuce/internal/obs/span"
 )
 
 // Kind selects how an expectation is evaluated.
@@ -294,11 +295,18 @@ func CheckWithRecorded(rc exp.RunConfig, exps []Expectation, recorded map[string
 	if len(exps) == 0 {
 		exps = Expectations()
 	}
+	root := rc.Spans.Start(rc.SpanParent, "fidelity.check",
+		span.Int("expectations", int64(len(exps))))
+	defer root.End()
+	rc.SpanParent = root // everything below — plan, tables, evaluation — nests here
 	var inc Incremental
 	tables := make(map[string]*exp.Table)
 	for _, id := range ExperimentIDs(exps) {
 		if t := recorded[id]; t != nil && t.Inputs != "" && t.Inputs == exp.InputsHash(id, rc) {
+			sp := rc.Spans.Start(root, "table/"+id, span.Str("id", id))
+			sp.Annotate(span.Str("source", "recorded"))
 			tables[id] = t.Clone()
+			sp.End()
 			inc.Reused = append(inc.Reused, id)
 			continue
 		}
@@ -307,7 +315,9 @@ func CheckWithRecorded(rc exp.RunConfig, exps []Expectation, recorded map[string
 	// The pre-pass only pays off when cell results are cacheable: with
 	// warm reuse off, or with single-run observability hooks attached,
 	// executed cells would not be served back to the table assembly and
-	// every cell would run twice.
+	// every cell would run twice. Progress and Spans deliberately do not
+	// count as hooks: both are pool-safe and cache-neutral, so a traced
+	// gate keeps the exact execution shape of an untraced one.
 	hooked := rc.Trace != nil || rc.Heatmap != nil || rc.Metrics != nil
 	if len(inc.Reran) > 0 && exp.WarmReuseActive() && !hooked {
 		plan, err := exp.BuildPlan(inc.Reran, rc)
@@ -333,7 +343,32 @@ func CheckWithRecorded(rc exp.RunConfig, exps []Expectation, recorded map[string
 	for id, t := range tables {
 		values[id] = t.Values
 	}
-	return Evaluate(values, exps), tables, inc, nil
+	return evaluateSpanned(rc, values, exps), tables, inc, nil
+}
+
+// evaluateSpanned is Evaluate wrapped in spans: one "evaluate" phase span
+// plus one "expectation" child per expectation, so a traced gate shows
+// per-expectation time. Evaluate appends verdicts strictly in expectation
+// order, so evaluating one at a time and concatenating is equivalent to
+// one batched call; with no tracer attached the batched call is used.
+func evaluateSpanned(rc exp.RunConfig, values map[string]map[string]float64, exps []Expectation) *Report {
+	if rc.Spans == nil {
+		return Evaluate(values, exps)
+	}
+	eval := rc.Spans.Start(rc.SpanParent, "evaluate", span.Int("expectations", int64(len(exps))))
+	defer eval.End()
+	report := &Report{}
+	for _, e := range exps {
+		esp := rc.Spans.Start(eval, "expectation", span.Str("name", e.Name()))
+		one := Evaluate(values, []Expectation{e})
+		if len(one.Verdicts) > 0 {
+			esp.Annotate(span.Str("pass", fmt.Sprintf("%t", one.Verdicts[0].Pass)))
+		}
+		report.Verdicts = append(report.Verdicts, one.Verdicts...)
+		report.Missing = append(report.Missing, one.Missing...)
+		esp.End()
+	}
+	return report
 }
 
 // Markdown renders the report as a fidelity matrix: one row per

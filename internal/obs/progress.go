@@ -12,9 +12,10 @@ import (
 // monitor goroutine reads snapshots. The work unit is whatever the caller
 // counts — grid cells for experiment sweeps, writebacks for single runs.
 type Progress struct {
-	total atomic.Int64
-	done  atomic.Int64
-	start time.Time
+	total  atomic.Int64
+	done   atomic.Int64
+	reused atomic.Int64
+	start  time.Time
 }
 
 // NewProgress starts tracking total units of work from now. A total of 0
@@ -33,15 +34,30 @@ func (p *Progress) Add(n int) { p.done.Add(int64(n)) }
 // AddTotal announces n more units of upcoming work. Safe for concurrent use.
 func (p *Progress) AddTotal(n int) { p.total.Add(int64(n)) }
 
+// AddReused marks n already-counted completions as served from a cache or
+// recording rather than executed. Reused units complete orders of
+// magnitude faster than executed ones, so folding them into one rate made
+// the ETA wildly optimistic the moment a warm run served its first cells;
+// Snapshot instead computes the ETA from the executed-unit rate alone.
+// Safe for concurrent use.
+func (p *Progress) AddReused(n int) { p.reused.Add(int64(n)) }
+
 // ProgressSnapshot is a point-in-time view of a Progress.
 type ProgressSnapshot struct {
 	Done    int64
 	Total   int64
 	Elapsed time.Duration
-	// Rate is completed units per second since start.
+	// Reused is how many of the Done units were served from a cache or
+	// recording instead of executed (see AddReused).
+	Reused int64
+	// Rate is completed units per second since start, reused included.
 	Rate float64
-	// ETA estimates the remaining time at the current rate (0 until the
-	// first unit completes).
+	// ExecRate is executed (non-reused) units per second since start —
+	// the rate that actually predicts remaining cold work.
+	ExecRate float64
+	// ETA estimates the remaining time at the executed-unit rate, falling
+	// back to the overall rate while nothing has executed yet (0 until
+	// the first unit completes).
 	ETA time.Duration
 }
 
@@ -50,13 +66,26 @@ func (p *Progress) Snapshot() ProgressSnapshot {
 	s := ProgressSnapshot{
 		Done:    p.done.Load(),
 		Total:   p.total.Load(),
+		Reused:  p.reused.Load(),
 		Elapsed: time.Since(p.start),
+	}
+	executed := s.Done - s.Reused
+	if executed < 0 {
+		// Reuse can be reported by runners outside the counted pool
+		// (direct cell calls); never let that push the executed rate
+		// negative.
+		executed = 0
 	}
 	if secs := s.Elapsed.Seconds(); secs > 0 {
 		s.Rate = float64(s.Done) / secs
+		s.ExecRate = float64(executed) / secs
 	}
-	if s.Rate > 0 && s.Done < s.Total {
-		s.ETA = time.Duration(float64(s.Total-s.Done) / s.Rate * float64(time.Second))
+	rate := s.ExecRate
+	if rate <= 0 {
+		rate = s.Rate
+	}
+	if rate > 0 && s.Done < s.Total {
+		s.ETA = time.Duration(float64(s.Total-s.Done) / rate * float64(time.Second))
 	}
 	return s
 }
@@ -69,6 +98,9 @@ func (s ProgressSnapshot) String() string {
 	}
 	out := fmt.Sprintf("%d/%d (%.0f%%) in %s, %.1f/s",
 		s.Done, s.Total, pct, s.Elapsed.Round(time.Millisecond), s.Rate)
+	if s.Reused > 0 {
+		out += fmt.Sprintf(" (%d reused)", s.Reused)
+	}
 	if s.ETA > 0 {
 		out += fmt.Sprintf(", ETA %s", s.ETA.Round(time.Second))
 	}

@@ -1,0 +1,54 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestProgressReusedRate pins the ETA fix for warm runs: reused
+// completions arrive orders of magnitude faster than executed ones, so
+// the ETA must come from the executed-unit rate, not the blended rate.
+func TestProgressReusedRate(t *testing.T) {
+	p := NewProgress(100)
+	p.Add(10)
+	p.AddReused(8)
+	time.Sleep(20 * time.Millisecond) // let elapsed become measurable
+	s := p.Snapshot()
+	if s.Reused != 8 {
+		t.Fatalf("Reused = %d, want 8", s.Reused)
+	}
+	if s.Rate <= 0 || s.ExecRate <= 0 {
+		t.Fatalf("rates not computed: rate=%v exec=%v", s.Rate, s.ExecRate)
+	}
+	// 2 of 10 completions executed: the executed rate is a fifth of the
+	// blended one, and the ETA must be the (longer) executed-rate estimate.
+	if ratio := s.ExecRate / s.Rate; ratio < 0.19 || ratio > 0.21 {
+		t.Errorf("ExecRate/Rate = %v, want 0.2", ratio)
+	}
+	blendedETA := time.Duration(float64(s.Total-s.Done) / s.Rate * float64(time.Second))
+	if s.ETA <= blendedETA {
+		t.Errorf("ETA %v not derived from the executed rate (blended estimate %v)", s.ETA, blendedETA)
+	}
+	if str := s.String(); !strings.Contains(str, "(8 reused)") {
+		t.Errorf("status line %q does not surface reuse", str)
+	}
+}
+
+// TestProgressReusedClamp: runners outside the counted pool (direct cell
+// calls) may report reuse without a matching Add; the executed count must
+// clamp at zero and the ETA fall back to the blended rate instead of
+// dividing by a negative.
+func TestProgressReusedClamp(t *testing.T) {
+	p := NewProgress(10)
+	p.Add(1)
+	p.AddReused(3)
+	time.Sleep(10 * time.Millisecond)
+	s := p.Snapshot()
+	if s.ExecRate != 0 {
+		t.Errorf("ExecRate = %v, want 0 (executed clamps at zero)", s.ExecRate)
+	}
+	if s.ETA <= 0 {
+		t.Error("ETA must fall back to the blended rate when nothing has executed")
+	}
+}

@@ -1,0 +1,70 @@
+package span
+
+// DAGNode is one node of an explicit dependency DAG with a measured
+// duration, for critical-path analysis over an experiment plan: the
+// earliest a node can finish is its own duration after all its
+// dependencies have finished.
+type DAGNode struct {
+	// Label names the node in rendered output.
+	Label string
+	// DurNs is the node's measured duration in nanoseconds.
+	DurNs int64
+	// Deps are indices of nodes that must finish before this one starts.
+	Deps []int
+}
+
+// CriticalPathDAG returns the longest finish-time chain through the DAG as
+// node indices in execution order, plus the chain's total duration — the
+// lower bound on wall clock with unbounded parallelism. Nodes reachable
+// through a dependency cycle contribute zero (plans are acyclic by
+// construction; the guard just keeps the analysis total).
+func CriticalPathDAG(nodes []DAGNode) ([]int, int64) {
+	const (
+		unvisited = 0
+		onStack   = 1
+		done      = 2
+	)
+	state := make([]int, len(nodes))
+	finish := make([]int64, len(nodes)) // earliest finish time of node i
+	longest := make([]int, len(nodes))  // dep index on the critical chain, -1 if none
+	var visit func(i int)
+	visit = func(i int) {
+		if state[i] != unvisited {
+			return
+		}
+		state[i] = onStack
+		longest[i] = -1
+		var ready int64
+		for _, d := range nodes[i].Deps {
+			if d < 0 || d >= len(nodes) || state[d] == onStack {
+				continue
+			}
+			visit(d)
+			if finish[d] > ready {
+				ready = finish[d]
+				longest[i] = d
+			}
+		}
+		finish[i] = ready + nodes[i].DurNs
+		state[i] = done
+	}
+	best := -1
+	for i := range nodes {
+		visit(i)
+		if best < 0 || finish[i] > finish[best] {
+			best = i
+		}
+	}
+	if best < 0 {
+		return nil, 0
+	}
+	var chain []int
+	for i := best; i >= 0; i = longest[i] {
+		chain = append(chain, i)
+	}
+	// chain is leaf-to-root (finish order reversed); flip to execution order.
+	for l, r := 0, len(chain)-1; l < r; l, r = l+1, r-1 {
+		chain[l], chain[r] = chain[r], chain[l]
+	}
+	return chain, finish[best]
+}

@@ -1,0 +1,64 @@
+package span
+
+import (
+	"fmt"
+	"testing"
+)
+
+// TestCriticalPathDAGDiamond pins the analysis on a hand-built diamond:
+//
+//	A(10) → B(5) → D(1)
+//	A(10) → C(20) → D(1)
+//
+// The critical chain must go through C: finish(D) = 10+20+1 = 31.
+func TestCriticalPathDAGDiamond(t *testing.T) {
+	nodes := []DAGNode{
+		{Label: "A", DurNs: 10},
+		{Label: "B", DurNs: 5, Deps: []int{0}},
+		{Label: "C", DurNs: 20, Deps: []int{0}},
+		{Label: "D", DurNs: 1, Deps: []int{1, 2}},
+	}
+	chain, total := CriticalPathDAG(nodes)
+	if total != 31 {
+		t.Errorf("total = %d, want 31", total)
+	}
+	var labels []string
+	for _, i := range chain {
+		labels = append(labels, nodes[i].Label)
+	}
+	if fmt.Sprint(labels) != fmt.Sprint([]string{"A", "C", "D"}) {
+		t.Errorf("chain = %v, want [A C D]", labels)
+	}
+}
+
+// TestCriticalPathDAGIndependent picks the single longest node when nothing
+// depends on anything.
+func TestCriticalPathDAGIndependent(t *testing.T) {
+	nodes := []DAGNode{
+		{Label: "a", DurNs: 3},
+		{Label: "b", DurNs: 9},
+		{Label: "c", DurNs: 4},
+	}
+	chain, total := CriticalPathDAG(nodes)
+	if total != 9 || len(chain) != 1 || nodes[chain[0]].Label != "b" {
+		t.Errorf("chain = %v total = %d, want just b with 9", chain, total)
+	}
+}
+
+// TestCriticalPathDAGEmptyAndCycle keeps the analysis total on degenerate
+// inputs: empty DAGs return nothing, cyclic deps are ignored rather than
+// recursing forever.
+func TestCriticalPathDAGEmptyAndCycle(t *testing.T) {
+	if chain, total := CriticalPathDAG(nil); chain != nil || total != 0 {
+		t.Errorf("empty DAG: chain=%v total=%d", chain, total)
+	}
+	nodes := []DAGNode{
+		{Label: "x", DurNs: 2, Deps: []int{1}},
+		{Label: "y", DurNs: 3, Deps: []int{0}},
+		{Label: "z", DurNs: 1, Deps: []int{1, 99, -1}}, // cycle member + out-of-range deps
+	}
+	chain, total := CriticalPathDAG(nodes)
+	if total <= 0 || len(chain) == 0 {
+		t.Errorf("cyclic DAG: chain=%v total=%d, want a finite positive chain", chain, total)
+	}
+}

@@ -1,0 +1,187 @@
+// Package span is a low-overhead hierarchical span tracer for attributing
+// wall-clock time inside the experiment harness: a span is a named, timed
+// region of work with a parent, a set of identity attributes fixed at start,
+// and free-form measurement notes attached along the way.
+//
+// Design constraints, in order:
+//
+//   - Cheap enough to leave wired into the fidelity gate: starting and ending
+//     a span is one small allocation plus a lock-free (compare-and-swap)
+//     push onto a shared finished-span stack. No locks, no maps, no
+//     goroutine registry. Spans are meant for cell/experiment granularity
+//     (hundreds per gate run), never the per-writeback hot path.
+//
+//   - Deterministic structure: span IDs and stack order depend on goroutine
+//     scheduling, so tree assembly (Snapshot) and the Structure digest order
+//     children only by deterministic data — name and identity attributes —
+//     never by ID, time, or completion order. That split is why Attrs
+//     (identity, set at Start) and Notes (measurements, attached later) are
+//     separate: notes may carry schedule-dependent values like stall times
+//     without disturbing structural determinism.
+//
+//   - Nil-safe wiring: a nil *Tracer starts nil *Spans, and every method on
+//     a nil receiver is a no-op, so instrumented code paths need no "is
+//     tracing enabled" branches.
+package span
+
+import (
+	"strconv"
+	"sync/atomic"
+	"time"
+)
+
+// Attr is one key/value annotation on a span. Attrs passed to Start are
+// identity attributes: they participate in deterministic tree ordering and
+// the Structure digest, so they must be schedule-independent (cache keys,
+// figure IDs, shard indices — not durations or stall counts).
+type Attr struct {
+	// Key names the attribute.
+	Key string
+	// Value is the attribute's rendered value.
+	Value string
+}
+
+// Str builds a string-valued attribute.
+func Str(key, value string) Attr { return Attr{Key: key, Value: value} }
+
+// Int builds an integer-valued attribute.
+func Int(key string, v int64) Attr { return Attr{Key: key, Value: strconv.FormatInt(v, 10)} }
+
+// Span is one timed region. A Span is owned by the goroutine that started
+// it until End, which publishes it to the tracer; Annotate must happen
+// before End. All methods are no-ops on a nil receiver.
+type Span struct {
+	tracer  *Tracer
+	id      uint64
+	parent  uint64
+	name    string
+	attrs   []Attr
+	notes   []Attr
+	startNs int64
+	durNs   int64
+}
+
+// Annotate attaches measurement notes (durations, stall times, outcomes) to
+// the span. Notes are exported but excluded from structural determinism, so
+// schedule-dependent values are fine here.
+func (s *Span) Annotate(notes ...Attr) {
+	if s == nil {
+		return
+	}
+	s.notes = append(s.notes, notes...)
+}
+
+// End stamps the span's duration and publishes it to the tracer. A span
+// that is never ended is dropped at Snapshot; callers can rely on that to
+// abandon speculative spans.
+func (s *Span) End() {
+	if s == nil {
+		return
+	}
+	s.durNs = s.tracer.now() - s.startNs
+	s.tracer.push(s)
+}
+
+// finishedSpan is one node of the tracer's lock-free finished-span stack.
+type finishedSpan struct {
+	span *Span
+	next *finishedSpan
+}
+
+// Tracer collects finished spans. Start/End/Record are safe for concurrent
+// use from any number of goroutines; Snapshot may run concurrently with
+// them and sees every span ended before it was called.
+type Tracer struct {
+	epoch  time.Time
+	nowFn  func() int64 // test hook; nil means monotonic time since epoch
+	nextID atomic.Uint64
+	head   atomic.Pointer[finishedSpan]
+	count  atomic.Int64
+}
+
+// New creates a tracer whose spans are timed from now.
+func New() *Tracer {
+	return &Tracer{epoch: time.Now()}
+}
+
+// now returns nanoseconds since the tracer's epoch on the monotonic clock.
+func (t *Tracer) now() int64 {
+	if t.nowFn != nil {
+		return t.nowFn()
+	}
+	return time.Since(t.epoch).Nanoseconds()
+}
+
+// Start begins a span under parent (nil parent roots it at the tracer) with
+// the given identity attributes. On a nil tracer it returns a nil span, so
+// callers never branch on whether tracing is enabled.
+func (t *Tracer) Start(parent *Span, name string, attrs ...Attr) *Span {
+	if t == nil {
+		return nil
+	}
+	s := &Span{tracer: t, id: t.nextID.Add(1), name: name, attrs: attrs, startNs: t.now()}
+	if parent != nil {
+		s.parent = parent.id
+	}
+	return s
+}
+
+// StartAt is Start with an explicit start time, for spans reconstructed
+// from external measurements (engine statistics, cache-wait stopwatches).
+// The span is not published until End or EndAt, so notes may still be
+// attached with Annotate.
+func (t *Tracer) StartAt(parent *Span, name string, start time.Time, attrs ...Attr) *Span {
+	if t == nil {
+		return nil
+	}
+	s := &Span{tracer: t, id: t.nextID.Add(1), name: name, attrs: attrs,
+		startNs: start.Sub(t.epoch).Nanoseconds()}
+	if parent != nil {
+		s.parent = parent.id
+	}
+	return s
+}
+
+// EndAt publishes the span with an explicit duration instead of reading
+// the clock, completing a StartAt.
+func (s *Span) EndAt(dur time.Duration) {
+	if s == nil {
+		return
+	}
+	s.durNs = dur.Nanoseconds()
+	s.tracer.push(s)
+}
+
+// Record publishes an externally measured span in one call: the caller
+// supplies the start time and duration instead of bracketing the work with
+// Start/End. Use StartAt/EndAt instead when measurement notes must be
+// attached before publication.
+func (t *Tracer) Record(parent *Span, name string, start time.Time, dur time.Duration, attrs ...Attr) *Span {
+	s := t.StartAt(parent, name, start, attrs...)
+	s.EndAt(dur)
+	return s
+}
+
+// push appends a finished span with a lock-free compare-and-swap loop.
+func (t *Tracer) push(s *Span) {
+	if t == nil {
+		return
+	}
+	n := &finishedSpan{span: s}
+	for {
+		old := t.head.Load()
+		n.next = old
+		if t.head.CompareAndSwap(old, n) {
+			t.count.Add(1)
+			return
+		}
+	}
+}
+
+// Count returns the number of finished spans collected so far.
+func (t *Tracer) Count() int64 {
+	if t == nil {
+		return 0
+	}
+	return t.count.Load()
+}

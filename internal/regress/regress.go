@@ -24,6 +24,7 @@ import (
 	"time"
 
 	"deuce/internal/obs"
+	"deuce/internal/obs/span"
 )
 
 // Run is one ledger entry: a labelled, timestamped bag of metrics.
@@ -398,6 +399,32 @@ func unitMetric(unit string) string {
 	u := strings.NewReplacer("/", "_per_", "%", "_pct").Replace(unit)
 	return u
 }
+
+// IngestSpanProfile merges a span self-profile (the `check -spans`
+// self-profile.json artifact) as wall-clock timing metrics: the tree's
+// extent as "walltime:wall:ns" and each span name's cumulative and self
+// times as "walltime:<name>:{total_ns,self_ns}". Walltime metrics measure
+// how long the gate took rather than what it computed, so compare gates
+// them under their own looser threshold (-walltime-threshold) instead of
+// the value-drift threshold — see IsWalltime.
+func IngestSpanProfile(run *Run, r io.Reader) error {
+	p, err := span.ReadProfileJSON(r)
+	if err != nil {
+		return fmt.Errorf("regress: span profile: %w", err)
+	}
+	run.Set("walltime:wall:ns", float64(p.WallNs))
+	for _, e := range p.Entries {
+		run.Set("walltime:"+e.Name+":total_ns", float64(e.TotalNs))
+		run.Set("walltime:"+e.Name+":self_ns", float64(e.SelfNs))
+	}
+	return nil
+}
+
+// IsWalltime reports whether the metric lives in the "walltime:"
+// namespace — a wall-clock duration rather than a simulated value.
+// Durations are noisy across machines and loads, so the compare gate
+// holds them to a separate, explicitly opted-into threshold.
+func IsWalltime(metric string) bool { return strings.HasPrefix(metric, "walltime:") }
 
 // IngestValues merges experiment values (exp.Table.Values, or the full
 // fidelity collection) under "fidelity:<experiment>:<metric>".

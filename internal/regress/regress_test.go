@@ -259,3 +259,33 @@ func TestHistoryAndMetricNames(t *testing.T) {
 		t.Errorf("MetricNames = %v", names)
 	}
 }
+
+// TestIngestSpanProfile: a span self-profile lands in the ledger as
+// walltime: metrics — the tree extent plus per-name total and self times.
+func TestIngestSpanProfile(t *testing.T) {
+	doc := `{"wall_ns": 2000000, "spans": 3, "entries": [
+		{"name": "fidelity.check", "count": 1, "total_ns": 2000000, "self_ns": 500000, "max_ns": 2000000},
+		{"name": "cell/flip", "count": 2, "total_ns": 1500000, "self_ns": 1500000, "max_ns": 900000}]}`
+	var run Run
+	if err := IngestSpanProfile(&run, strings.NewReader(doc)); err != nil {
+		t.Fatal(err)
+	}
+	want := map[string]float64{
+		"walltime:wall:ns":                 2e6,
+		"walltime:fidelity.check:total_ns": 2e6,
+		"walltime:fidelity.check:self_ns":  5e5,
+		"walltime:cell/flip:total_ns":      1.5e6,
+		"walltime:cell/flip:self_ns":       1.5e6,
+	}
+	for name, v := range want {
+		if run.Metrics[name] != v {
+			t.Errorf("%s = %v, want %v", name, run.Metrics[name], v)
+		}
+	}
+	if len(run.Metrics) != len(want) {
+		t.Errorf("ingested %d metrics, want %d: %v", len(run.Metrics), len(want), run.Metrics)
+	}
+	if !IsWalltime("walltime:gate:ns") || IsWalltime("bench:X:ns_per_op") {
+		t.Error("IsWalltime misclassifies the walltime namespace")
+	}
+}

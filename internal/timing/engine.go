@@ -67,6 +67,12 @@ type ShardStats struct {
 	// spent waiting on epoch barriers — non-zero means the costing
 	// shards, not the event loop, were the bottleneck.
 	BarrierStallNs int64
+	// CostingNs[i] is wall-clock time shard i spent inside epoch bodies,
+	// costing its writebacks and applying deferred ops. On an unloaded
+	// host the largest entry bounds the costing stage's contribution to
+	// run wall clock; the sum is the costing work the pipeline moved off
+	// the event loop.
+	CostingNs []int64
 }
 
 // Sharded is the parallel counterpart of Simulator: the identical
@@ -235,9 +241,11 @@ func (e *Sharded) Run(maxEvents int) (Result, error) {
 		Events:           e.events,
 		CostedWritebacks: make([]uint64, len(e.shards)),
 		BarrierStallNs:   e.src.stallNs,
+		CostingNs:        make([]int64, len(e.shards)),
 	}
 	for i, sh := range e.shards {
 		e.stats.CostedWritebacks[i] = sh.costed
+		e.stats.CostingNs[i] = sh.costNs
 	}
 	if e.pipeErr != nil {
 		return Result{}, e.pipeErr

@@ -1,6 +1,8 @@
 package timing
 
 import (
+	"time"
+
 	"deuce/internal/trace"
 )
 
@@ -27,6 +29,10 @@ type shard struct {
 	// costed counts writebacks this shard evaluated; read by the engine
 	// only after the shard goroutine has been joined.
 	costed uint64
+	// costNs accumulates wall-clock time spent inside epoch bodies
+	// (costing writebacks and applying deferred ops); like costed it is
+	// read only after the goroutine has been joined.
+	costNs int64
 }
 
 // owns reports whether the shard owns the bank of the given line.
@@ -39,6 +45,7 @@ func (sh *shard) owns(line uint64) bool {
 func (sh *shard) loop(join func()) {
 	defer join()
 	for ep := range sh.in {
+		t0 := time.Now()
 		oi := 0
 		for i := range ep.events {
 			for oi < len(ep.ops) && ep.ops[oi].pos <= i {
@@ -60,6 +67,7 @@ func (sh *shard) loop(join func()) {
 				ep.ops[oi].fn()
 			}
 		}
+		sh.costNs += time.Since(t0).Nanoseconds()
 		ep.wg.Done()
 	}
 }

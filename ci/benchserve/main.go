@@ -1,0 +1,103 @@
+// Command benchserve produces BENCH_serve.json, the serving-benchmark
+// record: the concurrent harness (internal/servebench) run once per
+// scheme at CI scale, with throughput and latency quantiles
+// (p50/p90/p99/p999) per scheme from the lock-free striped histograms.
+//
+// Unlike cmd/deuceserve (the interactive harness with streaming and
+// /debug/vars), benchserve validates the record before writing it:
+// every scheme must complete exactly -ops requests with a non-degenerate
+// mixed workload and monotone latency quantiles, so a harness bug cannot
+// silently ship a bogus baseline into the regression ledger. CI ingests
+// the output with `deucereport record -serve` and gates drift against
+// the persisted serve ledger at the walltime-style loose threshold.
+//
+// Usage: go run ./ci/benchserve -clients 8 -ops 60000 -out BENCH_serve.json
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"deuce"
+	"deuce/internal/servebench"
+)
+
+func main() {
+	schemes := flag.String("schemes", "encr-dcw,deuce,dyndeuce", "comma-separated schemes to measure")
+	clients := flag.Int("clients", 8, "concurrent client goroutines")
+	ops := flag.Int("ops", 60000, "requests per scheme")
+	readFrac := flag.Float64("read-frac", 0.5, "fraction of requests that are reads")
+	lines := flag.Int("lines", 4096, "memory capacity in 64-byte lines")
+	zipfS := flag.Float64("zipf", 1.1, "Zipfian skew exponent (>1)")
+	seed := flag.Int64("seed", 1, "workload seed")
+	out := flag.String("out", "BENCH_serve.json", "output JSON path")
+	flag.Parse()
+
+	cfg := servebench.Config{
+		Clients:      *clients,
+		Ops:          *ops,
+		ReadFraction: *readFrac,
+		Lines:        *lines,
+		ZipfS:        *zipfS,
+		Seed:         *seed,
+	}
+	var results []servebench.Result
+	for _, name := range strings.Split(*schemes, ",") {
+		name = strings.TrimSpace(name)
+		if name == "" {
+			continue
+		}
+		cfg.Scheme = deuce.Scheme(name)
+		res, err := servebench.Run(cfg, nil)
+		if err != nil {
+			fatal("%s: %v", name, err)
+		}
+		if err := validate(res, *ops); err != nil {
+			fatal("%s: invalid measurement: %v", name, err)
+		}
+		fmt.Println(res.SummaryLine())
+		results = append(results, res)
+	}
+	if len(results) == 0 {
+		fatal("no schemes to measure")
+	}
+
+	doc := servebench.NewBenchDoc(cfg, results, time.Now().Format("2006-01-02"))
+	if err := doc.WriteJSON(*out); err != nil {
+		fatal("%v", err)
+	}
+	fmt.Printf("wrote %s\n", *out)
+}
+
+// validate rejects measurements no healthy run can produce: lost
+// requests, a one-sided workload from a mixed config, or quantiles that
+// are zero or non-monotone.
+func validate(r servebench.Result, wantOps int) error {
+	if r.Ops != uint64(wantOps) {
+		return fmt.Errorf("completed %d of %d requests", r.Ops, wantOps)
+	}
+	if r.Reads == 0 || r.Writes == 0 {
+		return fmt.Errorf("one-sided workload: %d reads, %d writes", r.Reads, r.Writes)
+	}
+	if r.OpsPerSec <= 0 {
+		return fmt.Errorf("throughput %g", r.OpsPerSec)
+	}
+	q := r.Lat
+	if q.P50Ns <= 0 || q.P90Ns < q.P50Ns || q.P99Ns < q.P90Ns || q.P999Ns < q.P99Ns {
+		return fmt.Errorf("quantiles not positive and monotone: p50=%g p90=%g p99=%g p999=%g",
+			q.P50Ns, q.P90Ns, q.P99Ns, q.P999Ns)
+	}
+	if float64(q.MaxNs) < q.P999Ns {
+		return fmt.Errorf("max %d below p999 %g", q.MaxNs, q.P999Ns)
+	}
+	return nil
+}
+
+// fatal prints a formatted error and exits non-zero.
+func fatal(format string, args ...interface{}) {
+	fmt.Fprintf(os.Stderr, "benchserve: "+format+"\n", args...)
+	os.Exit(1)
+}

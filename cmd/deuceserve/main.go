@@ -1,0 +1,115 @@
+// Command deuceserve is the concurrent serving harness: N client
+// goroutines fire a Zipfian mixed read/write key-value workload at an
+// encrypted PCM memory behind a coarse-locked front end, once per scheme,
+// and report throughput plus latency quantiles (p50/p90/p99/p999) from
+// lock-free striped histograms. It is examples/securekv's concurrent
+// sibling — same store, same memory, but measuring serving behavior
+// under contention instead of single-threaded write cost.
+//
+// Output: one summary line per scheme on stdout, and with -out a
+// BENCH_serve.json record that `deucereport record -serve` ingests into
+// the perf ledger (gated by `deucereport compare` at the walltime-style
+// loose threshold). With -stream, periodic cumulative JSONL telemetry
+// snapshots are appended to the given file while each scheme runs; with
+// -http, live metrics are published on /debug/vars per scheme.
+//
+// Usage:
+//
+//	go run ./cmd/deuceserve -clients 8 -ops 200000 -out BENCH_serve.json
+//	go run ./cmd/deuceserve -schemes deuce,dyndeuce -stream serve.jsonl
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+	"time"
+
+	"deuce"
+	"deuce/internal/obs"
+	"deuce/internal/servebench"
+)
+
+func main() {
+	schemes := flag.String("schemes", "encr-dcw,deuce,dyndeuce", "comma-separated schemes to serve")
+	clients := flag.Int("clients", 8, "concurrent client goroutines")
+	ops := flag.Int("ops", 200000, "requests per scheme")
+	readFrac := flag.Float64("read-frac", 0.5, "fraction of requests that are reads")
+	lines := flag.Int("lines", 4096, "memory capacity in 64-byte lines")
+	keys := flag.Int("keys", 0, "keyspace size (0: lines/4)")
+	zipfS := flag.Float64("zipf", 1.1, "Zipfian skew exponent (>1)")
+	seed := flag.Int64("seed", 1, "workload seed")
+	out := flag.String("out", "", "write a BENCH_serve.json record to this path")
+	stream := flag.String("stream", "", "append JSONL telemetry snapshots to this file")
+	interval := flag.Duration("interval", time.Second, "snapshot cadence for -stream")
+	httpAddr := flag.String("http", "", "serve /debug/vars on this address while running (e.g. :6060)")
+	flag.Parse()
+
+	liveMetrics := *httpAddr != ""
+	if liveMetrics {
+		_, lnAddr, err := obs.ServeDebug(*httpAddr)
+		if err != nil {
+			fatal("%v", err)
+		}
+		fmt.Printf("debug vars on http://%s/debug/vars\n", lnAddr)
+	}
+
+	var streamW io.Writer
+	if *stream != "" {
+		f, err := os.OpenFile(*stream, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			fatal("%v", err)
+		}
+		defer f.Close()
+		streamW = f
+	}
+
+	cfg := servebench.Config{
+		Clients:        *clients,
+		Ops:            *ops,
+		ReadFraction:   *readFrac,
+		Lines:          *lines,
+		Keys:           *keys,
+		ZipfS:          *zipfS,
+		Seed:           *seed,
+		StreamInterval: *interval,
+	}
+
+	var results []servebench.Result
+	for _, name := range strings.Split(*schemes, ",") {
+		name = strings.TrimSpace(name)
+		if name == "" {
+			continue
+		}
+		cfg.Scheme = deuce.Scheme(name)
+		cfg.ExpvarName = ""
+		if liveMetrics {
+			cfg.ExpvarName = "serve_" + name
+		}
+		res, err := servebench.Run(cfg, streamW)
+		if err != nil {
+			fatal("%s: %v", name, err)
+		}
+		fmt.Println(res.SummaryLine())
+		results = append(results, res)
+	}
+	if len(results) == 0 {
+		fatal("no schemes to run")
+	}
+
+	if *out != "" {
+		doc := servebench.NewBenchDoc(cfg, results, time.Now().Format("2006-01-02"))
+		if err := doc.WriteJSON(*out); err != nil {
+			fatal("%v", err)
+		}
+		fmt.Printf("wrote %s\n", *out)
+	}
+}
+
+// fatal prints a formatted error and exits non-zero.
+func fatal(format string, args ...interface{}) {
+	fmt.Fprintf(os.Stderr, "deuceserve: "+format+"\n", args...)
+	os.Exit(1)
+}

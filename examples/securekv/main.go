@@ -2,11 +2,11 @@
 // an encrypted PCM memory, and compares what the store's write traffic
 // costs under the baseline encryption versus DEUCE.
 //
-// The store is deliberately simple — fixed-size slots, FNV-style hashing
-// with linear probing — but its write pattern is realistic for the class
-// of in-memory databases that motivate NVM: each put rewrites one record's
-// value bytes and a header word in place, leaving the rest of the line
-// untouched. That is exactly the sparse-writeback pattern DEUCE exploits.
+// The store itself lives in internal/kvstore (fixed-size slots, FNV-style
+// hashing with linear probing) and is shared with the concurrent serving
+// harness, cmd/deuceserve — this example is the single-threaded cost
+// comparison; deuceserve is the same store under N client goroutines with
+// latency telemetry.
 //
 //	go run ./examples/securekv
 package main
@@ -14,81 +14,19 @@ package main
 import (
 	"bytes"
 	"fmt"
-	"hash/fnv"
 	"log"
 	"math/rand"
 
 	"deuce"
+	"deuce/internal/kvstore"
 )
-
-// kvStore maps fixed-size keys to fixed-size values, one record per
-// 64-byte PCM line: [1B used][1B keyLen][14B key][1B valLen][47B value].
-type kvStore struct {
-	mem   *deuce.Memory
-	lines uint64
-}
-
-const (
-	maxKey = 14
-	maxVal = 47
-)
-
-func newKV(mem *deuce.Memory) *kvStore {
-	return &kvStore{mem: mem, lines: uint64(mem.Lines())}
-}
-
-func (kv *kvStore) slot(key string, probe uint64) uint64 {
-	h := fnv.New64a()
-	h.Write([]byte(key))
-	return (h.Sum64() + probe) % kv.lines
-}
-
-// Put inserts or updates a record. It returns an error when the table is
-// full.
-func (kv *kvStore) Put(key, value string) error {
-	if len(key) == 0 || len(key) > maxKey || len(value) > maxVal {
-		return fmt.Errorf("kv: key/value size out of range (%d/%d)", len(key), len(value))
-	}
-	for probe := uint64(0); probe < kv.lines; probe++ {
-		slot := kv.slot(key, probe)
-		line := kv.mem.Read(slot)
-		if line[0] == 1 && string(line[2:2+line[1]]) != key {
-			continue // occupied by another key
-		}
-		line[0] = 1
-		line[1] = byte(len(key))
-		copy(line[2:16], make([]byte, maxKey))
-		copy(line[2:], key)
-		line[16] = byte(len(value))
-		copy(line[17:], make([]byte, maxVal))
-		copy(line[17:], value)
-		kv.mem.Write(slot, line)
-		return nil
-	}
-	return fmt.Errorf("kv: table full")
-}
-
-// Get fetches a record.
-func (kv *kvStore) Get(key string) (string, bool) {
-	for probe := uint64(0); probe < kv.lines; probe++ {
-		slot := kv.slot(key, probe)
-		line := kv.mem.Read(slot)
-		if line[0] == 0 {
-			return "", false
-		}
-		if string(line[2:2+line[1]]) == key {
-			return string(line[17 : 17+line[16]]), true
-		}
-	}
-	return "", false
-}
 
 func run(scheme deuce.Scheme) (deuce.Stats, error) {
 	mem, err := deuce.New(deuce.Options{Lines: 4096, Scheme: scheme})
 	if err != nil {
 		return deuce.Stats{}, err
 	}
-	kv := newKV(mem)
+	kv := kvstore.New(mem)
 	rng := rand.New(rand.NewSource(42))
 
 	// Load 1000 sensor records, then update their readings many times —
@@ -144,7 +82,7 @@ func powerCycleDemo() {
 	fmt.Println()
 	opts := deuce.Options{Lines: 4096, Scheme: deuce.DEUCE}
 	mem := deuce.MustNew(opts)
-	kv := newKV(mem)
+	kv := kvstore.New(mem)
 	if err := kv.Put("launch-code", "0000"); err != nil {
 		log.Fatal(err)
 	}
@@ -161,7 +99,7 @@ func powerCycleDemo() {
 	if err := restored.RestoreState(&dimm); err != nil {
 		log.Fatal(err)
 	}
-	v, ok := newKV(restored).Get("launch-code")
+	v, ok := kvstore.New(restored).Get("launch-code")
 	fmt.Printf("power cycle: record recovered after restore: %v (value %q)\n", ok, v)
 	fmt.Println("persisted image contains no plaintext — stolen-DIMM safe at rest")
 }

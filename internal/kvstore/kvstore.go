@@ -1,0 +1,90 @@
+// Package kvstore is a minimal persistent key-value store over an
+// encrypted PCM memory: fixed-size slots, FNV hashing with linear
+// probing, one record per 64-byte line. It exists as the shared workload
+// behind examples/securekv and the concurrent serving harness
+// (internal/servebench, cmd/deuceserve).
+//
+// The store is deliberately simple, but its write pattern is realistic
+// for the class of in-memory databases that motivate NVM: each put
+// rewrites one record's value bytes and a header word in place, leaving
+// the rest of the line untouched — exactly the sparse-writeback pattern
+// DEUCE exploits.
+//
+// The store inherits deuce.Memory's concurrency contract: it is not
+// safe for concurrent use. Concurrent front ends wrap it in their own
+// locking (servebench.Front holds a coarse mutex; a sharded front end is
+// the roadmap's next step).
+package kvstore
+
+import (
+	"fmt"
+	"hash/fnv"
+
+	"deuce"
+)
+
+// Record layout per 64-byte line:
+// [1B used][1B keyLen][14B key][1B valLen][47B value].
+const (
+	// MaxKey is the longest storable key.
+	MaxKey = 14
+	// MaxVal is the longest storable value.
+	MaxVal = 47
+)
+
+// Store maps fixed-size keys to fixed-size values, one record per line.
+type Store struct {
+	mem   *deuce.Memory
+	lines uint64
+}
+
+// New wraps a memory as a key-value store.
+func New(mem *deuce.Memory) *Store {
+	return &Store{mem: mem, lines: uint64(mem.Lines())}
+}
+
+func (s *Store) slot(key string, probe uint64) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(key))
+	return (h.Sum64() + probe) % s.lines
+}
+
+// Put inserts or updates a record. It returns an error when a key or
+// value exceeds the fixed record layout or the table is full.
+func (s *Store) Put(key, value string) error {
+	if len(key) == 0 || len(key) > MaxKey || len(value) > MaxVal {
+		return fmt.Errorf("kv: key/value size out of range (%d/%d)", len(key), len(value))
+	}
+	for probe := uint64(0); probe < s.lines; probe++ {
+		slot := s.slot(key, probe)
+		line := s.mem.Read(slot)
+		if line[0] == 1 && string(line[2:2+line[1]]) != key {
+			continue // occupied by another key
+		}
+		line[0] = 1
+		line[1] = byte(len(key))
+		copy(line[2:16], make([]byte, MaxKey))
+		copy(line[2:], key)
+		line[16] = byte(len(value))
+		copy(line[17:], make([]byte, MaxVal))
+		copy(line[17:], value)
+		s.mem.Write(slot, line)
+		return nil
+	}
+	return fmt.Errorf("kv: table full")
+}
+
+// Get fetches a record.
+func (s *Store) Get(key string) (string, bool) {
+	for probe := uint64(0); probe < s.lines; probe++ {
+		slot := s.slot(key, probe)
+		line := s.mem.Read(slot)
+		if line[0] == 0 {
+			return "", false
+		}
+		if string(line[2:2+line[1]]) == key {
+			return string(line[17 : 17+line[16]]), true
+		}
+	}
+	return "", false
+}

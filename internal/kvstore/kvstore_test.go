@@ -1,0 +1,88 @@
+package kvstore
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"deuce"
+)
+
+func newStore(t *testing.T, lines int) *Store {
+	t.Helper()
+	mem, err := deuce.New(deuce.Options{Lines: lines, Scheme: deuce.DEUCE})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return New(mem)
+}
+
+func TestPutGetRoundTrip(t *testing.T) {
+	kv := newStore(t, 256)
+	if err := kv.Put("alpha", "one"); err != nil {
+		t.Fatal(err)
+	}
+	if v, ok := kv.Get("alpha"); !ok || v != "one" {
+		t.Fatalf("Get(alpha) = %q,%v, want one,true", v, ok)
+	}
+	// Update in place.
+	if err := kv.Put("alpha", "two"); err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := kv.Get("alpha"); v != "two" {
+		t.Fatalf("updated value = %q, want two", v)
+	}
+	if _, ok := kv.Get("missing"); ok {
+		t.Fatal("phantom record for missing key")
+	}
+}
+
+func TestManyKeysWithProbing(t *testing.T) {
+	kv := newStore(t, 512)
+	const n = 300 // >50% load factor forces probe chains
+	for i := 0; i < n; i++ {
+		if err := kv.Put(fmt.Sprintf("k-%03d", i), fmt.Sprintf("v-%d", i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < n; i++ {
+		want := fmt.Sprintf("v-%d", i)
+		if v, ok := kv.Get(fmt.Sprintf("k-%03d", i)); !ok || v != want {
+			t.Fatalf("key %d = %q,%v, want %q,true", i, v, ok, want)
+		}
+	}
+}
+
+func TestSizeLimits(t *testing.T) {
+	kv := newStore(t, 64)
+	if err := kv.Put("", "v"); err == nil {
+		t.Error("empty key accepted")
+	}
+	if err := kv.Put(strings.Repeat("k", MaxKey+1), "v"); err == nil {
+		t.Error("oversized key accepted")
+	}
+	if err := kv.Put("k", strings.Repeat("v", MaxVal+1)); err == nil {
+		t.Error("oversized value accepted")
+	}
+	// Exactly at the limits is fine.
+	k := strings.Repeat("k", MaxKey)
+	v := strings.Repeat("v", MaxVal)
+	if err := kv.Put(k, v); err != nil {
+		t.Fatalf("max-size record rejected: %v", err)
+	}
+	if got, ok := kv.Get(k); !ok || got != v {
+		t.Fatal("max-size record lost")
+	}
+}
+
+func TestTableFull(t *testing.T) {
+	kv := newStore(t, 4)
+	for i := 0; i < 4; i++ {
+		if err := kv.Put(fmt.Sprintf("k%d", i), "v"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := kv.Put("one-more", "v"); err == nil {
+		t.Fatal("full table accepted a fifth record")
+	}
+}

@@ -3,13 +3,15 @@
 // a run manifest, and a debug HTTP endpoint.
 //
 // The design rule throughout is "zero allocation on the hot path": a scheme
-// or device increments plain uint64 counters through pre-resolved handles
-// and records events into a pre-sized ring. All aggregation, formatting and
-// export happens off the write path, at snapshot or export time. Counters
-// follow the same single-writer contract as pcmdev.Device — one goroutine
-// owns a registry and everything registered in it; the only atomics in this
-// package live in Progress, which is shared across the experiment runner's
-// worker pool.
+// or device increments counters through pre-resolved handles and records
+// events into a pre-sized ring. All aggregation, formatting and export
+// happens off the write path, at snapshot or export time. Counter, Gauge
+// and Histogram updates are atomic — lock-free and safe from any number of
+// goroutines (the serving front end records from many clients at once) —
+// while staying allocation-free; heavily contended serving paths should
+// prefer the striped implementations in obs/serve, which remove even
+// cache-line sharing. Registration (the name → handle lookups) takes the
+// registry mutex and belongs in setup code, never on a hot path.
 package obs
 
 import (
@@ -17,55 +19,62 @@ import (
 	"expvar"
 	"fmt"
 	"io"
+	"math"
 	"os"
 	"path/filepath"
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 )
 
-// Counter is a monotonically increasing metric. It is a plain uint64 —
-// increments must come from the single goroutine that owns the registry.
+// Counter is a monotonically increasing metric. Updates are atomic: any
+// goroutine may increment through the handle.
 type Counter struct {
 	name string
-	v    uint64
+	v    atomic.Uint64
 }
 
 // Inc adds one.
-func (c *Counter) Inc() { c.v++ }
+func (c *Counter) Inc() { c.v.Add(1) }
 
 // Add adds n.
-func (c *Counter) Add(n uint64) { c.v += n }
+func (c *Counter) Add(n uint64) { c.v.Add(n) }
 
 // Value returns the current count.
-func (c *Counter) Value() uint64 { return c.v }
+func (c *Counter) Value() uint64 { return c.v.Load() }
 
 // Name returns the registered name.
 func (c *Counter) Name() string { return c.name }
 
 // Gauge is a last-value-wins metric (e.g. current epoch, ring occupancy).
+// Updates are atomic (the float64 is stored by bits).
 type Gauge struct {
 	name string
-	v    float64
+	bits atomic.Uint64
 }
 
 // Set stores the value.
-func (g *Gauge) Set(v float64) { g.v = v }
+func (g *Gauge) Set(v float64) { g.bits.Store(math.Float64bits(v)) }
 
 // Value returns the stored value.
-func (g *Gauge) Value() float64 { return g.v }
+func (g *Gauge) Value() float64 { return math.Float64frombits(g.bits.Load()) }
 
 // Name returns the registered name.
 func (g *Gauge) Name() string { return g.name }
 
 // Histogram counts uint64 observations into buckets with explicit upper
-// bounds (the last bucket is unbounded). Observe is allocation-free.
+// bounds (the last bucket is unbounded). Observe is allocation-free and
+// lock-free: bucket, count and sum update atomically, so concurrent
+// observers lose nothing (the three adds are independently atomic, not a
+// transaction — a concurrent snapshot may see an observation's bucket
+// before its sum, which evens out at quiescence).
 type Histogram struct {
 	name   string
 	bounds []uint64 // bucket i counts v <= bounds[i]; len(counts) = len(bounds)+1
-	counts []uint64
-	n      uint64
-	sum    uint64
+	counts []atomic.Uint64
+	n      atomic.Uint64
+	sum    atomic.Uint64
 }
 
 // Observe counts one observation.
@@ -74,30 +83,40 @@ func (h *Histogram) Observe(v uint64) {
 	for i < len(h.bounds) && v > h.bounds[i] {
 		i++
 	}
-	h.counts[i]++
-	h.n++
-	h.sum += v
+	h.counts[i].Add(1)
+	h.n.Add(1)
+	h.sum.Add(v)
 }
 
 // N returns the observation count.
-func (h *Histogram) N() uint64 { return h.n }
+func (h *Histogram) N() uint64 { return h.n.Load() }
 
 // Sum returns the sum of all observations.
-func (h *Histogram) Sum() uint64 { return h.sum }
+func (h *Histogram) Sum() uint64 { return h.sum.Load() }
 
 // Mean returns the mean observation (0 when empty).
 func (h *Histogram) Mean() float64 {
-	if h.n == 0 {
+	n := h.n.Load()
+	if n == 0 {
 		return 0
 	}
-	return float64(h.sum) / float64(h.n)
+	return float64(h.sum.Load()) / float64(n)
+}
+
+// Quantile estimates the q-quantile (q in [0,1]) from the bucket counts,
+// interpolating linearly inside the located bucket; see HistValues.Quantile
+// for the exact convention (including the unbounded overflow bucket).
+func (h *Histogram) Quantile(q float64) float64 {
+	return HistValues{Bounds: h.Bounds(), Counts: h.Counts(), N: h.N(), Sum: h.Sum()}.Quantile(q)
 }
 
 // Counts returns a copy of the bucket counts; the final element counts
 // observations above the last bound.
 func (h *Histogram) Counts() []uint64 {
 	out := make([]uint64, len(h.counts))
-	copy(out, h.counts)
+	for i := range h.counts {
+		out[i] = h.counts[i].Load()
+	}
 	return out
 }
 
@@ -113,8 +132,11 @@ func (h *Histogram) Name() string { return h.name }
 
 // Registry holds named metrics. Handles returned by Counter/Gauge/Histogram
 // stay valid for the registry's lifetime, so hot paths resolve names once at
-// setup and then touch only the handle.
+// setup and then touch only the handle. The handle maps are mutex-guarded
+// (registration and snapshots may race from different goroutines); the
+// handles themselves are atomic, so the update path never touches the lock.
 type Registry struct {
+	mu       sync.Mutex
 	counters map[string]*Counter
 	gauges   map[string]*Gauge
 	hists    map[string]*Histogram
@@ -132,6 +154,8 @@ func NewRegistry() *Registry {
 // Counter returns the counter with the given name, creating it at zero on
 // first use.
 func (r *Registry) Counter(name string) *Counter {
+	r.mu.Lock()
+	defer r.mu.Unlock()
 	if c, ok := r.counters[name]; ok {
 		return c
 	}
@@ -142,6 +166,8 @@ func (r *Registry) Counter(name string) *Counter {
 
 // Gauge returns the gauge with the given name, creating it on first use.
 func (r *Registry) Gauge(name string) *Gauge {
+	r.mu.Lock()
+	defer r.mu.Unlock()
 	if g, ok := r.gauges[name]; ok {
 		return g
 	}
@@ -154,6 +180,8 @@ func (r *Registry) Gauge(name string) *Gauge {
 // given bucket bounds on first use. bounds must be sorted ascending; later
 // calls for an existing name ignore bounds.
 func (r *Registry) Histogram(name string, bounds []uint64) *Histogram {
+	r.mu.Lock()
+	defer r.mu.Unlock()
 	if h, ok := r.hists[name]; ok {
 		return h
 	}
@@ -165,26 +193,31 @@ func (r *Registry) Histogram(name string, bounds []uint64) *Histogram {
 	h := &Histogram{
 		name:   name,
 		bounds: append([]uint64(nil), bounds...),
-		counts: make([]uint64, len(bounds)+1),
+		counts: make([]atomic.Uint64, len(bounds)+1),
 	}
 	r.hists[name] = h
 	return h
 }
 
 // Reset zeroes every registered metric, keeping the handles valid — the
-// registry analogue of pcmdev.Device.ResetStats.
+// registry analogue of pcmdev.Device.ResetStats. Not a consistent cut
+// against concurrent updaters: an in-flight Observe may land partly before
+// and partly after the zeroing.
 func (r *Registry) Reset() {
+	r.mu.Lock()
+	defer r.mu.Unlock()
 	for _, c := range r.counters {
-		c.v = 0
+		c.v.Store(0)
 	}
 	for _, g := range r.gauges {
-		g.v = 0
+		g.bits.Store(0)
 	}
 	for _, h := range r.hists {
 		for i := range h.counts {
-			h.counts[i] = 0
+			h.counts[i].Store(0)
 		}
-		h.n, h.sum = 0, 0
+		h.n.Store(0)
+		h.sum.Store(0)
 	}
 }
 
@@ -208,6 +241,50 @@ func (h HistValues) Mean() float64 {
 	return float64(h.Sum) / float64(h.N)
 }
 
+// Quantile estimates the q-quantile (q in [0,1], clamped) from the bucket
+// counts. The target rank ceil(q*N) is located by cumulative count and
+// interpolated linearly across its bucket's (lower, upper] bound range —
+// the Prometheus histogram_quantile convention, so a lone observation in a
+// bucket reports the bucket's upper bound. The overflow bucket has no
+// upper bound, so ranks landing there report the last explicit bound (the
+// honest floor on the true value). Returns 0 on an empty histogram.
+func (h HistValues) Quantile(q float64) float64 {
+	if h.N == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := uint64(math.Ceil(q * float64(h.N)))
+	if rank < 1 {
+		rank = 1
+	}
+	var cum uint64
+	for i, c := range h.Counts {
+		if c == 0 {
+			continue
+		}
+		cum += c
+		if cum < rank {
+			continue
+		}
+		var lo float64
+		if i > 0 && i-1 < len(h.Bounds) {
+			lo = float64(h.Bounds[i-1])
+		}
+		if i >= len(h.Bounds) {
+			return lo // overflow bucket: unbounded above
+		}
+		hi := float64(h.Bounds[i])
+		pos := float64(rank - (cum - c))
+		return lo + (hi-lo)*pos/float64(c)
+	}
+	return 0
+}
+
 // Snapshot is a point-in-time copy of a registry's values, detached from
 // the live metrics.
 type Snapshot struct {
@@ -217,25 +294,29 @@ type Snapshot struct {
 	Hists map[string]HistValues `json:"hists,omitempty"`
 }
 
-// Snapshot copies the current values out of the registry.
+// Snapshot copies the current values out of the registry. Safe
+// concurrently with updates; values updated mid-snapshot land in one
+// snapshot or the next, never nowhere.
 func (r *Registry) Snapshot() Snapshot {
+	r.mu.Lock()
+	defer r.mu.Unlock()
 	s := Snapshot{
 		Counters: make(map[string]uint64, len(r.counters)),
 		Gauges:   make(map[string]float64, len(r.gauges)),
 		Hists:    make(map[string]HistValues, len(r.hists)),
 	}
 	for name, c := range r.counters {
-		s.Counters[name] = c.v
+		s.Counters[name] = c.Value()
 	}
 	for name, g := range r.gauges {
-		s.Gauges[name] = g.v
+		s.Gauges[name] = g.Value()
 	}
 	for name, h := range r.hists {
 		s.Hists[name] = HistValues{
 			Bounds: h.Bounds(),
 			Counts: h.Counts(),
-			N:      h.n,
-			Sum:    h.sum,
+			N:      h.N(),
+			Sum:    h.Sum(),
 		}
 	}
 	return s
@@ -351,9 +432,9 @@ func (r *Registry) Expvar(name string) {
 	expvar.Publish(name, &registryVar{r: r})
 }
 
-// registryVar adapts a Registry to expvar.Var. Snapshots race harmlessly
-// with single-writer increments: expvar reads are diagnostic, and torn
-// uint64 reads cannot occur on the 64-bit platforms the simulator targets.
+// registryVar adapts a Registry to expvar.Var: counters and gauges render
+// verbatim, histograms as {n, mean, p50, p99} quantile summaries, so a
+// /debug/vars scrape shows live percentiles without touching the hot path.
 type registryVar struct {
 	mu sync.Mutex
 	r  *Registry
@@ -389,6 +470,16 @@ func (v *registryVar) String() string {
 	sort.Strings(names)
 	for _, name := range names {
 		writePair(name, fmt.Sprintf("%g", snap.Gauges[name]))
+	}
+	names = names[:0]
+	for name := range snap.Hists {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		h := snap.Hists[name]
+		writePair(name, fmt.Sprintf(`{"n": %d, "mean": %g, "p50": %g, "p99": %g}`,
+			h.N, h.Mean(), h.Quantile(0.50), h.Quantile(0.99)))
 	}
 	b.WriteByte('}')
 	return b.String()

@@ -1,0 +1,272 @@
+package serve
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// paddedU64 is an atomic uint64 alone on its cache line, so adjacent
+// stripes never false-share: with one stripe per worker, the record path
+// touches memory no other core writes.
+type paddedU64 struct {
+	v atomic.Uint64
+	_ [56]byte
+}
+
+// Counter is a striped monotonic counter: each worker adds into its own
+// cache-line-padded slot, and Value sums the stripes. Adds from any
+// stripe index are safe from any goroutine (slots are atomic); striping
+// is a performance contract, not a safety one.
+type Counter struct {
+	name  string
+	slots []paddedU64
+	mask  uint32
+}
+
+// Add adds n on the given worker's stripe.
+func (c *Counter) Add(stripe int, n uint64) { c.slots[uint32(stripe)&c.mask].v.Add(n) }
+
+// Inc adds one on the given worker's stripe.
+func (c *Counter) Inc(stripe int) { c.Add(stripe, 1) }
+
+// Value sums the stripes. Like every merge-on-snapshot read it is exact
+// once writers quiesce, and a consistent floor while they run.
+func (c *Counter) Value() uint64 {
+	var total uint64
+	for i := range c.slots {
+		total += c.slots[i].v.Load()
+	}
+	return total
+}
+
+// Name returns the registered name.
+func (c *Counter) Name() string { return c.name }
+
+// Gauge is a striped additive gauge (e.g. in-flight requests): workers
+// add positive and negative deltas on their own stripe and Value sums
+// them. Unlike obs.Gauge's last-value-wins semantics, an additive gauge
+// merges across stripes without coordination.
+type Gauge struct {
+	name  string
+	slots []paddedU64
+	mask  uint32
+}
+
+// Add adds delta (which may be negative) on the given worker's stripe.
+func (g *Gauge) Add(stripe int, delta int64) {
+	g.slots[uint32(stripe)&g.mask].v.Add(uint64(delta))
+}
+
+// Value sums the stripes' deltas.
+func (g *Gauge) Value() int64 {
+	var total uint64
+	for i := range g.slots {
+		total += g.slots[i].v.Load()
+	}
+	return int64(total)
+}
+
+// Name returns the registered name.
+func (g *Gauge) Name() string { return g.name }
+
+// StripedHist is one latency histogram per stripe: workers observe into
+// their own Hist (no shared cache lines at all on the record path) and
+// Snapshot merges the stripes exactly.
+type StripedHist struct {
+	name    string
+	stripes []*Hist
+	mask    uint32
+}
+
+// Observe records v on the given worker's stripe. Lock-free, zero-alloc.
+func (h *StripedHist) Observe(stripe int, v uint64) {
+	h.stripes[uint32(stripe)&h.mask].Observe(v)
+}
+
+// Stripe returns the stripe's histogram, for workers that want to hold
+// the resolved *Hist instead of indexing per observation.
+func (h *StripedHist) Stripe(stripe int) *Hist { return h.stripes[uint32(stripe)&h.mask] }
+
+// Snapshot merges every stripe into one exact snapshot.
+func (h *StripedHist) Snapshot() HistSnapshot {
+	out := h.stripes[0].Snapshot()
+	for _, s := range h.stripes[1:] {
+		out = out.Merge(s.Snapshot())
+	}
+	return out
+}
+
+// Name returns the registered name.
+func (h *StripedHist) Name() string { return h.name }
+
+// Metrics is a registry of striped serving metrics. Registration (the
+// Counter/Gauge/Hist lookups) takes a mutex and may allocate; resolve
+// handles at setup, then record through them — the record path is
+// lock-free and allocation-free. Stripe count is fixed at construction
+// and rounded up to a power of two so stripe selection is a mask.
+type Metrics struct {
+	mu       sync.Mutex
+	stripes  int
+	counters map[string]*Counter
+	gauges   map[string]*Gauge
+	hists    map[string]*StripedHist
+}
+
+// NewMetrics creates a metrics set with the given stripe count (minimum
+// 1, rounded up to a power of two). Size it to the worker count: one
+// stripe per client goroutine eliminates record-path contention.
+func NewMetrics(stripes int) *Metrics {
+	n := 1
+	for n < stripes {
+		n <<= 1
+	}
+	return &Metrics{
+		stripes:  n,
+		counters: make(map[string]*Counter),
+		gauges:   make(map[string]*Gauge),
+		hists:    make(map[string]*StripedHist),
+	}
+}
+
+// Stripes returns the stripe count (a power of two).
+func (m *Metrics) Stripes() int { return m.stripes }
+
+// Counter returns the named striped counter, creating it on first use.
+func (m *Metrics) Counter(name string) *Counter {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if c, ok := m.counters[name]; ok {
+		return c
+	}
+	c := &Counter{name: name, slots: make([]paddedU64, m.stripes), mask: uint32(m.stripes - 1)}
+	m.counters[name] = c
+	return c
+}
+
+// Gauge returns the named striped additive gauge, creating it on first use.
+func (m *Metrics) Gauge(name string) *Gauge {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if g, ok := m.gauges[name]; ok {
+		return g
+	}
+	g := &Gauge{name: name, slots: make([]paddedU64, m.stripes), mask: uint32(m.stripes - 1)}
+	m.gauges[name] = g
+	return g
+}
+
+// Hist returns the named striped latency histogram, creating it on first
+// use.
+func (m *Metrics) Hist(name string) *StripedHist {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if h, ok := m.hists[name]; ok {
+		return h
+	}
+	h := &StripedHist{name: name, mask: uint32(m.stripes - 1)}
+	h.stripes = make([]*Hist, m.stripes)
+	for i := range h.stripes {
+		h.stripes[i] = &Hist{}
+	}
+	m.hists[name] = h
+	return h
+}
+
+// Snapshot merges every metric across its stripes: counters and gauges
+// as sums, histograms as exact bucket-wise merges summarized to the
+// fixed quantile set. Safe concurrently with recording; exact once
+// writers quiesce.
+func (m *Metrics) Snapshot() Snapshot {
+	m.mu.Lock()
+	counters := make([]*Counter, 0, len(m.counters))
+	for _, c := range m.counters {
+		counters = append(counters, c)
+	}
+	gauges := make([]*Gauge, 0, len(m.gauges))
+	for _, g := range m.gauges {
+		gauges = append(gauges, g)
+	}
+	hists := make([]*StripedHist, 0, len(m.hists))
+	for _, h := range m.hists {
+		hists = append(hists, h)
+	}
+	m.mu.Unlock()
+
+	s := Snapshot{
+		Counters: make(map[string]uint64, len(counters)),
+		Gauges:   make(map[string]int64, len(gauges)),
+		Lat:      make(map[string]Quantiles, len(hists)),
+	}
+	for _, c := range counters {
+		s.Counters[c.name] = c.Value()
+	}
+	for _, g := range gauges {
+		s.Gauges[g.name] = g.Value()
+	}
+	for _, h := range hists {
+		s.Lat[h.name] = h.Snapshot().Summarize()
+	}
+	return s
+}
+
+// HistSnapshot returns the named histogram's exact merged snapshot (with
+// full bucket counts, unlike the quantile summary Snapshot carries), or
+// false when no such histogram was registered.
+func (m *Metrics) HistSnapshot(name string) (HistSnapshot, bool) {
+	m.mu.Lock()
+	h, ok := m.hists[name]
+	m.mu.Unlock()
+	if !ok {
+		return HistSnapshot{}, false
+	}
+	return h.Snapshot(), true
+}
+
+// Snapshot is a point-in-time merged view of a Metrics set: striped
+// counters and gauges summed, histograms reduced to the fixed quantile
+// set. It is also the JSONL record schema the Streamer emits (with TMs
+// stamped), pinned by a golden test.
+type Snapshot struct {
+	// TMs is milliseconds since the stream's start; 0 on direct snapshots.
+	TMs int64 `json:"t_ms"`
+	// Counters holds each striped counter's merged total.
+	Counters map[string]uint64 `json:"counters,omitempty"`
+	// Gauges holds each striped additive gauge's merged value.
+	Gauges map[string]int64 `json:"gauges,omitempty"`
+	// Lat holds each latency histogram's quantile summary.
+	Lat map[string]Quantiles `json:"lat,omitempty"`
+}
+
+// String renders the snapshot as sorted "name value" lines, with
+// histograms as one-line quantile summaries.
+func (s Snapshot) String() string {
+	var b []byte
+	names := make([]string, 0, len(s.Counters))
+	for n := range s.Counters {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		b = fmt.Appendf(b, "%s %d\n", n, s.Counters[n])
+	}
+	names = names[:0]
+	for n := range s.Gauges {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		b = fmt.Appendf(b, "%s %d\n", n, s.Gauges[n])
+	}
+	names = names[:0]
+	for n := range s.Lat {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		q := s.Lat[n]
+		b = fmt.Appendf(b, "%s n=%d p50=%.0fns p99=%.0fns max=%dns\n", n, q.N, q.P50Ns, q.P99Ns, q.MaxNs)
+	}
+	return string(b)
+}

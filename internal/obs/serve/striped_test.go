@@ -1,0 +1,144 @@
+package serve
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestStripedCounterGaugeMerge(t *testing.T) {
+	m := NewMetrics(4)
+	if m.Stripes() != 4 {
+		t.Fatalf("Stripes() = %d, want 4", m.Stripes())
+	}
+	c := m.Counter("ops")
+	if m.Counter("ops") != c {
+		t.Fatal("Counter not idempotent for the same name")
+	}
+	for stripe := 0; stripe < 8; stripe++ { // wraps around the 4 stripes
+		c.Add(stripe, uint64(stripe))
+	}
+	if got := c.Value(); got != 28 {
+		t.Fatalf("counter merge = %d, want 28", got)
+	}
+
+	g := m.Gauge("inflight")
+	g.Add(0, 5)
+	g.Add(1, 3)
+	g.Add(2, -4)
+	if got := g.Value(); got != 4 {
+		t.Fatalf("gauge merge = %d, want 4", got)
+	}
+
+	h := m.Hist("lat")
+	h.Observe(0, 10)
+	h.Observe(1, 30)
+	h.Observe(2, 20)
+	s := h.Snapshot()
+	if s.N != 3 || s.Sum != 60 || s.Max != 30 {
+		t.Fatalf("hist merge n=%d sum=%d max=%d", s.N, s.Sum, s.Max)
+	}
+}
+
+func TestMetricsStripeRounding(t *testing.T) {
+	for _, tc := range []struct{ in, want int }{{0, 1}, {1, 1}, {3, 4}, {8, 8}, {9, 16}} {
+		if got := NewMetrics(tc.in).Stripes(); got != tc.want {
+			t.Errorf("NewMetrics(%d).Stripes() = %d, want %d", tc.in, got, tc.want)
+		}
+	}
+}
+
+func TestMetricsSnapshot(t *testing.T) {
+	m := NewMetrics(2)
+	m.Counter("reads").Add(0, 7)
+	m.Gauge("inflight").Add(1, 2)
+	m.Hist("lat").Observe(0, 100)
+	s := m.Snapshot()
+	if s.Counters["reads"] != 7 || s.Gauges["inflight"] != 2 {
+		t.Fatalf("snapshot = %+v", s)
+	}
+	q := s.Lat["lat"]
+	if q.N != 1 || q.MaxNs != 100 || q.P50Ns != 100 {
+		t.Fatalf("snapshot quantiles = %+v", q)
+	}
+	if _, ok := m.HistSnapshot("lat"); !ok {
+		t.Fatal("HistSnapshot lost a registered histogram")
+	}
+	if _, ok := m.HistSnapshot("nope"); ok {
+		t.Fatal("HistSnapshot invented a histogram")
+	}
+	out := s.String()
+	for _, want := range []string{"reads 7", "inflight 2", "lat n=1"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("String() missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// The acceptance bar: recording from 64 goroutines through one Metrics
+// set must be race-free (run under -race in make race-timing) and lose
+// nothing — every add and observation shows up in the merged snapshot.
+func TestMetricsConcurrentHammer(t *testing.T) {
+	const goroutines = 64
+	const perG = 2000
+	m := NewMetrics(goroutines)
+	c := m.Counter("ops")
+	g := m.Gauge("inflight")
+	h := m.Hist("lat")
+	var wg sync.WaitGroup
+	for w := 0; w < goroutines; w++ {
+		wg.Add(1)
+		go func(stripe int) {
+			defer wg.Done()
+			hist := h.Stripe(stripe)
+			for i := 0; i < perG; i++ {
+				g.Add(stripe, 1)
+				c.Inc(stripe)
+				hist.Observe(uint64(stripe*perG + i))
+				g.Add(stripe, -1)
+			}
+		}(w)
+	}
+	// Concurrent snapshots must be safe (and monotone in total count).
+	var prev uint64
+	for i := 0; i < 50; i++ {
+		s := m.Snapshot()
+		if n := s.Lat["lat"].N; n < prev {
+			t.Fatalf("snapshot count went backwards: %d -> %d", prev, n)
+		} else {
+			prev = n
+		}
+	}
+	wg.Wait()
+	s := m.Snapshot()
+	if got := s.Counters["ops"]; got != goroutines*perG {
+		t.Fatalf("counter lost updates: %d, want %d", got, goroutines*perG)
+	}
+	if got := s.Gauges["inflight"]; got != 0 {
+		t.Fatalf("gauge did not return to zero: %d", got)
+	}
+	q := s.Lat["lat"]
+	if q.N != goroutines*perG {
+		t.Fatalf("hist lost observations: %d, want %d", q.N, goroutines*perG)
+	}
+	if q.MaxNs != goroutines*perG-1 {
+		t.Fatalf("hist max = %d, want %d", q.MaxNs, goroutines*perG-1)
+	}
+}
+
+// The striped record path must stay allocation-free end to end: counter,
+// gauge and histogram, through resolved handles.
+func TestStripedRecordZeroAlloc(t *testing.T) {
+	m := NewMetrics(8)
+	c := m.Counter("ops")
+	g := m.Gauge("inflight")
+	h := m.Hist("lat")
+	if n := testing.AllocsPerRun(1000, func() {
+		g.Add(3, 1)
+		c.Inc(3)
+		h.Observe(3, 512)
+		g.Add(3, -1)
+	}); n != 0 {
+		t.Fatalf("striped record path allocates %.2f times per run, want 0", n)
+	}
+}

@@ -1,0 +1,118 @@
+// BENCH_serve.json record writing, shared by cmd/deuceserve and
+// ci/benchserve so the interactive harness and the CI lane emit the same
+// schema the regression ledger ingests.
+
+package servebench
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"strings"
+)
+
+// BenchDoc is the BENCH_serve.json document: the standard BENCH_* header
+// (benchmark/date/host fields, as in BENCH_writehot.json) plus the run
+// configuration and one Result per measured scheme. `deucereport record
+// -serve` ingests it into the perf ledger as serve: metrics.
+type BenchDoc struct {
+	// Benchmark names the measurement (always "BenchmarkServe").
+	Benchmark string `json:"benchmark"`
+	// Description says what was measured and how to regenerate it.
+	Description string `json:"description"`
+	// Date is the run date (YYYY-MM-DD).
+	Date string `json:"date"`
+	// Goos is runtime.GOOS at measurement time.
+	Goos string `json:"goos"`
+	// Goarch is runtime.GOARCH at measurement time.
+	Goarch string `json:"goarch"`
+	// CPU is the host CPU model, best effort.
+	CPU string `json:"cpu"`
+	// Go is the toolchain version.
+	Go string `json:"go"`
+	// Cores is runtime.NumCPU.
+	Cores int `json:"cores"`
+	// Config is the workload shape every scheme ran under.
+	Config BenchConfig `json:"config"`
+	// Results holds one serving measurement per scheme.
+	Results []Result `json:"results"`
+	// Notes carries caveats (runner noise, scale) for human readers.
+	Notes string `json:"notes"`
+}
+
+// BenchConfig is the workload-shape header recorded alongside results so
+// a ledger comparison knows two records measured the same thing.
+type BenchConfig struct {
+	// Clients is the client goroutine count.
+	Clients int `json:"clients"`
+	// Ops is the request count per scheme.
+	Ops int `json:"ops"`
+	// ReadFraction is the Get probability.
+	ReadFraction float64 `json:"read_fraction"`
+	// Lines is the memory capacity in lines.
+	Lines int `json:"lines"`
+	// Keys is the keyspace size.
+	Keys int `json:"keys"`
+	// ZipfS is the key-popularity skew exponent.
+	ZipfS float64 `json:"zipf_s"`
+	// Seed is the workload seed.
+	Seed int64 `json:"seed"`
+}
+
+// NewBenchDoc assembles a BenchDoc from a run's configuration and
+// per-scheme results, stamping the host fields. date is YYYY-MM-DD
+// (passed in, not sampled here, so tests can pin it).
+func NewBenchDoc(cfg Config, results []Result, date string) BenchDoc {
+	cfg.setDefaults()
+	schemes := make([]string, len(results))
+	for i, r := range results {
+		schemes[i] = r.Scheme
+	}
+	return BenchDoc{
+		Benchmark: "BenchmarkServe",
+		Description: fmt.Sprintf("Concurrent serving harness: %d clients, %d Zipfian(s=%g) mixed ops (%.0f%% reads) per scheme against a coarse-locked KV front end on a %d-line memory; schemes %s. Latency from lock-free striped histograms (~3%% bucket error, max exact). Regenerate with `make bench-serve`.",
+			cfg.Clients, cfg.Ops, cfg.ZipfS, cfg.ReadFraction*100, cfg.Lines,
+			strings.Join(schemes, ", ")),
+		Date:   date,
+		Goos:   runtime.GOOS,
+		Goarch: runtime.GOARCH,
+		CPU:    cpuModel(),
+		Go:     runtime.Version(),
+		Cores:  runtime.NumCPU(),
+		Config: BenchConfig{
+			Clients:      cfg.Clients,
+			Ops:          cfg.Ops,
+			ReadFraction: cfg.ReadFraction,
+			Lines:        cfg.Lines,
+			Keys:         cfg.Keys,
+			ZipfS:        cfg.ZipfS,
+			Seed:         cfg.Seed,
+		},
+		Results: results,
+		Notes:   "Latency quantiles and throughput are host- and load-sensitive: the ledger gates serve: metrics at the loose walltime threshold, never the ±2% value threshold. The front end is the deliberate coarse-lock baseline the sharded front end (ROADMAP) will be measured against.",
+	}
+}
+
+// WriteJSON writes the document to path, indented, trailing newline.
+func (d BenchDoc) WriteJSON(path string) error {
+	blob, err := json.MarshalIndent(d, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(blob, '\n'), 0o644)
+}
+
+// cpuModel best-effort reads the CPU model name for the record header.
+func cpuModel() string {
+	blob, err := os.ReadFile("/proc/cpuinfo")
+	if err != nil {
+		return ""
+	}
+	for _, line := range strings.Split(string(blob), "\n") {
+		if name, ok := strings.CutPrefix(line, "model name"); ok {
+			return strings.TrimSpace(strings.TrimPrefix(strings.TrimSpace(name), ":"))
+		}
+	}
+	return ""
+}

@@ -1,0 +1,290 @@
+// Package servebench is the concurrent serving benchmark: N client
+// goroutines issue a Zipfian mixed read/write key-value workload against
+// one deuce.Memory front end, with per-request latency telemetry recorded
+// through internal/obs/serve (striped counters, lock-free log-bucketed
+// latency histograms) and reduced to p50/p90/p99/p999 plus throughput per
+// scheme — the BENCH_serve.json record the regression ledger ingests.
+//
+// The front end is a deliberately coarse single-writer lock around the
+// shared kvstore: every request, read or write, serializes through one
+// mutex. That is the honest baseline the ROADMAP's sharded front end will
+// be measured against — the telemetry in this PR is the measurement
+// substrate; the lock is the next PR's target. What must already be true
+// is that the telemetry itself never serializes anything: recording a
+// request is a few atomic adds into per-client stripes, so the lock is
+// the only coordination point in the loop.
+package servebench
+
+import (
+	"fmt"
+	"io"
+	"sync"
+	"time"
+
+	"deuce"
+	"deuce/internal/kvstore"
+	"deuce/internal/obs/serve"
+
+	"math/rand"
+)
+
+// Config sizes one serving run. The zero value of every field selects a
+// default; Clients and Ops set the concurrency and total request count.
+type Config struct {
+	// Scheme is the write scheme under test; empty means DEUCE.
+	Scheme deuce.Scheme
+	// Clients is the number of concurrent client goroutines (default 8).
+	Clients int
+	// Ops is the total request count across all clients (default 20000).
+	Ops int
+	// ReadFraction is the probability a request is a Get. Values outside
+	// (0,1] — including the zero value — select the 0.5 default; 1 means
+	// read-only. (A write-only run is not expressible; the store's write
+	// cost already has a dedicated harness in examples/securekv.)
+	ReadFraction float64
+	// Keys is the keyspace size (default Lines/4, so the table stays
+	// sparse enough for linear probing).
+	Keys int
+	// Lines is the memory capacity in 64-byte lines (default 4096).
+	Lines int
+	// ZipfS is the Zipfian skew exponent (>1; default 1.1 — a hot-key
+	// distribution shaped like KV serving traffic).
+	ZipfS float64
+	// Seed seeds the per-client workload generators (default 1).
+	Seed int64
+	// StreamInterval is the JSONL snapshot cadence when a stream writer
+	// is passed to Run (default 1s).
+	StreamInterval time.Duration
+	// ExpvarName, when non-empty, publishes the run's live metrics under
+	// this expvar name (visible on obs.ServeDebug's /debug/vars).
+	ExpvarName string
+}
+
+func (c *Config) setDefaults() {
+	if c.Scheme == "" {
+		c.Scheme = deuce.DEUCE
+	}
+	if c.Clients <= 0 {
+		c.Clients = 8
+	}
+	if c.Ops <= 0 {
+		c.Ops = 20000
+	}
+	if c.ReadFraction <= 0 || c.ReadFraction > 1 {
+		c.ReadFraction = 0.5
+	}
+	if c.Lines <= 0 {
+		c.Lines = 4096
+	}
+	if c.Keys <= 0 {
+		c.Keys = c.Lines / 4
+	}
+	if c.ZipfS <= 1 {
+		c.ZipfS = 1.1
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	if c.StreamInterval <= 0 {
+		c.StreamInterval = time.Second
+	}
+}
+
+// Result is one scheme's serving measurement: counts, wall clock,
+// throughput, and the latency quantile summaries (overall, reads,
+// writes). Its JSON shape is the per-scheme record inside
+// BENCH_serve.json.
+type Result struct {
+	// Scheme is the measured write scheme.
+	Scheme string `json:"scheme"`
+	// Clients is the client goroutine count the run used.
+	Clients int `json:"clients"`
+	// Ops is the completed request count.
+	Ops uint64 `json:"ops"`
+	// Reads is the completed Get count.
+	Reads uint64 `json:"reads"`
+	// Writes is the completed Put count.
+	Writes uint64 `json:"writes"`
+	// DurationNs is the measured wall clock of the request phase.
+	DurationNs int64 `json:"duration_ns"`
+	// OpsPerSec is Ops over the measured duration.
+	OpsPerSec float64 `json:"ops_per_sec"`
+	// Lat summarizes every request's latency (exact merge of the read
+	// and write histograms).
+	Lat serve.Quantiles `json:"lat"`
+	// ReadLat summarizes Get latencies.
+	ReadLat serve.Quantiles `json:"read_lat"`
+	// WriteLat summarizes Put latencies.
+	WriteLat serve.Quantiles `json:"write_lat"`
+}
+
+// Front is the concurrency front end under test: the shared store behind
+// one coarse mutex. Exported so the harness's successor (the sharded
+// front end the ROADMAP names) can be swapped in and measured by the
+// same telemetry.
+type Front struct {
+	mu sync.Mutex
+	kv *kvstore.Store
+}
+
+// Get serializes a read through the front-end lock.
+func (f *Front) Get(key string) (string, bool) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.kv.Get(key)
+}
+
+// Put serializes a write through the front-end lock.
+func (f *Front) Put(key, value string) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.kv.Put(key, value)
+}
+
+// Run executes one serving benchmark: build the memory, preload the
+// keyspace, then fire Clients goroutines at the front end until Ops
+// requests complete, recording per-request latency into striped
+// histograms. When stream is non-nil, a serve.Streamer emits JSONL
+// snapshots every StreamInterval while the run is in flight.
+func Run(cfg Config, stream io.Writer) (Result, error) {
+	cfg.setDefaults()
+	mem, err := deuce.New(deuce.Options{Lines: cfg.Lines, Scheme: cfg.Scheme})
+	if err != nil {
+		return Result{}, err
+	}
+	front := &Front{kv: kvstore.New(mem)}
+
+	// Preload every key (unmeasured) and pre-generate keys and values so
+	// the request loop allocates nothing of its own — per-op cost is the
+	// front end plus telemetry, not fmt.
+	keys := make([]string, cfg.Keys)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("k-%06d", i)
+		if err := front.Put(keys[i], "0"); err != nil {
+			return Result{}, fmt.Errorf("servebench: preload: %w", err)
+		}
+	}
+	vals := make([]string, 256)
+	for i := range vals {
+		vals[i] = fmt.Sprintf("v-%08d", i*i)
+	}
+
+	m := serve.NewMetrics(cfg.Clients)
+	ops := m.Counter("ops")
+	reads := m.Counter("reads")
+	writes := m.Counter("writes")
+	errs := m.Counter("errors")
+	inflight := m.Gauge("inflight")
+	latRead := m.Hist("lat_read")
+	latWrite := m.Hist("lat_write")
+	if cfg.ExpvarName != "" {
+		m.Expvar(cfg.ExpvarName)
+	}
+
+	var streamer *serve.Streamer
+	if stream != nil {
+		streamer = serve.NewStreamer(m, stream, cfg.StreamInterval)
+		streamer.Start()
+	}
+
+	var wg sync.WaitGroup
+	start := time.Now()
+	for w := 0; w < cfg.Clients; w++ {
+		n := cfg.Ops / cfg.Clients
+		if w < cfg.Ops%cfg.Clients {
+			n++
+		}
+		wg.Add(1)
+		go func(stripe, n int) {
+			defer wg.Done()
+			// Per-client generators: no shared RNG state, deterministic
+			// per (seed, client) request sequence.
+			rng := rand.New(rand.NewSource(cfg.Seed + int64(stripe)*7919))
+			zipf := rand.NewZipf(rng, cfg.ZipfS, 1, uint64(len(keys)-1))
+			rHist := latRead.Stripe(stripe)
+			wHist := latWrite.Stripe(stripe)
+			for i := 0; i < n; i++ {
+				key := keys[zipf.Uint64()]
+				isRead := rng.Float64() < cfg.ReadFraction
+				inflight.Add(stripe, 1)
+				t0 := time.Now()
+				if isRead {
+					_, ok := front.Get(key)
+					d := time.Since(t0)
+					rHist.Observe(uint64(d.Nanoseconds()))
+					reads.Inc(stripe)
+					if !ok {
+						errs.Inc(stripe)
+					}
+				} else {
+					err := front.Put(key, vals[i&(len(vals)-1)])
+					d := time.Since(t0)
+					wHist.Observe(uint64(d.Nanoseconds()))
+					writes.Inc(stripe)
+					if err != nil {
+						errs.Inc(stripe)
+					}
+				}
+				ops.Inc(stripe)
+				inflight.Add(stripe, -1)
+			}
+		}(w, n)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	if streamer != nil {
+		if err := streamer.Stop(); err != nil {
+			return Result{}, err
+		}
+	}
+
+	if n := errs.Value(); n != 0 {
+		return Result{}, fmt.Errorf("servebench: %d requests failed (lost keys or full table)", n)
+	}
+
+	// Final summary from quiesced metrics: exact counts, and the overall
+	// latency distribution as the exact merge of the read and write
+	// histograms — the property the striped design guarantees.
+	readSnap, _ := m.HistSnapshot("lat_read")
+	writeSnap, _ := m.HistSnapshot("lat_write")
+	res := Result{
+		Scheme:     string(cfg.Scheme),
+		Clients:    cfg.Clients,
+		Ops:        ops.Value(),
+		Reads:      reads.Value(),
+		Writes:     writes.Value(),
+		DurationNs: elapsed.Nanoseconds(),
+		Lat:        readSnap.Merge(writeSnap).Summarize(),
+		ReadLat:    readSnap.Summarize(),
+		WriteLat:   writeSnap.Summarize(),
+	}
+	if elapsed > 0 {
+		res.OpsPerSec = float64(res.Ops) / elapsed.Seconds()
+	}
+	return res, nil
+}
+
+// SummaryLine renders the one-line per-scheme summary the serving harness
+// prints: scheme, scale, throughput, and the p50/p99 split. Pinned by a
+// golden test — scripts grep it.
+func (r Result) SummaryLine() string {
+	return fmt.Sprintf("serve %-10s %3d clients  %7d ops in %8s  %9.0f ops/s  p50 %-9s p99 %-9s (reads p99 %s, writes p99 %s)",
+		r.Scheme, r.Clients, r.Ops,
+		time.Duration(r.DurationNs).Round(time.Millisecond),
+		r.OpsPerSec,
+		fmtNs(r.Lat.P50Ns), fmtNs(r.Lat.P99Ns),
+		fmtNs(r.ReadLat.P99Ns), fmtNs(r.WriteLat.P99Ns))
+}
+
+// fmtNs renders a nanosecond quantile compactly (1.23µs style).
+func fmtNs(ns float64) string {
+	d := time.Duration(int64(ns))
+	switch {
+	case d >= time.Millisecond:
+		return fmt.Sprintf("%.2fms", float64(d)/float64(time.Millisecond))
+	case d >= time.Microsecond:
+		return fmt.Sprintf("%.2fµs", float64(d)/float64(time.Microsecond))
+	default:
+		return fmt.Sprintf("%dns", d.Nanoseconds())
+	}
+}

@@ -1,0 +1,161 @@
+package servebench
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+	"time"
+
+	"deuce"
+)
+
+func TestRunCountsAndQuantiles(t *testing.T) {
+	cfg := Config{
+		Scheme:       deuce.DEUCE,
+		Clients:      4,
+		Ops:          2000,
+		ReadFraction: 0.5,
+		Lines:        1024,
+		Seed:         7,
+	}
+	res, err := Run(cfg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Ops != 2000 {
+		t.Fatalf("ops = %d, want 2000", res.Ops)
+	}
+	if res.Reads+res.Writes != res.Ops {
+		t.Fatalf("reads(%d)+writes(%d) != ops(%d)", res.Reads, res.Writes, res.Ops)
+	}
+	if res.Reads == 0 || res.Writes == 0 {
+		t.Fatalf("mixed workload produced reads=%d writes=%d", res.Reads, res.Writes)
+	}
+	if res.OpsPerSec <= 0 {
+		t.Fatalf("ops/sec = %g, want > 0", res.OpsPerSec)
+	}
+	// The overall distribution is the exact merge of reads and writes.
+	if res.Lat.N != res.ReadLat.N+res.WriteLat.N {
+		t.Fatalf("lat n=%d != read n=%d + write n=%d", res.Lat.N, res.ReadLat.N, res.WriteLat.N)
+	}
+	if res.Lat.P50Ns <= 0 || res.Lat.P99Ns < res.Lat.P50Ns {
+		t.Fatalf("implausible quantiles: p50=%g p99=%g", res.Lat.P50Ns, res.Lat.P99Ns)
+	}
+	if res.Lat.P999Ns < res.Lat.P99Ns || float64(res.Lat.MaxNs) < res.Lat.P999Ns {
+		t.Fatalf("quantiles not monotone: p99=%g p999=%g max=%d",
+			res.Lat.P99Ns, res.Lat.P999Ns, res.Lat.MaxNs)
+	}
+	if res.Scheme != string(deuce.DEUCE) {
+		t.Fatalf("scheme = %q, want %q", res.Scheme, deuce.DEUCE)
+	}
+}
+
+func TestRunAllSchemes(t *testing.T) {
+	for _, scheme := range []deuce.Scheme{deuce.EncrDCW, deuce.DEUCE, deuce.DynDEUCE} {
+		res, err := Run(Config{Scheme: scheme, Clients: 2, Ops: 400, Lines: 512}, nil)
+		if err != nil {
+			t.Fatalf("%s: %v", scheme, err)
+		}
+		if res.Ops != 400 {
+			t.Fatalf("%s: ops = %d, want 400", scheme, res.Ops)
+		}
+	}
+}
+
+// A streamed run must emit parseable JSONL snapshot records whose final
+// cumulative record agrees with the run's own counts.
+func TestRunStreamsJSONL(t *testing.T) {
+	var buf bytes.Buffer
+	res, err := Run(Config{Clients: 2, Ops: 500, Lines: 512, StreamInterval: time.Millisecond}, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc := bufio.NewScanner(&buf)
+	var last struct {
+		Counters map[string]uint64 `json:"counters"`
+	}
+	lines := 0
+	for sc.Scan() {
+		lines++
+		if err := json.Unmarshal(sc.Bytes(), &last); err != nil {
+			t.Fatalf("line %d is not JSON: %v\n%s", lines, err, sc.Text())
+		}
+	}
+	if lines == 0 {
+		t.Fatal("stream emitted no records")
+	}
+	if got := last.Counters["ops"]; got != res.Ops {
+		t.Fatalf("final stream record ops=%d, want %d", got, res.Ops)
+	}
+}
+
+// The one-line summary format is load-bearing: scripts grep it, and the
+// README quotes it. Pin it with a fixed Result.
+func TestSummaryLineGolden(t *testing.T) {
+	r := Result{
+		Scheme:     "deuce",
+		Clients:    8,
+		Ops:        20000,
+		Reads:      10000,
+		Writes:     10000,
+		DurationNs: int64(1250 * time.Millisecond),
+		OpsPerSec:  16000,
+	}
+	r.Lat.P50Ns = 1500
+	r.Lat.P99Ns = 42000
+	r.ReadLat.P99Ns = 900
+	r.WriteLat.P99Ns = 61000
+	got := r.SummaryLine()
+	want := "serve deuce        8 clients    20000 ops in    1.25s      16000 ops/s  p50 1.50µs    p99 42.00µs   (reads p99 900ns, writes p99 61.00µs)"
+	if got != want {
+		t.Fatalf("summary line drifted:\n got: %q\nwant: %q", got, want)
+	}
+}
+
+func TestFmtNs(t *testing.T) {
+	cases := []struct {
+		ns   float64
+		want string
+	}{
+		{0, "0ns"},
+		{999, "999ns"},
+		{1500, "1.50µs"},
+		{2500000, "2.50ms"},
+	}
+	for _, c := range cases {
+		if got := fmtNs(c.ns); got != c.want {
+			t.Errorf("fmtNs(%g) = %q, want %q", c.ns, got, c.want)
+		}
+	}
+}
+
+// Identical configs must produce identical workloads: same read/write
+// split, byte-for-byte. (Latency obviously differs; counts must not.)
+func TestWorkloadDeterminism(t *testing.T) {
+	cfg := Config{Clients: 3, Ops: 900, Lines: 512, Seed: 13}
+	a, err := Run(cfg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(cfg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Reads != b.Reads || a.Writes != b.Writes {
+		t.Fatalf("same seed, different workload: %d/%d vs %d/%d",
+			a.Reads, a.Writes, b.Reads, b.Writes)
+	}
+}
+
+func TestSummaryLineContainsScheme(t *testing.T) {
+	res, err := Run(Config{Scheme: deuce.DynDEUCE, Clients: 2, Ops: 200, Lines: 512}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	line := res.SummaryLine()
+	if !strings.Contains(line, "dyndeuce") || !strings.Contains(line, "ops/s") {
+		t.Fatalf("summary line missing fields: %q", line)
+	}
+}

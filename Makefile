@@ -33,16 +33,17 @@ race:
 # machinery: the sharded timing engine's differential suites in
 # internal/timing, the parallel grid / warm-fork / planner paths in
 # internal/exp, the fork bit-identity suites in internal/core and
-# internal/workload, and the concurrent serving telemetry (the atomic
+# internal/workload, the concurrent serving telemetry (the atomic
 # obs registry, the striped lock-free histograms with their merge
-# property test, and the serving harness), all under the race detector.
-# A subset of `race`, split out so CI can run it on every push even when
-# the full race matrix is pruned.
+# property test, and the serving harness), and the sharded serving
+# front end's differential replay suite (internal/servefront), all under
+# the race detector. A subset of `race`, split out so CI can run it on
+# every push even when the full race matrix is pruned.
 race-timing:
 	$(GO) test -race ./internal/timing/
 	$(GO) test -race -run 'TestRunPerfSharded|TestResolveTimingShards|TestPerfGrid|TestWarm|TestPlan' ./internal/exp/
 	$(GO) test -race -run 'TestFork' ./internal/core/ ./internal/workload/
-	$(GO) test -race ./internal/obs/ ./internal/obs/serve/ ./internal/servebench/
+	$(GO) test -race ./internal/obs/ ./internal/obs/serve/ ./internal/servebench/ ./internal/servefront/
 
 # bench-smoke only checks that the hot-write benchmarks still run and stay
 # allocation-free; 100 iterations is too few for timing, use bench-writehot
@@ -76,13 +77,15 @@ bench-spans:
 	$(GO) run ./ci/benchspans -writebacks 6000 -lines 512 -out BENCH_spans.json
 
 # bench-serve regenerates BENCH_serve.json: the concurrent serving
-# harness (N clients, Zipfian mixed read/write workload against the
-# coarse-locked KV front end) once per scheme, recording throughput and
+# harness (N clients, Zipfian mixed read/write workload against the KV
+# store) once per scheme × front end — the coarse single-lock baseline
+# and the sharded single-writer-line front — recording throughput and
 # p50/p90/p99/p999 latency from the lock-free striped histograms. The
-# record is validated (complete, mixed, monotone quantiles) before it is
-# written; `deucereport record -serve` ingests it into the perf ledger.
+# record is validated (complete, mixed, no misses, monotone quantiles)
+# before it is written; `deucereport record -serve` ingests it into the
+# perf ledger.
 bench-serve:
-	$(GO) run ./ci/benchserve -clients 8 -ops 60000 -lines 4096 -out BENCH_serve.json
+	$(GO) run ./ci/benchserve -clients 8 -ops 60000 -lines 4096 -fronts coarse,sharded -shards 8 -out BENCH_serve.json
 
 # fidelity runs the paper-fidelity gate at the reduced CI scale: every
 # EXPERIMENTS.md headline value is checked against the paper with

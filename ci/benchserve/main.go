@@ -1,17 +1,20 @@
 // Command benchserve produces BENCH_serve.json, the serving-benchmark
 // record: the concurrent harness (internal/servebench) run once per
-// scheme at CI scale, with throughput and latency quantiles
-// (p50/p90/p99/p999) per scheme from the lock-free striped histograms.
+// scheme × front end at CI scale — the coarse single-lock baseline and
+// the sharded single-writer-line front side by side — with throughput
+// and latency quantiles (p50/p90/p99/p999) from the lock-free striped
+// histograms.
 //
 // Unlike cmd/deuceserve (the interactive harness with streaming and
 // /debug/vars), benchserve validates the record before writing it:
-// every scheme must complete exactly -ops requests with a non-degenerate
-// mixed workload and monotone latency quantiles, so a harness bug cannot
+// every scheme×front must complete exactly -ops requests with a
+// non-degenerate mixed workload, no misses on the fully preloaded
+// keyspace, and monotone latency quantiles, so a harness bug cannot
 // silently ship a bogus baseline into the regression ledger. CI ingests
 // the output with `deucereport record -serve` and gates drift against
 // the persisted serve ledger at the walltime-style loose threshold.
 //
-// Usage: go run ./ci/benchserve -clients 8 -ops 60000 -out BENCH_serve.json
+// Usage: go run ./ci/benchserve -clients 8 -ops 60000 -fronts coarse,sharded -out BENCH_serve.json
 package main
 
 import (
@@ -27,6 +30,8 @@ import (
 
 func main() {
 	schemes := flag.String("schemes", "encr-dcw,deuce,dyndeuce", "comma-separated schemes to measure")
+	fronts := flag.String("fronts", "coarse,sharded", "comma-separated front ends to measure")
+	shards := flag.Int("shards", 8, "shard count for the sharded front")
 	clients := flag.Int("clients", 8, "concurrent client goroutines")
 	ops := flag.Int("ops", 60000, "requests per scheme")
 	readFrac := flag.Float64("read-frac", 0.5, "fraction of requests that are reads")
@@ -37,6 +42,7 @@ func main() {
 	flag.Parse()
 
 	cfg := servebench.Config{
+		Shards:       *shards,
 		Clients:      *clients,
 		Ops:          *ops,
 		ReadFraction: *readFrac,
@@ -50,19 +56,26 @@ func main() {
 		if name == "" {
 			continue
 		}
-		cfg.Scheme = deuce.Scheme(name)
-		res, err := servebench.Run(cfg, nil)
-		if err != nil {
-			fatal("%s: %v", name, err)
+		for _, fr := range strings.Split(*fronts, ",") {
+			fr = strings.TrimSpace(fr)
+			if fr == "" {
+				continue
+			}
+			cfg.Scheme = deuce.Scheme(name)
+			cfg.Front = fr
+			res, err := servebench.Run(cfg, nil)
+			if err != nil {
+				fatal("%s/%s: %v", name, fr, err)
+			}
+			if err := validate(res, *ops); err != nil {
+				fatal("%s/%s: invalid measurement: %v", name, fr, err)
+			}
+			fmt.Println(res.SummaryLine())
+			results = append(results, res)
 		}
-		if err := validate(res, *ops); err != nil {
-			fatal("%s: invalid measurement: %v", name, err)
-		}
-		fmt.Println(res.SummaryLine())
-		results = append(results, res)
 	}
 	if len(results) == 0 {
-		fatal("no schemes to measure")
+		fatal("no scheme×front combinations to measure")
 	}
 
 	doc := servebench.NewBenchDoc(cfg, results, time.Now().Format("2006-01-02"))
@@ -73,14 +86,26 @@ func main() {
 }
 
 // validate rejects measurements no healthy run can produce: lost
-// requests, a one-sided workload from a mixed config, or quantiles that
-// are zero or non-monotone.
+// requests, a one-sided workload from a mixed config, misses against the
+// fully preloaded keyspace, missing memory accounting, or quantiles that
+// are zero or non-monotone. (Misses are non-fatal to servebench.Run — a
+// miss is workload shape, not failure — but this harness preloads every
+// key, so here a miss means the front end lost a record.)
 func validate(r servebench.Result, wantOps int) error {
 	if r.Ops != uint64(wantOps) {
 		return fmt.Errorf("completed %d of %d requests", r.Ops, wantOps)
 	}
 	if r.Reads == 0 || r.Writes == 0 {
 		return fmt.Errorf("one-sided workload: %d reads, %d writes", r.Reads, r.Writes)
+	}
+	if r.Misses != 0 {
+		return fmt.Errorf("%d misses on a fully preloaded keyspace", r.Misses)
+	}
+	if r.Front == "" {
+		return fmt.Errorf("result missing front label")
+	}
+	if r.Mem.Writes == 0 || r.Mem.BitFlips == 0 {
+		return fmt.Errorf("memory accounting missing: %+v", r.Mem)
 	}
 	if r.OpsPerSec <= 0 {
 		return fmt.Errorf("throughput %g", r.OpsPerSec)

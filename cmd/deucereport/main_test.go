@@ -280,8 +280,8 @@ func TestRecordServeRoundTrip(t *testing.T) {
 	}
 	m := runs[0].Metrics
 	for _, name := range []string{
-		"serve:deuce:ops_per_sec", "serve:deuce:p50_ns", "serve:deuce:p99_ns",
-		"serve:deuce:read_p99_ns", "serve:deuce:write_p99_ns",
+		"serve:deuce:coarse:ops_per_sec", "serve:deuce:coarse:p50_ns", "serve:deuce:coarse:p99_ns",
+		"serve:deuce:coarse:read_p99_ns", "serve:deuce:coarse:write_p99_ns",
 	} {
 		if m[name] <= 0 {
 			t.Errorf("round-tripped metric %s = %v, want > 0", name, m[name])

@@ -1,10 +1,12 @@
 // Command deuceserve is the concurrent serving harness: N client
 // goroutines fire a Zipfian mixed read/write key-value workload at an
-// encrypted PCM memory behind a coarse-locked front end, once per scheme,
-// and report throughput plus latency quantiles (p50/p90/p99/p999) from
-// lock-free striped histograms. It is examples/securekv's concurrent
-// sibling — same store, same memory, but measuring serving behavior
-// under contention instead of single-threaded write cost.
+// encrypted PCM memory behind a selectable front end (-front coarse for
+// the single-lock baseline, -front sharded for the single-writer-line
+// sharded front in internal/servefront), once per scheme, and report
+// throughput plus latency quantiles (p50/p90/p99/p999) from lock-free
+// striped histograms. It is examples/securekv's concurrent sibling —
+// same store, same memory, but measuring serving behavior under
+// contention instead of single-threaded write cost.
 //
 // Output: one summary line per scheme on stdout, and with -out a
 // BENCH_serve.json record that `deucereport record -serve` ingests into
@@ -34,6 +36,8 @@ import (
 
 func main() {
 	schemes := flag.String("schemes", "encr-dcw,deuce,dyndeuce", "comma-separated schemes to serve")
+	front := flag.String("front", servebench.FrontCoarse, "concurrency front end: coarse or sharded")
+	shards := flag.Int("shards", 8, "shard count for -front sharded")
 	clients := flag.Int("clients", 8, "concurrent client goroutines")
 	ops := flag.Int("ops", 200000, "requests per scheme")
 	readFrac := flag.Float64("read-frac", 0.5, "fraction of requests that are reads")
@@ -67,6 +71,8 @@ func main() {
 	}
 
 	cfg := servebench.Config{
+		Front:          *front,
+		Shards:         *shards,
 		Clients:        *clients,
 		Ops:            *ops,
 		ReadFraction:   *readFrac,

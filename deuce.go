@@ -15,6 +15,21 @@
 //	info := mem.Write(lineAddr, payload)   // info.BitFlips, info.WriteSlots
 //	data := mem.Read(lineAddr)             // transparently decrypted
 //
+// # Concurrency
+//
+// A Memory is single-goroutine: one goroutine owns the whole array, and no
+// method is safe for concurrent use. This is deliberate — the write schemes
+// stage every write through scheme-owned scratch buffers (the zero-
+// allocation discipline of DESIGN.md §5), and the per-line encryption
+// counters and epoch state mutate on every operation, reads included.
+// Concurrent front ends must impose their own discipline on top: either a
+// single lock around one Memory (internal/servebench's coarse baseline) or
+// a partition of the line space into independently locked regions, each
+// backed by its own Memory instance (internal/servefront's sharded
+// single-writer front end, DESIGN.md §13). The same single-writer-line
+// contract is what the deterministic timing engine enforces dynamically via
+// timing.ErrSharedLine (DESIGN.md §9).
+//
 // The reproduction harness for the paper's tables and figures lives in
 // cmd/deucebench; the workload models, wear leveling, cache hierarchy, and
 // timing model are available to examples and tools via the internal
@@ -157,13 +172,18 @@ type Stats struct {
 	// line — the paper's figure of merit (50% for the encrypted
 	// baseline, ~24% for DEUCE).
 	FlipFraction float64
+	// WriteSlots is the total 128-bit write slots consumed. Kept as an
+	// exact integer (like Writes and BitFlips) so sharded front ends can
+	// merge per-shard stats bit-for-bit and re-derive the averages.
+	WriteSlots uint64
 	// AvgWriteSlots is the mean 128-bit write slots per write.
 	AvgWriteSlots float64
 	// MetadataBitsPerLine is the scheme's storage overhead (Table 3).
 	MetadataBitsPerLine int
 }
 
-// Memory is an encrypted (or plain) PCM main memory simulation.
+// Memory is an encrypted (or plain) PCM main memory simulation. It is
+// single-goroutine — see the package comment's Concurrency section.
 type Memory struct {
 	scheme core.Scheme
 	opts   Options
@@ -255,6 +275,18 @@ func (m *Memory) Write(line uint64, data []byte) WriteInfo {
 // Read returns the current plaintext of a line.
 func (m *Memory) Read(line uint64) []byte { return m.scheme.Read(line) }
 
+// ReadInto decrypts a line's current plaintext into dst, which must be 64
+// bytes. It is Read without the allocation: on a memory without wear
+// leveling the whole read path — device copy-out, pad generation,
+// decryption — runs through preallocated scheme scratch, which is what
+// lets serving hot paths (internal/kvstore) read at zero allocations per
+// operation.
+func (m *Memory) ReadInto(line uint64, dst []byte) { m.scheme.ReadInto(line, dst) }
+
+// LineBits returns the number of data cells per line (512 for the 64-byte
+// lines every scheme models) — the denominator of Stats.FlipFraction.
+func (m *Memory) LineBits() int { return m.scheme.Device().Config().LineBits() }
+
 // Install places initial content into a line without write-cost accounting
 // (initial page placement). Must precede any Write/Read of that line.
 func (m *Memory) Install(line uint64, data []byte) { m.scheme.Install(line, data) }
@@ -269,6 +301,7 @@ func (m *Memory) Stats() Stats {
 		BitFlips:            st.TotalFlips(),
 		AvgFlipsPerWrite:    st.AvgFlipsPerWrite(),
 		FlipFraction:        st.AvgFlipsPerWrite() / lineBits,
+		WriteSlots:          st.SlotsUsed,
 		AvgWriteSlots:       st.AvgSlotsPerWrite(),
 		MetadataBitsPerLine: m.scheme.OverheadBits(),
 	}

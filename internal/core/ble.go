@@ -116,6 +116,13 @@ func (s *BLE) Read(line uint64) []byte {
 	return s.decryptLine(line, ct)
 }
 
+// ReadInto implements Scheme.
+func (s *BLE) ReadInto(line uint64, dst []byte) {
+	s.initLine(line)
+	s.dev.ReadInto(line, s.scr.oldData, nil)
+	s.decryptLineInto(dst, line, s.scr.oldData)
+}
+
 // BLEDeuce combines BLE with DEUCE (§7.1, Figure 18): each 16-byte block
 // has its own counter and runs the DEUCE protocol internally — per-word
 // modified bits, leading/trailing virtual counters derived from the block
@@ -279,4 +286,11 @@ func (s *BLEDeuce) Read(line uint64) []byte {
 	s.initLine(line)
 	ct, mod := s.dev.Read(line)
 	return s.decryptLine(line, ct, mod)
+}
+
+// ReadInto implements Scheme.
+func (s *BLEDeuce) ReadInto(line uint64, dst []byte) {
+	s.initLine(line)
+	s.dev.ReadInto(line, s.scr.oldData, s.scr.oldMeta)
+	s.decryptLineInto(dst, line, s.scr.oldData, s.scr.oldMeta)
 }

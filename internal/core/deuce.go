@@ -166,6 +166,14 @@ func (s *Deuce) Read(line uint64) []byte {
 	return dualDecrypt(s.gen, line, s.ctrs.Get(line), s.epochMask, s.p.WordBytes, ct, mod)
 }
 
+// ReadInto implements Scheme.
+func (s *Deuce) ReadInto(line uint64, dst []byte) {
+	s.initLine(line)
+	s.dev.ReadInto(line, s.scr.oldData, s.scr.oldMeta)
+	dualDecryptInto(dst, s.gen, line, s.ctrs.Get(line), s.epochMask, s.p.WordBytes,
+		s.scr.oldData, s.scr.oldMeta, s.scr.padL, s.scr.padT)
+}
+
 // DeuceFNW stacks a Flip-N-Write stage between DEUCE's ciphertext image and
 // the PCM cells, with dedicated flip bits (the paper's "DEUCE+FNW", 64 bits
 // of metadata per line, Table 3). The metadata layout is the modified bits
@@ -257,4 +265,14 @@ func (s *DeuceFNW) Read(line uint64) []byte {
 	mod, flips := s.split(meta)
 	ct := s.codec.Decode(cells, flips)
 	return dualDecrypt(s.gen, line, s.ctrs.Get(line), s.epochMask, s.p.WordBytes, ct, mod)
+}
+
+// ReadInto implements Scheme.
+func (s *DeuceFNW) ReadInto(line uint64, dst []byte) {
+	s.initLine(line)
+	s.dev.ReadInto(line, s.scr.oldData, s.scr.oldMeta)
+	mod, flips := s.split(s.scr.oldMeta)
+	s.codec.DecodeInto(s.oldCTBuf, s.scr.oldData, flips)
+	dualDecryptInto(dst, s.gen, line, s.ctrs.Get(line), s.epochMask, s.p.WordBytes,
+		s.oldCTBuf, mod, s.scr.padL, s.scr.padT)
 }

@@ -161,3 +161,10 @@ func (s *DynDeuce) Read(line uint64) []byte {
 	cells, meta := s.dev.Read(line)
 	return s.plainOf(line, cells, meta)
 }
+
+// ReadInto implements Scheme.
+func (s *DynDeuce) ReadInto(line uint64, dst []byte) {
+	s.initLine(line)
+	s.dev.ReadInto(line, s.scr.oldData, s.scr.oldMeta)
+	s.plainOfInto(dst, line, s.scr.oldData, s.scr.oldMeta)
+}

@@ -59,6 +59,13 @@ func (s *EncrDCW) Read(line uint64) []byte {
 	return s.gen.Decrypt(line, s.ctrs.Get(line), data)
 }
 
+// ReadInto implements Scheme.
+func (s *EncrDCW) ReadInto(line uint64, dst []byte) {
+	s.initLine(line)
+	s.dev.ReadInto(line, s.scr.oldData, nil)
+	s.gen.DecryptInto(dst, line, s.ctrs.Get(line), s.scr.oldData)
+}
+
 // EncrFNW is the baseline encrypted memory with a Flip-N-Write stage between
 // the ciphertext and the array (the paper's "Encr FNW", 43% flips): since
 // the fresh ciphertext is uniformly random relative to the stored image, FNW
@@ -122,4 +129,12 @@ func (s *EncrFNW) Read(line uint64) []byte {
 	data, flips := s.dev.Read(line)
 	ct := s.codec.Decode(data, flips)
 	return s.gen.Decrypt(line, s.ctrs.Get(line), ct)
+}
+
+// ReadInto implements Scheme.
+func (s *EncrFNW) ReadInto(line uint64, dst []byte) {
+	s.initLine(line)
+	s.dev.ReadInto(line, s.scr.oldData, s.scr.oldMeta)
+	s.codec.DecodeInto(s.scr.oldPlain, s.scr.oldData, s.scr.oldMeta)
+	s.gen.DecryptInto(dst, line, s.ctrs.Get(line), s.scr.oldPlain)
 }

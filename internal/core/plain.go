@@ -48,6 +48,11 @@ func (s *PlainDCW) Read(line uint64) []byte {
 	return data
 }
 
+// ReadInto implements Scheme.
+func (s *PlainDCW) ReadInto(line uint64, dst []byte) {
+	s.dev.ReadInto(line, dst, nil)
+}
+
 // PlainFNW is unencrypted memory with Flip-N-Write at the configured word
 // granularity — the paper's "NoEncr FNW" reference (Figures 5 and 10),
 // representing the best a write-optimized but insecure PCM system achieves.
@@ -96,4 +101,10 @@ func (s *PlainFNW) Write(line uint64, plaintext []byte) pcmdev.WriteResult {
 func (s *PlainFNW) Read(line uint64) []byte {
 	data, flips := s.dev.Read(line)
 	return s.codec.Decode(data, flips)
+}
+
+// ReadInto implements Scheme.
+func (s *PlainFNW) ReadInto(line uint64, dst []byte) {
+	s.dev.ReadInto(line, s.scr.oldData, s.scr.oldMeta)
+	s.codec.DecodeInto(dst, s.scr.oldData, s.scr.oldMeta)
 }

@@ -1,0 +1,83 @@
+package core
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+)
+
+// TestReadIntoMatchesRead is the differential pin for the zero-allocation
+// read path: for every scheme, after a random mix of writes, ReadInto must
+// produce byte-for-byte the same plaintext as Read — interleaved with
+// further writes so mid-epoch DEUCE-family state is covered too.
+func TestReadIntoMatchesRead(t *testing.T) {
+	for _, k := range allKinds {
+		t.Run(string(k), func(t *testing.T) {
+			s, err := New(k, Params{Lines: 16})
+			if err != nil {
+				t.Fatal(err)
+			}
+			rng := rand.New(rand.NewSource(42))
+			buf := make([]byte, 64)
+			data := make([]byte, 64)
+			for i := 0; i < 400; i++ {
+				line := uint64(rng.Intn(16))
+				rng.Read(data)
+				s.Write(line, data)
+				probe := uint64(rng.Intn(16))
+				want := s.Read(probe)
+				s.ReadInto(probe, buf)
+				if !bytes.Equal(want, buf) {
+					t.Fatalf("op %d line %d: ReadInto diverges from Read\n read: %x\n into: %x",
+						i, probe, want, buf)
+				}
+			}
+		})
+	}
+}
+
+// TestReadIntoStatsMatchRead: ReadInto must account exactly like Read — one
+// device read per call — so sharded front ends that read through ReadInto
+// merge to the same Stats a sequential Read-based run produces.
+func TestReadIntoStatsMatchRead(t *testing.T) {
+	s, err := New(KindDeuce, Params{Lines: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 64)
+	s.Write(3, buf)
+	before := s.Device().Stats().Reads
+	s.Read(3)
+	s.ReadInto(3, buf)
+	if got := s.Device().Stats().Reads - before; got != 2 {
+		t.Fatalf("Read+ReadInto counted %d device reads, want 2", got)
+	}
+}
+
+// TestReadIntoZeroAllocs pins the point of the API: on a bare device every
+// scheme's ReadInto performs zero allocations per call once the line has
+// been touched (first touch lazily installs the zero image, which is
+// warmup, not steady state).
+func TestReadIntoZeroAllocs(t *testing.T) {
+	for _, k := range allKinds {
+		t.Run(string(k), func(t *testing.T) {
+			s, err := New(k, Params{Lines: 8})
+			if err != nil {
+				t.Fatal(err)
+			}
+			data := bytes.Repeat([]byte{0xA5}, 64)
+			buf := make([]byte, 64)
+			for line := uint64(0); line < 8; line++ {
+				s.Write(line, data)
+				s.ReadInto(line, buf)
+			}
+			line := uint64(0)
+			if avg := testing.AllocsPerRun(200, func() {
+				s.ReadInto(line, buf)
+				line = (line + 1) % 8
+			}); avg != 0 {
+				t.Fatalf("ReadInto allocates %.1f per op, want 0", avg)
+			}
+		})
+	}
+}

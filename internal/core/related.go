@@ -74,6 +74,14 @@ func (s *AddrPad) Read(line uint64) []byte {
 	return out
 }
 
+// ReadInto implements Scheme.
+func (s *AddrPad) ReadInto(line uint64, dst []byte) {
+	s.initLine(line)
+	s.dev.ReadInto(line, s.scr.oldData, nil)
+	s.gen.PadInto(s.scr.padL, line, 0)
+	bitutil.XOR(dst, s.scr.oldData, s.scr.padL)
+}
+
 // INVMM models i-NVMM (Chhabra & Solihin, ISCA 2011 — paper §7.2, ref
 // [17]): keep the hot working set in plain text for zero encryption write
 // overhead, encrypt lines as they cool, and encrypt everything on power
@@ -186,6 +194,17 @@ func (s *INVMM) Read(line uint64) []byte {
 		return data
 	}
 	return s.gen.Decrypt(line, s.ctrs.Get(line), data)
+}
+
+// ReadInto implements Scheme.
+func (s *INVMM) ReadInto(line uint64, dst []byte) {
+	s.initLine(line)
+	s.dev.ReadInto(line, s.scr.oldData, nil)
+	if s.lru.Contains(line) {
+		copy(dst, s.scr.oldData)
+		return
+	}
+	s.gen.DecryptInto(dst, line, s.ctrs.Get(line), s.scr.oldData)
 }
 
 // PowerDown encrypts every hot line (i-NVMM's shutdown obligation) and

@@ -39,6 +39,14 @@ type Scheme interface {
 	// Read returns the current plaintext of the line.
 	Read(line uint64) []byte
 
+	// ReadInto decrypts the line's current plaintext into dst, which must
+	// be LineBytes long. It is Read without the allocation: schemes stage
+	// the stored image and pads in their write-path scratch (safe under
+	// the single-goroutine contract), so serving hot paths can read at
+	// zero allocations per call on a bare device. Wear-leveled or
+	// integrity-guarded arrays allocate inside the array layer.
+	ReadInto(line uint64, dst []byte)
+
 	// Install places initial content into a line without any write-cost
 	// accounting, modelling §3.1's assumption that pages are brought
 	// into memory and initially encrypted by the memory controller

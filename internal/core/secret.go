@@ -175,6 +175,13 @@ func (s *Secret) Read(line uint64) []byte {
 	return s.decodeLine(line, cells, meta)
 }
 
+// ReadInto implements Scheme.
+func (s *Secret) ReadInto(line uint64, dst []byte) {
+	s.initLine(line)
+	s.dev.ReadInto(line, s.scr.oldData, s.scr.oldMeta)
+	s.decodeLineInto(dst, line, s.scr.oldData, s.scr.oldMeta)
+}
+
 // SaveState implements Persistent.
 func (s *Secret) SaveState(w io.Writer) error { return s.saveState(s.Name(), w) }
 

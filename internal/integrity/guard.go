@@ -113,6 +113,15 @@ func (g *Guard) PeekInto(line uint64, data, meta []byte) {
 	copy(meta, m)
 }
 
+// ReadInto implements pcmdev.Array with the same verification as Read.
+// Verification hashes the fetched image, so this path allocates; guarded
+// arrays are not on the zero-allocation read path.
+func (g *Guard) ReadInto(line uint64, data, meta []byte) {
+	d, m := g.Read(line)
+	copy(data, d)
+	copy(meta, m)
+}
+
 func (g *Guard) check(line uint64, data, meta []byte) {
 	if g.tree.VerifyLeaf(line, payload(data, meta)) {
 		g.verified++

@@ -2,6 +2,7 @@ package kvstore
 
 import (
 	"fmt"
+	"hash/fnv"
 	"strings"
 	"testing"
 
@@ -82,7 +83,87 @@ func TestTableFull(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
-	if err := kv.Put("one-more", "v"); err == nil {
-		t.Fatal("full table accepted a fifth record")
+	if err := kv.Put("one-more", "v"); err != ErrFull {
+		t.Fatalf("full table Put = %v, want ErrFull", err)
+	}
+}
+
+func TestGetInto(t *testing.T) {
+	kv := newStore(t, 64)
+	if err := kv.Put("alpha", "payload"); err != nil {
+		t.Fatal(err)
+	}
+	var buf [MaxVal]byte
+	n, ok := kv.GetInto("alpha", buf[:])
+	if !ok || string(buf[:n]) != "payload" {
+		t.Fatalf("GetInto = %q,%v, want payload,true", buf[:n], ok)
+	}
+	if _, ok := kv.GetInto("missing", buf[:]); ok {
+		t.Fatal("GetInto found a missing key")
+	}
+}
+
+// TestHashMatchesFNV pins the exported Hash to the stdlib FNV-64a it
+// replaces, so slot placement cannot silently drift (which would orphan
+// every record behind a persisted memory image).
+func TestHashMatchesFNV(t *testing.T) {
+	for _, key := range []string{"", "a", "k-000123", strings.Repeat("x", MaxKey)} {
+		h := fnv.New64a()
+		h.Write([]byte(key))
+		if got, want := Hash(key), h.Sum64(); got != want {
+			t.Fatalf("Hash(%q) = %#x, want FNV-64a %#x", key, got, want)
+		}
+	}
+}
+
+// TestPutGetZeroAllocs pins the serving hot path at zero allocations per
+// operation: hash once per op, in-place zeroing and comparison, ReadInto
+// line staging, caller-buffer GetInto. Get (the string-returning
+// convenience) is allowed exactly its documented return-value allocation.
+func TestPutGetZeroAllocs(t *testing.T) {
+	kv := newStore(t, 256)
+	keys := make([]string, 32)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("k-%03d", i)
+		if err := kv.Put(keys[i], "warm"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	vals := []string{"a", "bb", "ccc", "dddd"}
+	i := 0
+	if avg := testing.AllocsPerRun(500, func() {
+		if err := kv.Put(keys[i%len(keys)], vals[i%len(vals)]); err != nil {
+			t.Fatal(err)
+		}
+		i++
+	}); avg != 0 {
+		t.Fatalf("Put allocates %.1f per op, want 0", avg)
+	}
+	var buf [MaxVal]byte
+	i = 0
+	if avg := testing.AllocsPerRun(500, func() {
+		if _, ok := kv.GetInto(keys[i%len(keys)], buf[:]); !ok {
+			t.Fatal("lost key")
+		}
+		i++
+	}); avg != 0 {
+		t.Fatalf("GetInto allocates %.1f per op, want 0", avg)
+	}
+	// Misses are also hot (servebench counts them): zero allocs too.
+	if avg := testing.AllocsPerRun(500, func() {
+		if _, ok := kv.GetInto("z-missing", buf[:]); ok {
+			t.Fatal("phantom key")
+		}
+	}); avg != 0 {
+		t.Fatalf("GetInto miss allocates %.1f per op, want 0", avg)
+	}
+	i = 0
+	if avg := testing.AllocsPerRun(500, func() {
+		if _, ok := kv.Get(keys[i%len(keys)]); !ok {
+			t.Fatal("lost key")
+		}
+		i++
+	}); avg > 1 {
+		t.Fatalf("Get allocates %.1f per op, want ≤1 (the returned string)", avg)
 	}
 }

@@ -1,0 +1,103 @@
+// Package kvtest holds store exercises shared between the kvstore unit
+// tests and the sharded front end's per-region store tests
+// (internal/servefront): probe-chain wraparound across the modulo
+// boundary, and a collision-heavy near-full fill. Both take a generic
+// testing.TB so they run under tests and benchmarks alike.
+package kvtest
+
+import (
+	"fmt"
+	"testing"
+
+	"deuce/internal/kvstore"
+)
+
+// KeysAtSlot brute-forces n distinct storable keys whose primary slot
+// (Hash mod lines) is exactly slot. The search space is dense enough that
+// a few thousand candidates always suffice at test geometries.
+func KeysAtSlot(tb testing.TB, lines int, slot uint64, n int) []string {
+	tb.Helper()
+	keys := make([]string, 0, n)
+	for i := 0; len(keys) < n; i++ {
+		if i > 1_000_000 {
+			tb.Fatalf("no %d keys hashing to slot %d of %d found in 1e6 candidates", n, slot, lines)
+		}
+		k := fmt.Sprintf("w-%d", i)
+		if len(k) <= kvstore.MaxKey && kvstore.Hash(k)%uint64(lines) == slot {
+			keys = append(keys, k)
+		}
+	}
+	return keys
+}
+
+// Wraparound drives a store whose geometry is lines records through probe
+// chains that start at the last slot (lines-1) and must wrap through the
+// modulo boundary to slots 0, 1, … for both Put and Get — the off-by-one
+// class a (hash+probe) mod lines rewrite can regress.
+func Wraparound(tb testing.TB, s *kvstore.Store, lines int) {
+	tb.Helper()
+	last := uint64(lines - 1)
+	// More colliding keys than there are slots after the boundary, so the
+	// chain provably crosses it.
+	keys := KeysAtSlot(tb, lines, last, 3)
+	for i, k := range keys {
+		if err := s.Put(k, fmt.Sprintf("v%d", i)); err != nil {
+			tb.Fatalf("Put(%q) (chain %d from slot %d): %v", k, i, last, err)
+		}
+	}
+	for i, k := range keys {
+		want := fmt.Sprintf("v%d", i)
+		if v, ok := s.Get(k); !ok || v != want {
+			tb.Fatalf("Get(%q) after wraparound = %q,%v, want %q,true", k, v, ok, want)
+		}
+	}
+	// Update through the wrapped chain: the record must stay in its slot.
+	if err := s.Put(keys[2], "updated"); err != nil {
+		tb.Fatalf("update through wrapped chain: %v", err)
+	}
+	if v, _ := s.Get(keys[2]); v != "updated" {
+		tb.Fatalf("wrapped update read back %q, want updated", v)
+	}
+	// A miss whose probe chain also starts at the boundary must terminate
+	// with not-found, not spin or false-hit.
+	miss := KeysAtSlot(tb, lines, last, 4)[3]
+	if _, ok := s.Get(miss); ok {
+		tb.Fatalf("phantom record for missing key %q", miss)
+	}
+}
+
+// CollisionHeavy fills the store to every slot but one, verifies every
+// record survives the resulting long probe chains, then pins the
+// table-full behavior: one more insert fits, the next returns
+// kvstore.ErrFull, and a full-table miss still terminates.
+func CollisionHeavy(tb testing.TB, s *kvstore.Store, lines int) {
+	tb.Helper()
+	n := lines - 1
+	for i := 0; i < n; i++ {
+		if err := s.Put(fmt.Sprintf("c-%04d", i), fmt.Sprintf("%d", i*3)); err != nil {
+			tb.Fatalf("Put %d of %d: %v", i, n, err)
+		}
+	}
+	for i := 0; i < n; i++ {
+		want := fmt.Sprintf("%d", i*3)
+		if v, ok := s.Get(fmt.Sprintf("c-%04d", i)); !ok || v != want {
+			tb.Fatalf("near-full Get(c-%04d) = %q,%v, want %q,true", i, v, ok, want)
+		}
+	}
+	if _, ok := s.Get("c-none"); ok {
+		tb.Fatal("phantom record in near-full table")
+	}
+	if err := s.Put("c-last", "fits"); err != nil {
+		tb.Fatalf("last free slot rejected: %v", err)
+	}
+	if err := s.Put("c-over", "x"); err != kvstore.ErrFull {
+		tb.Fatalf("overfull Put error = %v, want ErrFull", err)
+	}
+	// Updates still work when full, and a full-table miss terminates.
+	if err := s.Put("c-last", "still"); err != nil {
+		tb.Fatalf("update in full table: %v", err)
+	}
+	if _, ok := s.Get("c-missing"); ok {
+		tb.Fatal("phantom record in full table")
+	}
+}

@@ -1,0 +1,37 @@
+// External-package tests: the probe-chain suites live in kvtest (shared
+// with internal/servefront's per-region store tests), which imports
+// kvstore — so these run as kvstore_test to keep the import graph acyclic.
+
+package kvstore_test
+
+import (
+	"testing"
+
+	"deuce"
+	"deuce/internal/kvstore"
+	"deuce/internal/kvstore/kvtest"
+)
+
+func newStore(t *testing.T, lines int) *kvstore.Store {
+	t.Helper()
+	mem, err := deuce.New(deuce.Options{Lines: lines, Scheme: deuce.DEUCE})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return kvstore.New(mem)
+}
+
+// TestProbeWraparound: probe chains that start at the table's last slot
+// must wrap through the modulo boundary for both Put and Get.
+func TestProbeWraparound(t *testing.T) {
+	const lines = 64
+	kvtest.Wraparound(t, newStore(t, lines), lines)
+}
+
+// TestCollisionHeavyNearFull: a table filled to its last slot keeps every
+// record reachable through the long probe chains, and full-table behavior
+// (ErrFull, terminating misses) holds.
+func TestCollisionHeavyNearFull(t *testing.T) {
+	const lines = 128
+	kvtest.CollisionHeavy(t, newStore(t, lines), lines)
+}

@@ -17,6 +17,10 @@ type Array interface {
 	// data must be LineBytes long and meta ⌈MetaBits/8⌉ bytes (nil when
 	// the array has no metadata).
 	PeekInto(line uint64, data, meta []byte)
+	// ReadInto is Read into caller-owned buffers: PeekInto's copy with
+	// Read's statistics side effect. It is what makes zero-allocation
+	// scheme reads possible; buffer requirements are PeekInto's.
+	ReadInto(line uint64, data, meta []byte)
 	// Load stores without cost accounting (initial placement).
 	Load(line uint64, data, meta []byte)
 	// Config reports the logical geometry visible to the caller.

@@ -234,6 +234,15 @@ func (d *Device) PeekInto(line uint64, data, meta []byte) {
 	copy(meta, d.meta[line])
 }
 
+// ReadInto is Read into caller-owned buffers: the same copy-out as
+// PeekInto, with Read's statistics side effect, and no allocation. Buffer
+// requirements are PeekInto's: data must be LineBytes long; meta must be
+// ⌈MetaBits/8⌉ bytes, or nil when the array has no metadata.
+func (d *Device) ReadInto(line uint64, data, meta []byte) {
+	d.PeekInto(line, data, meta)
+	d.stats.Reads++
+}
+
 // Write stores newData and newMeta into the line using Data Comparison
 // Write: only cells that differ from the stored image are programmed. It
 // returns the exact cost. newMeta may be nil when MetaBits is zero.

@@ -433,6 +433,7 @@ type serveDoc struct {
 	Benchmark string `json:"benchmark"`
 	Results   []struct {
 		Scheme    string  `json:"scheme"`
+		Front     string  `json:"front"`
 		OpsPerSec float64 `json:"ops_per_sec"`
 		Lat       struct {
 			MeanNs float64 `json:"mean_ns"`
@@ -452,8 +453,10 @@ type serveDoc struct {
 
 // IngestServeJSON merges a BENCH_serve.json serving-benchmark record
 // (cmd/deuceserve, ci/benchserve) as
-// "serve:<scheme>:{ops_per_sec,mean_ns,p50_ns,p90_ns,p99_ns,p999_ns}"
-// plus the read/write p99 split as read_p99_ns and write_p99_ns. Serving
+// "serve:<scheme>:<front>:{ops_per_sec,mean_ns,p50_ns,p90_ns,p99_ns,p999_ns}"
+// plus the read/write p99 split as read_p99_ns and write_p99_ns. Records
+// that predate front-pluggable serving carry no front label; their
+// results ingest as the "coarse" front they measured. Serving
 // throughput and latency are wall-clock measurements — as host-sensitive
 // as walltime: spans — so compare gates the serve: namespace at the same
 // looser threshold (see IsServe).
@@ -469,7 +472,11 @@ func IngestServeJSON(run *Run, r io.Reader) error {
 		if res.Scheme == "" {
 			return fmt.Errorf("regress: serve result missing scheme")
 		}
-		pre := "serve:" + res.Scheme + ":"
+		front := res.Front
+		if front == "" {
+			front = "coarse"
+		}
+		pre := "serve:" + res.Scheme + ":" + front + ":"
 		run.Set(pre+"ops_per_sec", res.OpsPerSec)
 		run.Set(pre+"mean_ns", res.Lat.MeanNs)
 		run.Set(pre+"p50_ns", res.Lat.P50Ns)

@@ -291,11 +291,13 @@ func TestIngestSpanProfile(t *testing.T) {
 }
 
 // TestIngestServeJSON: a BENCH_serve.json serving record lands in the
-// ledger as serve: metrics — throughput and latency quantiles per scheme,
-// plus the read/write p99 split.
+// ledger as serve: metrics — throughput and latency quantiles per
+// scheme×front, plus the read/write p99 split. A result without a front
+// label (a record from before the front-pluggable harness) ingests as
+// the coarse front it measured.
 func TestIngestServeJSON(t *testing.T) {
 	doc := `{"benchmark": "BenchmarkServe", "results": [
-		{"scheme": "deuce", "ops_per_sec": 650000,
+		{"scheme": "deuce", "front": "sharded", "ops_per_sec": 650000,
 		 "lat": {"n": 20000, "mean_ns": 900, "p50_ns": 700, "p90_ns": 1200, "p99_ns": 4700, "p999_ns": 29000, "max_ns": 150000},
 		 "read_lat": {"p99_ns": 3800}, "write_lat": {"p99_ns": 5400}},
 		{"scheme": "encr-dcw", "ops_per_sec": 880000,
@@ -306,27 +308,27 @@ func TestIngestServeJSON(t *testing.T) {
 		t.Fatal(err)
 	}
 	want := map[string]float64{
-		"serve:deuce:ops_per_sec":    650000,
-		"serve:deuce:mean_ns":        900,
-		"serve:deuce:p50_ns":         700,
-		"serve:deuce:p90_ns":         1200,
-		"serve:deuce:p99_ns":         4700,
-		"serve:deuce:p999_ns":        29000,
-		"serve:deuce:read_p99_ns":    3800,
-		"serve:deuce:write_p99_ns":   5400,
-		"serve:encr-dcw:ops_per_sec": 880000,
-		"serve:encr-dcw:p99_ns":      4100,
-		"serve:encr-dcw:read_p99_ns": 3200,
+		"serve:deuce:sharded:ops_per_sec":   650000,
+		"serve:deuce:sharded:mean_ns":       900,
+		"serve:deuce:sharded:p50_ns":        700,
+		"serve:deuce:sharded:p90_ns":        1200,
+		"serve:deuce:sharded:p99_ns":        4700,
+		"serve:deuce:sharded:p999_ns":       29000,
+		"serve:deuce:sharded:read_p99_ns":   3800,
+		"serve:deuce:sharded:write_p99_ns":  5400,
+		"serve:encr-dcw:coarse:ops_per_sec": 880000,
+		"serve:encr-dcw:coarse:p99_ns":      4100,
+		"serve:encr-dcw:coarse:read_p99_ns": 3200,
 	}
 	for name, v := range want {
 		if run.Metrics[name] != v {
 			t.Errorf("%s = %v, want %v", name, run.Metrics[name], v)
 		}
 	}
-	if len(run.Metrics) != 16 { // 8 metrics per scheme
+	if len(run.Metrics) != 16 { // 8 metrics per scheme×front
 		t.Errorf("ingested %d metrics, want 16: %v", len(run.Metrics), run.Metrics)
 	}
-	if !IsServe("serve:deuce:p99_ns") || IsServe("bench:X:ns_per_op") || IsServe("walltime:gate:ns") {
+	if !IsServe("serve:deuce:coarse:p99_ns") || IsServe("bench:X:ns_per_op") || IsServe("walltime:gate:ns") {
 		t.Error("IsServe misclassifies the serve namespace")
 	}
 }

@@ -44,6 +44,11 @@ type BenchDoc struct {
 // BenchConfig is the workload-shape header recorded alongside results so
 // a ledger comparison knows two records measured the same thing.
 type BenchConfig struct {
+	// Fronts lists the front ends measured, in result order (deduped).
+	Fronts []string `json:"fronts"`
+	// Shards is the shard count the sharded front ran with (0 when only
+	// the coarse front was measured).
+	Shards int `json:"shards,omitempty"`
 	// Clients is the client goroutine count.
 	Clients int `json:"clients"`
 	// Ops is the request count per scheme.
@@ -65,15 +70,28 @@ type BenchConfig struct {
 // (passed in, not sampled here, so tests can pin it).
 func NewBenchDoc(cfg Config, results []Result, date string) BenchDoc {
 	cfg.setDefaults()
-	schemes := make([]string, len(results))
-	for i, r := range results {
-		schemes[i] = r.Scheme
+	var schemes, fronts []string
+	shards := 0
+	seenScheme := map[string]bool{}
+	seenFront := map[string]bool{}
+	for _, r := range results {
+		if !seenScheme[r.Scheme] {
+			seenScheme[r.Scheme] = true
+			schemes = append(schemes, r.Scheme)
+		}
+		if !seenFront[r.Front] {
+			seenFront[r.Front] = true
+			fronts = append(fronts, r.Front)
+		}
+		if r.Front == FrontSharded {
+			shards = r.Shards
+		}
 	}
 	return BenchDoc{
 		Benchmark: "BenchmarkServe",
-		Description: fmt.Sprintf("Concurrent serving harness: %d clients, %d Zipfian(s=%g) mixed ops (%.0f%% reads) per scheme against a coarse-locked KV front end on a %d-line memory; schemes %s. Latency from lock-free striped histograms (~3%% bucket error, max exact). Regenerate with `make bench-serve`.",
+		Description: fmt.Sprintf("Concurrent serving harness: %d clients, %d Zipfian(s=%g) mixed ops (%.0f%% reads) per scheme×front against a %d-line memory; schemes %s; fronts %s. Latency from lock-free striped histograms (~3%% bucket error, max exact). Regenerate with `make bench-serve`.",
 			cfg.Clients, cfg.Ops, cfg.ZipfS, cfg.ReadFraction*100, cfg.Lines,
-			strings.Join(schemes, ", ")),
+			strings.Join(schemes, ", "), strings.Join(fronts, ", ")),
 		Date:   date,
 		Goos:   runtime.GOOS,
 		Goarch: runtime.GOARCH,
@@ -81,6 +99,8 @@ func NewBenchDoc(cfg Config, results []Result, date string) BenchDoc {
 		Go:     runtime.Version(),
 		Cores:  runtime.NumCPU(),
 		Config: BenchConfig{
+			Fronts:       fronts,
+			Shards:       shards,
 			Clients:      cfg.Clients,
 			Ops:          cfg.Ops,
 			ReadFraction: cfg.ReadFraction,
@@ -90,7 +110,7 @@ func NewBenchDoc(cfg Config, results []Result, date string) BenchDoc {
 			Seed:         cfg.Seed,
 		},
 		Results: results,
-		Notes:   "Latency quantiles and throughput are host- and load-sensitive: the ledger gates serve: metrics at the loose walltime threshold, never the ±2% value threshold. The front end is the deliberate coarse-lock baseline the sharded front end (ROADMAP) will be measured against.",
+		Notes:   "Latency quantiles and throughput are host- and load-sensitive: the ledger gates serve: metrics at the loose walltime threshold, never the ±2% value threshold. The coarse front is the single-lock baseline; the sharded front (internal/servefront) is the single-writer-line contender measured side by side.",
 	}
 }
 

@@ -1,18 +1,21 @@
 // Package servebench is the concurrent serving benchmark: N client
 // goroutines issue a Zipfian mixed read/write key-value workload against
-// one deuce.Memory front end, with per-request latency telemetry recorded
-// through internal/obs/serve (striped counters, lock-free log-bucketed
-// latency histograms) and reduced to p50/p90/p99/p999 plus throughput per
-// scheme — the BENCH_serve.json record the regression ledger ingests.
+// a pluggable concurrency front end, with per-request latency telemetry
+// recorded through internal/obs/serve (striped counters, lock-free
+// log-bucketed latency histograms) and reduced to p50/p90/p99/p999 plus
+// throughput per scheme — the BENCH_serve.json record the regression
+// ledger ingests.
 //
-// The front end is a deliberately coarse single-writer lock around the
-// shared kvstore: every request, read or write, serializes through one
-// mutex. That is the honest baseline the ROADMAP's sharded front end will
-// be measured against — the telemetry in this PR is the measurement
-// substrate; the lock is the next PR's target. What must already be true
-// is that the telemetry itself never serializes anything: recording a
-// request is a few atomic adds into per-client stripes, so the lock is
-// the only coordination point in the loop.
+// Two front ends implement the Front interface. Coarse is the deliberate
+// baseline: one single-writer lock around one shared kvstore, every
+// request serializing through it. servefront.Sharded is the contender:
+// S independent line-region shards, each with its own scheme instance
+// and lock, so requests to different shards never contend. Both report
+// the same merged deuce.Stats, so the paper's write accounting is
+// comparable across fronts bit-for-bit. The telemetry itself never
+// serializes anything: recording a request is a few atomic adds into
+// per-client stripes, so the front end is the only coordination point
+// in the loop.
 package servebench
 
 import (
@@ -24,8 +27,18 @@ import (
 	"deuce"
 	"deuce/internal/kvstore"
 	"deuce/internal/obs/serve"
+	"deuce/internal/servefront"
 
 	"math/rand"
+)
+
+// Front names accepted by Config.Front.
+const (
+	// FrontCoarse is the single-lock baseline front end.
+	FrontCoarse = "coarse"
+	// FrontSharded is the sharded single-writer-line front end
+	// (internal/servefront).
+	FrontSharded = "sharded"
 )
 
 // Config sizes one serving run. The zero value of every field selects a
@@ -33,6 +46,12 @@ import (
 type Config struct {
 	// Scheme is the write scheme under test; empty means DEUCE.
 	Scheme deuce.Scheme
+	// Front selects the concurrency front end: FrontCoarse (default) or
+	// FrontSharded.
+	Front string
+	// Shards is the shard count when Front is FrontSharded (default 8;
+	// ignored by the coarse front). Lines must split evenly over it.
+	Shards int
 	// Clients is the number of concurrent client goroutines (default 8).
 	Clients int
 	// Ops is the total request count across all clients (default 20000).
@@ -64,6 +83,12 @@ func (c *Config) setDefaults() {
 	if c.Scheme == "" {
 		c.Scheme = deuce.DEUCE
 	}
+	if c.Front == "" {
+		c.Front = FrontCoarse
+	}
+	if c.Shards <= 0 {
+		c.Shards = 8
+	}
 	if c.Clients <= 0 {
 		c.Clients = 8
 	}
@@ -90,6 +115,21 @@ func (c *Config) setDefaults() {
 	}
 }
 
+// MemStats is the memory-side write accounting of one serving run: the
+// exact integer counters from the front end's merged deuce.Stats,
+// recorded so BENCH_serve.json proves both fronts did identical
+// memory-level work (latency varies with the host; flips must not).
+type MemStats struct {
+	// Writes is the total line writes (preload included).
+	Writes uint64 `json:"writes"`
+	// Reads is the total line reads.
+	Reads uint64 `json:"reads"`
+	// BitFlips is the total cell bit flips — the paper's figure of merit.
+	BitFlips uint64 `json:"bit_flips"`
+	// WriteSlots is the total 128-bit write slots consumed.
+	WriteSlots uint64 `json:"write_slots"`
+}
+
 // Result is one scheme's serving measurement: counts, wall clock,
 // throughput, and the latency quantile summaries (overall, reads,
 // writes). Its JSON shape is the per-scheme record inside
@@ -97,6 +137,10 @@ func (c *Config) setDefaults() {
 type Result struct {
 	// Scheme is the measured write scheme.
 	Scheme string `json:"scheme"`
+	// Front is the front end measured (FrontCoarse or FrontSharded).
+	Front string `json:"front"`
+	// Shards is the shard count the front used (1 for coarse).
+	Shards int `json:"shards"`
 	// Clients is the client goroutine count the run used.
 	Clients int `json:"clients"`
 	// Ops is the completed request count.
@@ -105,10 +149,16 @@ type Result struct {
 	Reads uint64 `json:"reads"`
 	// Writes is the completed Put count.
 	Writes uint64 `json:"writes"`
+	// Misses is the Get count that found no record. A miss is a workload
+	// property, not a failure; it is reported here and never aborts a
+	// run.
+	Misses uint64 `json:"misses"`
 	// DurationNs is the measured wall clock of the request phase.
 	DurationNs int64 `json:"duration_ns"`
 	// OpsPerSec is Ops over the measured duration.
 	OpsPerSec float64 `json:"ops_per_sec"`
+	// Mem is the front end's merged memory accounting after the run.
+	Mem MemStats `json:"mem"`
 	// Lat summarizes every request's latency (exact merge of the read
 	// and write histograms).
 	Lat serve.Quantiles `json:"lat"`
@@ -118,41 +168,90 @@ type Result struct {
 	WriteLat serve.Quantiles `json:"write_lat"`
 }
 
-// Front is the concurrency front end under test: the shared store behind
-// one coarse mutex. Exported so the harness's successor (the sharded
-// front end the ROADMAP names) can be swapped in and measured by the
-// same telemetry.
-type Front struct {
-	mu sync.Mutex
-	kv *kvstore.Store
+// Front is the concurrency front end under test. Implementations must be
+// safe for concurrent use; Get copies the value into dst (sized
+// kvstore.MaxVal by callers) so the request loop allocates nothing.
+type Front interface {
+	// Get fetches key's value into dst, reporting its length and
+	// whether the key was present.
+	Get(key string, dst []byte) (int, bool)
+	// Put inserts or updates a record.
+	Put(key, value string) error
+	// Stats reports the merged memory accounting across the front end's
+	// scheme instances.
+	Stats() deuce.Stats
+}
+
+// Coarse is the single-lock baseline front end: one shared kvstore, every
+// request — read or write — serialized through one mutex.
+type Coarse struct {
+	mu  sync.Mutex
+	kv  *kvstore.Store
+	mem *deuce.Memory
+}
+
+// NewCoarse wraps mem's kvstore in the coarse single-lock front end.
+func NewCoarse(mem *deuce.Memory) *Coarse {
+	return &Coarse{kv: kvstore.New(mem), mem: mem}
 }
 
 // Get serializes a read through the front-end lock.
-func (f *Front) Get(key string) (string, bool) {
+func (f *Coarse) Get(key string, dst []byte) (int, bool) {
 	f.mu.Lock()
 	defer f.mu.Unlock()
-	return f.kv.Get(key)
+	return f.kv.GetInto(key, dst)
 }
 
 // Put serializes a write through the front-end lock.
-func (f *Front) Put(key, value string) error {
+func (f *Coarse) Put(key, value string) error {
 	f.mu.Lock()
 	defer f.mu.Unlock()
 	return f.kv.Put(key, value)
 }
 
-// Run executes one serving benchmark: build the memory, preload the
-// keyspace, then fire Clients goroutines at the front end until Ops
+// Stats reports the backing memory's accounting.
+func (f *Coarse) Stats() deuce.Stats {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.mem.Stats()
+}
+
+// newFront builds the configured front end.
+func newFront(cfg Config) (Front, int, error) {
+	switch cfg.Front {
+	case FrontCoarse:
+		mem, err := deuce.New(deuce.Options{Lines: cfg.Lines, Scheme: cfg.Scheme})
+		if err != nil {
+			return nil, 0, err
+		}
+		return NewCoarse(mem), 1, nil
+	case FrontSharded:
+		sf, err := servefront.New(servefront.Config{
+			Scheme: cfg.Scheme,
+			Shards: cfg.Shards,
+			Lines:  cfg.Lines,
+		})
+		if err != nil {
+			return nil, 0, err
+		}
+		return sf, cfg.Shards, nil
+	default:
+		return nil, 0, fmt.Errorf("servebench: unknown front %q (want %s or %s)",
+			cfg.Front, FrontCoarse, FrontSharded)
+	}
+}
+
+// Run executes one serving benchmark: build the configured front end,
+// preload the keyspace, then fire Clients goroutines at it until Ops
 // requests complete, recording per-request latency into striped
 // histograms. When stream is non-nil, a serve.Streamer emits JSONL
 // snapshots every StreamInterval while the run is in flight.
 func Run(cfg Config, stream io.Writer) (Result, error) {
 	cfg.setDefaults()
-	mem, err := deuce.New(deuce.Options{Lines: cfg.Lines, Scheme: cfg.Scheme})
+	front, shards, err := newFront(cfg)
 	if err != nil {
 		return Result{}, err
 	}
-	front := &Front{kv: kvstore.New(mem)}
 
 	// Preload every key (unmeasured) and pre-generate keys and values so
 	// the request loop allocates nothing of its own — per-op cost is the
@@ -173,6 +272,7 @@ func Run(cfg Config, stream io.Writer) (Result, error) {
 	ops := m.Counter("ops")
 	reads := m.Counter("reads")
 	writes := m.Counter("writes")
+	misses := m.Counter("misses")
 	errs := m.Counter("errors")
 	inflight := m.Gauge("inflight")
 	latRead := m.Hist("lat_read")
@@ -198,26 +298,29 @@ func Run(cfg Config, stream io.Writer) (Result, error) {
 		go func(stripe, n int) {
 			defer wg.Done()
 			// Per-client generators: no shared RNG state, deterministic
-			// per (seed, client) request sequence.
+			// per (seed, client) request sequence. The value buffer is
+			// per-client too, so Gets stay zero-allocation.
 			rng := rand.New(rand.NewSource(cfg.Seed + int64(stripe)*7919))
 			zipf := rand.NewZipf(rng, cfg.ZipfS, 1, uint64(len(keys)-1))
 			rHist := latRead.Stripe(stripe)
 			wHist := latWrite.Stripe(stripe)
+			var vbuf [kvstore.MaxVal]byte
 			for i := 0; i < n; i++ {
 				key := keys[zipf.Uint64()]
 				isRead := rng.Float64() < cfg.ReadFraction
 				inflight.Add(stripe, 1)
 				t0 := time.Now()
 				if isRead {
-					_, ok := front.Get(key)
+					_, ok := front.Get(key, vbuf[:])
 					d := time.Since(t0)
 					rHist.Observe(uint64(d.Nanoseconds()))
 					reads.Inc(stripe)
 					if !ok {
-						errs.Inc(stripe)
+						// A miss is workload shape, not failure.
+						misses.Inc(stripe)
 					}
 				} else {
-					err := front.Put(key, vals[i&(len(vals)-1)])
+					err := front.Put(key, vals[i%len(vals)])
 					d := time.Since(t0)
 					wHist.Observe(uint64(d.Nanoseconds()))
 					writes.Inc(stripe)
@@ -238,8 +341,10 @@ func Run(cfg Config, stream io.Writer) (Result, error) {
 		}
 	}
 
+	// Only Put failures are real errors (a full table means the run was
+	// missized). Get misses are reported in the result, never fatal.
 	if n := errs.Value(); n != 0 {
-		return Result{}, fmt.Errorf("servebench: %d requests failed (lost keys or full table)", n)
+		return Result{}, fmt.Errorf("servebench: %d writes failed (full table?)", n)
 	}
 
 	// Final summary from quiesced metrics: exact counts, and the overall
@@ -247,16 +352,26 @@ func Run(cfg Config, stream io.Writer) (Result, error) {
 	// histograms — the property the striped design guarantees.
 	readSnap, _ := m.HistSnapshot("lat_read")
 	writeSnap, _ := m.HistSnapshot("lat_write")
+	st := front.Stats()
 	res := Result{
 		Scheme:     string(cfg.Scheme),
+		Front:      cfg.Front,
+		Shards:     shards,
 		Clients:    cfg.Clients,
 		Ops:        ops.Value(),
 		Reads:      reads.Value(),
 		Writes:     writes.Value(),
+		Misses:     misses.Value(),
 		DurationNs: elapsed.Nanoseconds(),
-		Lat:        readSnap.Merge(writeSnap).Summarize(),
-		ReadLat:    readSnap.Summarize(),
-		WriteLat:   writeSnap.Summarize(),
+		Mem: MemStats{
+			Writes:     st.Writes,
+			Reads:      st.Reads,
+			BitFlips:   st.BitFlips,
+			WriteSlots: st.WriteSlots,
+		},
+		Lat:      readSnap.Merge(writeSnap).Summarize(),
+		ReadLat:  readSnap.Summarize(),
+		WriteLat: writeSnap.Summarize(),
 	}
 	if elapsed > 0 {
 		res.OpsPerSec = float64(res.Ops) / elapsed.Seconds()
@@ -265,11 +380,11 @@ func Run(cfg Config, stream io.Writer) (Result, error) {
 }
 
 // SummaryLine renders the one-line per-scheme summary the serving harness
-// prints: scheme, scale, throughput, and the p50/p99 split. Pinned by a
-// golden test — scripts grep it.
+// prints: scheme, front end, scale, throughput, and the p50/p99 split.
+// Pinned by a golden test — scripts grep it.
 func (r Result) SummaryLine() string {
-	return fmt.Sprintf("serve %-10s %3d clients  %7d ops in %8s  %9.0f ops/s  p50 %-9s p99 %-9s (reads p99 %s, writes p99 %s)",
-		r.Scheme, r.Clients, r.Ops,
+	return fmt.Sprintf("serve %-10s %-7s %3d clients  %7d ops in %8s  %9.0f ops/s  p50 %-9s p99 %-9s (reads p99 %s, writes p99 %s)",
+		r.Scheme, r.Front, r.Clients, r.Ops,
 		time.Duration(r.DurationNs).Round(time.Millisecond),
 		r.OpsPerSec,
 		fmtNs(r.Lat.P50Ns), fmtNs(r.Lat.P99Ns),

@@ -50,6 +50,60 @@ func TestRunCountsAndQuantiles(t *testing.T) {
 	if res.Scheme != string(deuce.DEUCE) {
 		t.Fatalf("scheme = %q, want %q", res.Scheme, deuce.DEUCE)
 	}
+	if res.Front != FrontCoarse || res.Shards != 1 {
+		t.Fatalf("default front = %q/%d, want coarse/1", res.Front, res.Shards)
+	}
+	if res.Mem.Writes == 0 || res.Mem.BitFlips == 0 {
+		t.Fatalf("memory accounting missing: %+v", res.Mem)
+	}
+	// Every key is preloaded, so the workload cannot miss.
+	if res.Misses != 0 {
+		t.Fatalf("misses = %d on a fully preloaded keyspace", res.Misses)
+	}
+}
+
+// Both fronts run the identical deterministic workload: same request
+// counts, same read/write split. Latency and placement-dependent memory
+// accounting may differ; the request stream must not.
+func TestRunShardedFront(t *testing.T) {
+	base := Config{Scheme: deuce.DEUCE, Clients: 4, Ops: 2000, Lines: 1024, Seed: 7}
+
+	coarse := base
+	coarse.Front = FrontCoarse
+	cr, err := Run(coarse, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	sharded := base
+	sharded.Front = FrontSharded
+	sharded.Shards = 4
+	sr, err := Run(sharded, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sr.Front != FrontSharded || sr.Shards != 4 {
+		t.Fatalf("sharded result labeled %q/%d", sr.Front, sr.Shards)
+	}
+	if sr.Ops != cr.Ops || sr.Reads != cr.Reads || sr.Writes != cr.Writes {
+		t.Fatalf("fronts ran different workloads: sharded %d/%d/%d vs coarse %d/%d/%d",
+			sr.Ops, sr.Reads, sr.Writes, cr.Ops, cr.Reads, cr.Writes)
+	}
+	if sr.Misses != 0 {
+		t.Fatalf("sharded front lost %d preloaded keys", sr.Misses)
+	}
+	// Line writes are placement-independent: one per Put, preload
+	// included — so the totals agree exactly across fronts.
+	if sr.Mem.Writes != cr.Mem.Writes {
+		t.Fatalf("line writes diverge across fronts: sharded %d, coarse %d",
+			sr.Mem.Writes, cr.Mem.Writes)
+	}
+}
+
+func TestRunRejectsUnknownFront(t *testing.T) {
+	if _, err := Run(Config{Front: "fine-grained", Clients: 1, Ops: 10, Lines: 256}, nil); err == nil {
+		t.Fatal("unknown front accepted")
+	}
 }
 
 func TestRunAllSchemes(t *testing.T) {
@@ -96,6 +150,8 @@ func TestRunStreamsJSONL(t *testing.T) {
 func TestSummaryLineGolden(t *testing.T) {
 	r := Result{
 		Scheme:     "deuce",
+		Front:      FrontCoarse,
+		Shards:     1,
 		Clients:    8,
 		Ops:        20000,
 		Reads:      10000,
@@ -108,7 +164,7 @@ func TestSummaryLineGolden(t *testing.T) {
 	r.ReadLat.P99Ns = 900
 	r.WriteLat.P99Ns = 61000
 	got := r.SummaryLine()
-	want := "serve deuce        8 clients    20000 ops in    1.25s      16000 ops/s  p50 1.50µs    p99 42.00µs   (reads p99 900ns, writes p99 61.00µs)"
+	want := "serve deuce      coarse    8 clients    20000 ops in    1.25s      16000 ops/s  p50 1.50µs    p99 42.00µs   (reads p99 900ns, writes p99 61.00µs)"
 	if got != want {
 		t.Fatalf("summary line drifted:\n got: %q\nwant: %q", got, want)
 	}

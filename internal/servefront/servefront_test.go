@@ -1,0 +1,260 @@
+package servefront
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"deuce"
+	"deuce/internal/kvstore"
+	"deuce/internal/kvstore/kvtest"
+)
+
+// TestShardedVsSequentialReplay is the differential suite: a deterministic
+// per-(seed,client) workload hammers the sharded front end concurrently,
+// then each shard's recorded serialization order is replayed sequentially
+// against a fresh single-owner store of the same region geometry. Final
+// store contents must match byte-for-byte, per-shard flip/write/read/slot
+// counts must match exactly, and the front end's merged Stats must equal
+// the sum of the replays — proving the sharded front end is equivalent to
+// S sequential owners and that write-cost accounting survives sharding
+// bit-for-bit. Run under -race by the race-timing lane.
+func TestShardedVsSequentialReplay(t *testing.T) {
+	for _, scheme := range []deuce.Scheme{deuce.EncrDCW, deuce.DEUCE, deuce.DynDEUCE} {
+		t.Run(string(scheme), func(t *testing.T) {
+			const (
+				shards  = 4
+				lines   = 1024
+				keys    = 192
+				clients = 8
+				opsEach = 400
+				seed    = 1
+			)
+			front, err := New(Config{Scheme: scheme, Shards: shards, Lines: lines, Record: true})
+			if err != nil {
+				t.Fatal(err)
+			}
+			keyset := make([]string, keys)
+			for i := range keyset {
+				keyset[i] = fmt.Sprintf("k-%06d", i)
+				if err := front.Put(keyset[i], "0"); err != nil {
+					t.Fatalf("preload: %v", err)
+				}
+			}
+			vals := make([]string, 16)
+			for i := range vals {
+				vals[i] = fmt.Sprintf("v-%08d", i*i)
+			}
+
+			var wg sync.WaitGroup
+			for c := 0; c < clients; c++ {
+				wg.Add(1)
+				go func(client int) {
+					defer wg.Done()
+					rng := rand.New(rand.NewSource(seed + int64(client)*7919))
+					zipf := rand.NewZipf(rng, 1.1, 1, uint64(len(keyset)-1))
+					var buf [kvstore.MaxVal]byte
+					for i := 0; i < opsEach; i++ {
+						key := keyset[zipf.Uint64()]
+						if rng.Float64() < 0.5 {
+							front.Get(key, buf[:])
+						} else {
+							if err := front.Put(key, vals[i%len(vals)]); err != nil {
+								t.Errorf("client %d op %d: %v", client, i, err)
+								return
+							}
+						}
+					}
+				}(c)
+			}
+			wg.Wait()
+
+			merged := front.Stats()
+			var sum deuce.Stats
+			for i := 0; i < front.NumShards(); i++ {
+				shardSt := front.ShardStats(i)
+
+				mem, err := deuce.New(deuce.Options{Lines: front.ShardLines(), Scheme: scheme})
+				if err != nil {
+					t.Fatal(err)
+				}
+				kv := kvstore.New(mem)
+				var buf [kvstore.MaxVal]byte
+				for _, op := range front.Ops(i) {
+					if op.Put {
+						if err := kv.Put(op.Key, op.Value); err != nil {
+							t.Fatalf("shard %d replay Put(%q): %v", i, op.Key, err)
+						}
+					} else {
+						kv.GetInto(op.Key, buf[:])
+					}
+				}
+				replaySt := mem.Stats()
+				if replaySt.Writes != shardSt.Writes || replaySt.Reads != shardSt.Reads ||
+					replaySt.BitFlips != shardSt.BitFlips || replaySt.WriteSlots != shardSt.WriteSlots {
+					t.Fatalf("shard %d stats diverge from sequential replay:\n sharded: %+v\n  replay: %+v",
+						i, shardSt, replaySt)
+				}
+				sum.Writes += replaySt.Writes
+				sum.Reads += replaySt.Reads
+				sum.BitFlips += replaySt.BitFlips
+				sum.WriteSlots += replaySt.WriteSlots
+
+				// Contents after stats: snapshotting reads every line.
+				snap := front.SnapshotShard(i)
+				line := make([]byte, 64)
+				for l := range snap {
+					mem.ReadInto(uint64(l), line)
+					if !bytes.Equal(snap[l], line) {
+						t.Fatalf("shard %d line %d contents diverge from sequential replay", i, l)
+					}
+				}
+			}
+			if merged.Writes != sum.Writes || merged.Reads != sum.Reads ||
+				merged.BitFlips != sum.BitFlips || merged.WriteSlots != sum.WriteSlots {
+				t.Fatalf("merged stats are not the exact sum of replays:\n merged: %+v\n    sum: %+v", merged, sum)
+			}
+		})
+	}
+}
+
+// TestMergedStatsExact: the merged view recomputes its averages from the
+// summed integer counters, and the integers are exactly the per-shard
+// sums.
+func TestMergedStatsExact(t *testing.T) {
+	front, err := New(Config{Shards: 4, Lines: 512})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 300; i++ {
+		if err := front.Put(fmt.Sprintf("k-%04d", i), fmt.Sprintf("%d", i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var buf [kvstore.MaxVal]byte
+	for i := 0; i < 300; i++ {
+		if _, ok := front.Get(fmt.Sprintf("k-%04d", i), buf[:]); !ok {
+			t.Fatalf("lost key %d", i)
+		}
+	}
+	merged := front.Stats()
+	var writes, reads, flips, slots uint64
+	for i := 0; i < front.NumShards(); i++ {
+		st := front.ShardStats(i)
+		writes += st.Writes
+		reads += st.Reads
+		flips += st.BitFlips
+		slots += st.WriteSlots
+	}
+	if merged.Writes != writes || merged.Reads != reads || merged.BitFlips != flips || merged.WriteSlots != slots {
+		t.Fatalf("merged integers diverge from shard sums: %+v", merged)
+	}
+	if want := float64(flips) / float64(writes); merged.AvgFlipsPerWrite != want {
+		t.Fatalf("AvgFlipsPerWrite = %g, want %g", merged.AvgFlipsPerWrite, want)
+	}
+	if want := float64(slots) / float64(writes); merged.AvgWriteSlots != want {
+		t.Fatalf("AvgWriteSlots = %g, want %g", merged.AvgWriteSlots, want)
+	}
+	if want := merged.AvgFlipsPerWrite / 512; merged.FlipFraction != want {
+		t.Fatalf("FlipFraction = %g, want %g", merged.FlipFraction, want)
+	}
+}
+
+// TestRoutingDecorrelatedFromSlots: shard routing must not correlate with
+// in-region slot placement. Routing on the raw FNV hash would confine
+// each region to the slot residues of its shard index whenever the shard
+// count shares factors with the region size (both powers of two here),
+// capping the reachable load factor at 1/Shards. With the avalanche mix,
+// a 70% aggregate fill must succeed.
+func TestRoutingDecorrelatedFromSlots(t *testing.T) {
+	const (
+		shards = 4
+		lines  = 1024
+		n      = 716 // ~70% of total capacity
+	)
+	front, err := New(Config{Shards: shards, Lines: lines})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < n; i++ {
+		if err := front.Put(fmt.Sprintf("fill-%05d", i), "x"); err != nil {
+			t.Fatalf("Put %d of %d: %v", i, n, err)
+		}
+	}
+	var buf [kvstore.MaxVal]byte
+	for i := 0; i < n; i++ {
+		if _, ok := front.Get(fmt.Sprintf("fill-%05d", i), buf[:]); !ok {
+			t.Fatalf("lost key %d of %d", i, n)
+		}
+	}
+}
+
+// TestRegionStoreSuites reuses the shared kvstore probe suites at the
+// sharded front end's per-region geometry, so region stores get the same
+// wraparound and collision-chain coverage the full-size store has.
+func TestRegionStoreSuites(t *testing.T) {
+	const per = 128 // 1024 lines / 8 shards
+	newRegion := func() *kvstore.Store {
+		return kvstore.New(deuce.MustNew(deuce.Options{Lines: per, Scheme: deuce.DEUCE}))
+	}
+	t.Run("wraparound", func(t *testing.T) { kvtest.Wraparound(t, newRegion(), per) })
+	t.Run("collision-heavy", func(t *testing.T) { kvtest.CollisionHeavy(t, newRegion(), per) })
+}
+
+// TestConcurrentHammer drives many goroutines through every shard with no
+// recording — the configuration the serving benchmark uses — and checks
+// nothing is lost. Run under -race by the race-timing lane.
+func TestConcurrentHammer(t *testing.T) {
+	front, err := New(Config{Shards: 8, Lines: 2048})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const (
+		clients = 16
+		keys    = 256
+	)
+	keyset := make([]string, keys)
+	for i := range keyset {
+		keyset[i] = fmt.Sprintf("h-%04d", i)
+		if err := front.Put(keyset[i], "0"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var wg sync.WaitGroup
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(client int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(client)))
+			var buf [kvstore.MaxVal]byte
+			for i := 0; i < 500; i++ {
+				key := keyset[rng.Intn(keys)]
+				if rng.Intn(2) == 0 {
+					if _, ok := front.Get(key, buf[:]); !ok {
+						t.Errorf("client %d lost key %q", client, key)
+						return
+					}
+				} else if err := front.Put(key, "v"); err != nil {
+					t.Errorf("client %d: %v", client, err)
+					return
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+	if st := front.Stats(); st.Writes == 0 || st.BitFlips == 0 {
+		t.Fatalf("hammer recorded no write activity: %+v", st)
+	}
+}
+
+// TestConfigValidation: line counts that do not split evenly are rejected.
+func TestConfigValidation(t *testing.T) {
+	if _, err := New(Config{Shards: 3, Lines: 1024}); err == nil {
+		t.Error("uneven lines/shards accepted")
+	}
+	if _, err := New(Config{Scheme: "no-such-scheme", Shards: 2, Lines: 64}); err == nil {
+		t.Error("unknown scheme accepted")
+	}
+}

@@ -190,6 +190,14 @@ func (s *SecurityRefresh) PeekInto(line uint64, data, meta []byte) {
 	copy(meta, m)
 }
 
+// ReadInto implements pcmdev.Array. The de-rotation allocates; wear-leveled
+// arrays are not on the zero-allocation read path.
+func (s *SecurityRefresh) ReadInto(line uint64, data, meta []byte) {
+	d, m := s.Read(line)
+	copy(data, d)
+	copy(meta, m)
+}
+
 // Load implements pcmdev.Array.
 func (s *SecurityRefresh) Load(line uint64, data, meta []byte) {
 	s.checkLine(line)

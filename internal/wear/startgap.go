@@ -248,6 +248,14 @@ func (s *StartGap) PeekInto(line uint64, data, meta []byte) {
 	copy(meta, m)
 }
 
+// ReadInto implements pcmdev.Array. The de-rotation allocates; wear-leveled
+// arrays are not on the zero-allocation read path.
+func (s *StartGap) ReadInto(line uint64, data, meta []byte) {
+	d, m := s.Read(line)
+	copy(data, d)
+	copy(meta, m)
+}
+
 // Load implements pcmdev.Array.
 func (s *StartGap) Load(line uint64, data, meta []byte) {
 	s.checkLine(line)

@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check fmt-check doclint build vet test race race-timing bench-smoke bench-writehot bench-timing bench-warm bench-spans bench-serve fidelity fidelity-report fidelity-reverdict
+.PHONY: check fmt-check doclint build vet test race race-timing race-durability bench-smoke bench-writehot bench-timing bench-warm bench-spans bench-serve bench-backend fidelity fidelity-report fidelity-reverdict
 
 # check is the pre-merge gate: static checks, full tests under the race
 # detector, and a short smoke of the steady-state write benchmark so a
@@ -45,6 +45,18 @@ race-timing:
 	$(GO) test -race -run 'TestFork' ./internal/core/ ./internal/workload/
 	$(GO) test -race ./internal/obs/ ./internal/obs/serve/ ./internal/servebench/ ./internal/servefront/
 
+# race-durability is the focused race pass for the persistence layer: the
+# backend implementations and their failure-path tests, the pcmdev /
+# ctrstore page mapping, the durable snapshot framing, and the restart
+# differential suite (every scheme replayed on mem vs file vs dir vs a
+# mid-trace close/reopen — all four must be bit-identical). A subset of
+# `race`, split out so the CI durability job can run it on every push.
+race-durability:
+	$(GO) test -race ./internal/backend/
+	$(GO) test -race -run 'TestBackend' ./internal/pcmdev/ ./internal/ctrstore/
+	$(GO) test -race -run 'TestPowerCycle|TestLoadState|TestPersistence|TestINVMMSnapshot' ./internal/core/
+	$(GO) test -race -run 'TestRestartDifferential|TestBackend|TestWriteFileAtomic|TestRestoreNamesSchemeMismatch' .
+
 # bench-smoke only checks that the hot-write benchmarks still run and stay
 # allocation-free; 100 iterations is too few for timing, use bench-writehot
 # for numbers.
@@ -86,6 +98,14 @@ bench-spans:
 # perf ledger.
 bench-serve:
 	$(GO) run ./ci/benchserve -clients 8 -ops 60000 -lines 4096 -fronts coarse,sharded -shards 8 -out BENCH_serve.json
+
+# bench-backend regenerates BENCH_backend.json: the steady-state write
+# path once per storage backend (mem, mmap file, the pread/pwrite
+# fallback, sharded dir, and file with a Sync every 64 writes), after
+# verifying all of them bit-identical on a fixed differential trace.
+# `deucereport record -bench` ingests the record into the perf ledger.
+bench-backend:
+	$(GO) run ./ci/benchbackend -out BENCH_backend.json
 
 # fidelity runs the paper-fidelity gate at the reduced CI scale: every
 # EXPERIMENTS.md headline value is checked against the paper with

@@ -13,6 +13,9 @@
 // walked recursively. Test files, testdata trees and generated files are
 // skipped. The rules follow the godoc conventions golint enforced:
 //
+//   - every package needs a package comment on at least one of its
+//     non-test, non-generated files (the package's role and, for the
+//     packages here, its concurrency contract live there);
 //   - exported functions, types and methods need their own doc comment
 //     (methods on unexported types are invisible in godoc and exempt);
 //   - exported names in var/const/type groups are covered by either a
@@ -66,7 +69,7 @@ func main() {
 		for _, p := range problems {
 			fmt.Println(p)
 		}
-		fmt.Fprintf(os.Stderr, "doclint: %d exported declarations lack doc comments\n", len(problems))
+		fmt.Fprintf(os.Stderr, "doclint: %d declarations or packages lack doc comments\n", len(problems))
 		os.Exit(1)
 	}
 }
@@ -117,9 +120,19 @@ func lintDir(dir string) ([]string, error) {
 		out = append(out, fmt.Sprintf("%s:%d: exported %s %s lacks a doc comment", p.Filename, p.Line, kind, name))
 	}
 	for _, pkg := range pkgs {
+		// The package comment may sit on any one file; track whether some
+		// non-generated file carries it, and a position to report against.
+		hasPkgDoc := false
+		var pkgPos token.Pos
 		for _, file := range pkg.Files {
 			if isGenerated(file) {
 				continue
+			}
+			if pkgPos == token.NoPos || file.Package < pkgPos {
+				pkgPos = file.Package
+			}
+			if file.Doc != nil {
+				hasPkgDoc = true
 			}
 			for _, decl := range file.Decls {
 				switch d := decl.(type) {
@@ -138,6 +151,10 @@ func lintDir(dir string) ([]string, error) {
 					lintGenDecl(d, report)
 				}
 			}
+		}
+		if !hasPkgDoc && pkgPos != token.NoPos {
+			p := fset.Position(pkgPos)
+			out = append(out, fmt.Sprintf("%s:%d: package %s lacks a package comment", p.Filename, p.Line, pkg.Name))
 		}
 	}
 	return out, nil

@@ -32,6 +32,8 @@ func main() {
 		warmup     = flag.Int("warmup", 0, "warm-up writebacks (0 = default)")
 		seed       = flag.Int64("seed", 1, "workload generator seed")
 		shards     = flag.Int("timingshards", 0, "costing shards per timed run: 1 = sequential engine, N > 1 = sharded engine, 0 = auto-size from free CPUs (results are bit-identical)")
+		backendSel = flag.String("backend", "mem", "per-cell storage backend: mem, file or dir; file/dir run every cell against durable pages under -dir (bit-identical results, all caches bypassed)")
+		backendDir = flag.String("dir", "", "parent directory for -backend file/dir state; each cell leaves a fresh subdirectory behind for inspection (default: the system temp dir)")
 		format     = flag.String("format", "text", "output format: text or csv")
 		outDir     = flag.String("outdir", "", "also write each experiment's output (and a runmeta.json manifest) into this directory")
 		metricsOut = flag.String("metrics", "", "export suite-level metrics (per-experiment wall time, cell counts) as an obs snapshot JSON to this file")
@@ -86,6 +88,9 @@ func main() {
 		for _, e := range exp.Ablations() {
 			fmt.Printf("%-12s %s\n", e.ID, e.Paper)
 		}
+		for _, e := range exp.Extensions() {
+			fmt.Printf("%-12s %s\n", e.ID, e.Paper)
+		}
 		return
 	}
 
@@ -104,6 +109,18 @@ func main() {
 		Warmup:       *warmup,
 		Seed:         *seed,
 		TimingShards: *shards,
+	}
+	switch *backendSel {
+	case "mem":
+		if *backendDir != "" {
+			fmt.Fprintln(os.Stderr, "deucebench: -dir only applies with -backend file or dir")
+			os.Exit(1)
+		}
+	case "file", "dir":
+		rc.Backend, rc.BackendDir = *backendSel, *backendDir
+	default:
+		fmt.Fprintf(os.Stderr, "deucebench: unknown -backend %q (want mem, file or dir)\n", *backendSel)
+		os.Exit(1)
 	}
 	var tracer *span.Tracer
 	if *spansDir != "" {
@@ -205,6 +222,8 @@ func main() {
 		runSuite(exp.Experiments())
 	case "ablations":
 		runSuite(exp.Ablations())
+	case "extensions":
+		runSuite(exp.Extensions())
 	default:
 		e, err := exp.ByID(*experiment)
 		if err != nil {

@@ -115,9 +115,11 @@ func sizeFlags(fs *flag.FlagSet) (writebacks, lines, warmup *int, seed *int64, s
 }
 
 // selectExpectations resolves the -experiment flag: "all" (or empty) means
-// the full table, otherwise a comma-separated list of experiment IDs.
+// the full table — the paper expectations plus the extension durability
+// drills (ext-eadr, ext-ctrrec) — otherwise a comma-separated list of
+// experiment IDs.
 func selectExpectations(spec string) ([]fidelity.Expectation, error) {
-	all := fidelity.Expectations()
+	all := append(fidelity.Expectations(), fidelity.ExtensionExpectations()...)
 	if spec == "" || spec == "all" {
 		return all, nil
 	}

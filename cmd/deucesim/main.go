@@ -57,6 +57,8 @@ func run() error {
 		metricsPath  = flag.String("metrics", "", "export the run's obs registry (write_slots/write_flips histograms) as JSON to this file")
 		heatmapPath  = flag.String("heatmap", "", "export periodic per-line write-count snapshots as CSV to this file")
 		heatmapEvery = flag.Int("heatmapevery", 0, "measured writebacks between heatmap snapshots (0 = writebacks/20)")
+		backendName  = flag.String("backend", "mem", "storage backend for the array and counters: mem, file (one mmap file per region), dir (sharded array directory)")
+		backendDir   = flag.String("dir", "", "state directory for -backend file/dir (reusing a directory reopens its stored pages)")
 		profilePath  = flag.String("profile", "", "load a custom workload profile from a JSON file (overrides -workload)")
 		dumpProfile  = flag.String("dumpprofile", "", "print a built-in profile as JSON (a template for -profile) and exit")
 		list         = flag.Bool("list", false, "list workloads and schemes, then exit")
@@ -98,6 +100,24 @@ func run() error {
 	params := core.Params{
 		EpochInterval: *epoch,
 		WordBytes:     *word,
+	}
+	// Durable backends (DESIGN.md §14): results are bit-identical to the
+	// in-memory run — the flag exists to exercise and inspect on-disk state.
+	switch *backendName {
+	case "mem":
+		if *backendDir != "" {
+			return fmt.Errorf("-dir only applies with -backend file or dir")
+		}
+	case "file", "dir":
+		if *backendDir == "" {
+			return fmt.Errorf("-backend %s requires -dir", *backendName)
+		}
+		if *wearMode != "none" {
+			return fmt.Errorf("-backend %s cannot combine with -wear (remap registers are volatile controller state)", *backendName)
+		}
+		params.MakeBackend = core.DirBackendMaker(*backendDir, *backendName == "dir", 0)
+	default:
+		return fmt.Errorf("unknown -backend %q (want mem, file or dir)", *backendName)
 	}
 
 	var tr *obs.Trace
@@ -173,7 +193,7 @@ func run() error {
 		"workload": prof.Name, "scheme": *schemeName, "epoch": *epoch,
 		"word": *word, "writebacks": *writebacks, "warmup": *warmup,
 		"lines": *lines, "seed": *seed, "wear": *wearMode, "psi": *psi,
-		"tracesample": *traceSample,
+		"tracesample": *traceSample, "backend": *backendName,
 	}
 
 	var res exp.FlipResult

@@ -39,6 +39,8 @@ package deuce
 import (
 	"fmt"
 	"io"
+	"os"
+	"path/filepath"
 
 	"deuce/internal/core"
 	"deuce/internal/pcmdev"
@@ -120,6 +122,30 @@ const (
 	SecurityRefreshHWL
 )
 
+// Backend selects where a Memory's durable regions (cell array and
+// encryption counters) are stored. See the package Durability notes in
+// README.md and DESIGN.md §14.
+type Backend string
+
+// The available backends.
+const (
+	// MemBackend keeps all state in RAM (the default). Sync and Close
+	// are free no-ops; nothing survives process exit except through
+	// Persist.
+	MemBackend Backend = "mem"
+	// FileBackend stores each region in one mmap-backed file under
+	// Options.Dir (array.pg, counters.pg). Contents survive Close and
+	// are picked up again by a Memory reopened on the same directory.
+	FileBackend Backend = "file"
+	// DirBackend shards the cell array over a directory of mmap-backed
+	// files (Options.Dir/array/shard-*.pg), for arrays far larger than
+	// RAM; counters stay in a single file.
+	DirBackend Backend = "dir"
+)
+
+// Backends returns all selectable backends.
+func Backends() []Backend { return []Backend{MemBackend, FileBackend, DirBackend} }
+
 // Options configures a Memory. The zero value of every field selects the
 // paper's defaults.
 type Options struct {
@@ -146,6 +172,22 @@ type Options struct {
 	// simulations that shrink psi to exercise wear leveling should set
 	// this so the copies do not drown the signal being measured.
 	ExcludeGapMoveWear bool
+	// Backend selects durable storage for the cell array and counters;
+	// empty means MemBackend. FileBackend and DirBackend require Dir and
+	// are mutually exclusive with WearLeveling (wear-leveler remap
+	// registers are volatile controller state a backend cannot carry).
+	// Results are bit-identical across backends — the restart
+	// differential suite pins this.
+	Backend Backend
+	// Dir is the directory holding FileBackend/DirBackend state. Reusing
+	// a directory reopens the stored cells and counters; pair it with
+	// RestoreState to also recover scheme controller state (see
+	// PersistToFile).
+	Dir string
+	// DirShards is the DirBackend shard-file count; 0 means
+	// backend.DefaultDirShards. Ignored after creation — the directory's
+	// manifest pins the split.
+	DirShards int
 }
 
 // WriteInfo reports the cost of one line write.
@@ -203,6 +245,19 @@ func New(opts Options) (*Memory, error) {
 		Key:           opts.Key,
 		EpochInterval: opts.EpochInterval,
 		WordBytes:     opts.WordBytes,
+	}
+	switch opts.Backend {
+	case "", MemBackend:
+	case FileBackend, DirBackend:
+		if opts.Dir == "" {
+			return nil, fmt.Errorf("deuce: backend %q requires Options.Dir", opts.Backend)
+		}
+		if opts.WearLeveling != NoWearLeveling {
+			return nil, fmt.Errorf("deuce: backend %q cannot combine with wear leveling (remap registers are volatile controller state)", opts.Backend)
+		}
+		params.MakeBackend = core.DirBackendMaker(opts.Dir, opts.Backend == DirBackend, opts.DirShards)
+	default:
+		return nil, fmt.Errorf("deuce: unknown backend %q (want %q, %q or %q)", opts.Backend, MemBackend, FileBackend, DirBackend)
 	}
 	switch opts.WearLeveling {
 	case NoWearLeveling:
@@ -329,11 +384,86 @@ func (m *Memory) Persist(w io.Writer) error {
 
 // RestoreState loads state written by Persist into this memory. The
 // memory must have been constructed with identical Options (scheme, key,
-// size, epoch, word size); mismatches are rejected.
+// size, epoch, word size); mismatches are rejected with an error naming
+// what differs.
 func (m *Memory) RestoreState(r io.Reader) error {
 	p, ok := m.scheme.(core.Persistent)
 	if !ok {
 		return fmt.Errorf("deuce: scheme %s does not support persistence", m.scheme.Name())
 	}
 	return p.LoadState(r)
+}
+
+// Sync flushes the cell array and counter regions into their backends'
+// persistence domain. A free no-op on the in-memory backend. After Sync
+// returns, every write issued so far survives a crash of the process (the
+// scheme's controller state — epoch registers, the installed-line set —
+// does not; snapshot it with Persist/PersistToFile).
+func (m *Memory) Sync() error {
+	d, ok := m.scheme.(core.Durable)
+	if !ok {
+		return nil
+	}
+	return d.Sync()
+}
+
+// Close releases backend resources (file handles, mappings) without an
+// implicit Sync. A closed Memory must not be used again.
+func (m *Memory) Close() error {
+	d, ok := m.scheme.(core.Durable)
+	if !ok {
+		return nil
+	}
+	return d.Close()
+}
+
+// PersistToFile writes the Persist snapshot to path atomically: the image
+// lands in a temporary file in the same directory, is fsynced, and only
+// then renamed over path — so a crash mid-persist leaves any previous
+// snapshot at path intact and readable.
+func (m *Memory) PersistToFile(path string) error {
+	return writeFileAtomic(path, m.Persist)
+}
+
+// RestoreFromFile loads a snapshot written by PersistToFile (or any
+// Persist output saved to a file).
+func (m *Memory) RestoreFromFile(path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return fmt.Errorf("deuce: %w", err)
+	}
+	defer f.Close()
+	return m.RestoreState(f)
+}
+
+// writeFileAtomic streams write's output into a temp file next to path and
+// renames it into place only after a successful write+fsync. On any error
+// the temp file is removed and path is untouched.
+func writeFileAtomic(path string, write func(io.Writer) error) error {
+	dir := filepath.Dir(path)
+	f, err := os.CreateTemp(dir, filepath.Base(path)+".tmp*")
+	if err != nil {
+		return fmt.Errorf("deuce: %w", err)
+	}
+	tmp := f.Name()
+	fail := func(err error) error {
+		f.Close()
+		os.Remove(tmp)
+		return fmt.Errorf("deuce: %w", err)
+	}
+	if err := write(f); err != nil {
+		return fail(err)
+	}
+	if err := f.Sync(); err != nil {
+		return fail(err)
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("deuce: %w", err)
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("deuce: %w", err)
+	}
+	return nil
 }

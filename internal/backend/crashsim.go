@@ -1,0 +1,117 @@
+package backend
+
+import "sort"
+
+// CrashSim wraps a Backend with an explicit persistence-domain model for
+// crash drills: WritePage lands in a volatile buffer, Sync flushes the
+// buffer into the inner backend (ADR semantics — only what was flushed
+// survives), and Crash discards everything unsynced, exactly as power loss
+// would. With Passthrough (eADR semantics: the persistence domain covers
+// the write queue itself) writes go straight through and Crash loses
+// nothing. The two modes are the experimental contrast of the eADR
+// extension experiment in internal/exp.
+//
+// CrashSim deliberately does not implement Pager: a zero-copy mapping would
+// bypass the write buffer, so devices on it take the explicit
+// ReadPage/WritePage path and every write is observable.
+type CrashSim struct {
+	inner Backend
+	// Passthrough selects eADR semantics: no write buffering, Crash
+	// discards nothing.
+	Passthrough bool
+
+	buf     map[int][]byte // dirty pages not yet in the persistence domain
+	syncs   uint64
+	crashes uint64
+}
+
+// NewCrashSim wraps inner with ADR (buffer-until-Sync) semantics.
+func NewCrashSim(inner Backend) *CrashSim {
+	return &CrashSim{inner: inner, buf: make(map[int][]byte)}
+}
+
+// Pages implements Backend.
+func (c *CrashSim) Pages() int { return c.inner.Pages() }
+
+// PageSize implements Backend.
+func (c *CrashSim) PageSize() int { return c.inner.PageSize() }
+
+// ReadPage implements Backend: the owner sees its own unsynced writes.
+func (c *CrashSim) ReadPage(page int, dst []byte) error {
+	if p, ok := c.buf[page]; ok {
+		if err := checkPage("crashsim", c.Pages(), c.PageSize(), page, dst); err != nil {
+			return err
+		}
+		copy(dst, p)
+		return nil
+	}
+	return c.inner.ReadPage(page, dst)
+}
+
+// WritePage implements Backend.
+func (c *CrashSim) WritePage(page int, src []byte) error {
+	if c.Passthrough {
+		return c.inner.WritePage(page, src)
+	}
+	if err := checkPage("crashsim", c.Pages(), c.PageSize(), page, src); err != nil {
+		return err
+	}
+	p, ok := c.buf[page]
+	if !ok {
+		p = make([]byte, len(src))
+		c.buf[page] = p
+	}
+	copy(p, src)
+	return nil
+}
+
+// Sync implements Backend: flush the buffer into the persistence domain.
+func (c *CrashSim) Sync() error {
+	for page, p := range c.buf {
+		if err := c.inner.WritePage(page, p); err != nil {
+			return err
+		}
+		delete(c.buf, page)
+	}
+	c.syncs++
+	return c.inner.Sync()
+}
+
+// Crash models power loss: every write since the last Sync is discarded
+// (under Passthrough, nothing is buffered so nothing is lost). It returns
+// the number of pages whose writes were dropped.
+func (c *CrashSim) Crash() int {
+	lost := len(c.buf)
+	c.buf = make(map[int][]byte)
+	c.crashes++
+	return lost
+}
+
+// Unsynced returns how many pages currently have writes outside the
+// persistence domain.
+func (c *CrashSim) Unsynced() int { return len(c.buf) }
+
+// UnsyncedPages returns the sorted page indices with unsynced writes.
+func (c *CrashSim) UnsyncedPages() []int {
+	out := make([]int, 0, len(c.buf))
+	for p := range c.buf {
+		out = append(out, p)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// Syncs returns how many Sync calls have completed.
+func (c *CrashSim) Syncs() uint64 { return c.syncs }
+
+// Inner returns the wrapped backend (the persistence domain's contents).
+func (c *CrashSim) Inner() Backend { return c.inner }
+
+// Close implements Backend. Unsynced writes are NOT flushed — Close is not
+// Sync, here as everywhere in this package.
+func (c *CrashSim) Close() error {
+	c.buf = make(map[int][]byte)
+	return c.inner.Close()
+}
+
+var _ Backend = (*CrashSim)(nil)

@@ -1,0 +1,67 @@
+package backend
+
+import "fmt"
+
+// Mem is the in-memory Backend: one flat allocation, the refactored status
+// quo of the pre-backend pcmdev. It implements Pager, so devices on it keep
+// their zero-allocation direct-slice hot path. Sync and Close are no-ops —
+// RAM has no persistence domain to flush into.
+type Mem struct {
+	pages    int
+	pageSize int
+	buf      []byte
+	closed   bool
+}
+
+// NewMem returns an all-zero in-memory backend. Geometry must be positive.
+func NewMem(pages, pageSize int) *Mem {
+	if pages <= 0 || pageSize <= 0 {
+		panic(fmt.Sprintf("backend: NewMem geometry %d×%dB must be positive", pages, pageSize))
+	}
+	return &Mem{pages: pages, pageSize: pageSize, buf: make([]byte, pages*pageSize)}
+}
+
+// Pages implements Backend.
+func (m *Mem) Pages() int { return m.pages }
+
+// PageSize implements Backend.
+func (m *Mem) PageSize() int { return m.pageSize }
+
+// Page implements Pager: the returned slice is the live storage.
+func (m *Mem) Page(page int) []byte {
+	off := page * m.pageSize
+	return m.buf[off : off+m.pageSize : off+m.pageSize]
+}
+
+// ReadPage implements Backend.
+func (m *Mem) ReadPage(page int, dst []byte) error {
+	if m.closed {
+		return fmt.Errorf("mem ReadPage: %w", ErrClosed)
+	}
+	if err := checkPage("mem", m.pages, m.pageSize, page, dst); err != nil {
+		return err
+	}
+	copy(dst, m.Page(page))
+	return nil
+}
+
+// WritePage implements Backend.
+func (m *Mem) WritePage(page int, src []byte) error {
+	if m.closed {
+		return fmt.Errorf("mem WritePage: %w", ErrClosed)
+	}
+	if err := checkPage("mem", m.pages, m.pageSize, page, src); err != nil {
+		return err
+	}
+	copy(m.Page(page), src)
+	return nil
+}
+
+// Sync implements Backend; RAM is always "durable" for its own lifetime.
+func (m *Mem) Sync() error { return nil }
+
+// Close implements Backend.
+func (m *Mem) Close() error {
+	m.closed = true
+	return nil
+}

@@ -14,6 +14,11 @@
 // targets. Each kernel keeps a byte-at-a-time reference implementation
 // (popCountRef and friends) that the differential tests in bitutil_test.go
 // check the fast path against on random lengths and alignments.
+//
+// Concurrency: every function is pure over its arguments and the package
+// holds no state, so calls are safe from any number of goroutines as long
+// as callers do not mutate a slice another goroutine is reading — the
+// usual Go slice rule, not a restriction this package adds.
 package bitutil
 
 import (

@@ -19,6 +19,11 @@
 // differential suite in clonerand_test.go pins both properties; changing
 // the stream would silently shift every measured workload statistic and
 // invalidate the calibrated fidelity tolerances (internal/fidelity).
+//
+// Concurrency: a Rand is single-owner state with no internal locking —
+// exactly like math/rand.Rand built on an unlocked source. Goroutines
+// never share one; a consumer that needs an independent stream takes a
+// Clone and owns it outright.
 package clonerand
 
 import "math/rand"

@@ -27,7 +27,13 @@ type Persistent interface {
 	LoadState(r io.Reader) error
 }
 
-var stateMagic = [4]byte{'D', 'S', 'T', '1'}
+// Snapshot framing, version 2: magic, a length-prefixed scheme-kind string
+// in the clear (so a mismatch can name both kinds instead of hiding inside
+// a digest), then the geometry header. Version 1 folded the scheme into the
+// key digest and reported every mismatch as one opaque error.
+var stateMagic = [4]byte{'D', 'S', 'T', '2'}
+
+var stateMagicV1 = [4]byte{'D', 'S', 'T', '1'}
 
 // stateHeader pins everything that must match between save and load.
 type stateHeader struct {
@@ -51,6 +57,29 @@ func (b *base) header(schemeName string) stateHeader {
 	return h
 }
 
+// checkHeader compares a snapshot header against this scheme field by
+// field, so the error names exactly what differs — both geometries, both
+// scheme kinds — instead of a generic "state mismatch".
+func (b *base) checkHeader(schemeName, gotName string, h stateHeader) error {
+	if gotName != schemeName {
+		return fmt.Errorf("core: snapshot holds scheme %q, this memory runs %q", gotName, schemeName)
+	}
+	want := b.header(schemeName)
+	if h.Lines != want.Lines || h.LineBytes != want.LineBytes {
+		return fmt.Errorf("core: geometry mismatch: snapshot %d lines × %dB, memory %d lines × %dB",
+			h.Lines, h.LineBytes, want.Lines, want.LineBytes)
+	}
+	if h.Epoch != want.Epoch || h.WordBytes != want.WordBytes || h.CounterBits != want.CounterBits {
+		return fmt.Errorf("core: scheme-parameter mismatch: snapshot epoch=%d word=%dB ctr=%db, memory epoch=%d word=%dB ctr=%db",
+			h.Epoch, h.WordBytes, h.CounterBits, want.Epoch, want.WordBytes, want.CounterBits)
+	}
+	if h.KeyDigest != want.KeyDigest {
+		return fmt.Errorf("core: snapshot was written under a different key (digest %x, memory key digest %x)",
+			h.KeyDigest, want.KeyDigest)
+	}
+	return nil
+}
+
 // device returns the raw array, rejecting wrapped configurations:
 // wear-leveler registers are controller state outside this format.
 func (b *base) device() (*pcmdev.Device, error) {
@@ -69,6 +98,15 @@ func (b *base) saveState(schemeName string, w io.Writer) error {
 	}
 	bw := bufio.NewWriter(w)
 	if _, err := bw.Write(stateMagic[:]); err != nil {
+		return fmt.Errorf("core: %w", err)
+	}
+	if len(schemeName) > 0xFFFF {
+		return fmt.Errorf("core: scheme name %q too long for snapshot framing", schemeName)
+	}
+	if err := binary.Write(bw, binary.LittleEndian, uint16(len(schemeName))); err != nil {
+		return fmt.Errorf("core: %w", err)
+	}
+	if _, err := bw.WriteString(schemeName); err != nil {
 		return fmt.Errorf("core: %w", err)
 	}
 	if err := binary.Write(bw, binary.LittleEndian, b.header(schemeName)); err != nil {
@@ -100,16 +138,26 @@ func (b *base) loadState(schemeName string, r io.Reader) error {
 	if _, err := io.ReadFull(br, magic[:]); err != nil {
 		return fmt.Errorf("core: reading state header: %w", err)
 	}
+	if magic == stateMagicV1 {
+		return fmt.Errorf("core: snapshot uses the retired v1 framing %q (no scheme-kind field); re-save it with this version", magic)
+	}
 	if magic != stateMagic {
 		return fmt.Errorf("core: bad state magic %q", magic)
+	}
+	var nameLen uint16
+	if err := binary.Read(br, binary.LittleEndian, &nameLen); err != nil {
+		return fmt.Errorf("core: %w", err)
+	}
+	nameBuf := make([]byte, nameLen)
+	if _, err := io.ReadFull(br, nameBuf); err != nil {
+		return fmt.Errorf("core: reading scheme name: %w", err)
 	}
 	var h stateHeader
 	if err := binary.Read(br, binary.LittleEndian, &h); err != nil {
 		return fmt.Errorf("core: %w", err)
 	}
-	want := b.header(schemeName)
-	if h != want {
-		return fmt.Errorf("core: state mismatch (scheme, key, or geometry differ)")
+	if err := b.checkHeader(schemeName, string(nameBuf), h); err != nil {
+		return err
 	}
 	if _, err := io.ReadFull(br, b.inited.Bytes()); err != nil {
 		return fmt.Errorf("core: %w", err)

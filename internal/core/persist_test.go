@@ -3,6 +3,7 @@ package core
 import (
 	"bytes"
 	"math/rand"
+	"strings"
 	"testing"
 
 	"deuce/internal/bitutil"
@@ -78,16 +79,25 @@ func TestLoadStateRejectsMismatches(t *testing.T) {
 		name string
 		kind Kind
 		p    Params
+		// want is a fragment the error must carry: the v2 framing names
+		// what differs — both scheme kinds, both geometries — instead of
+		// an opaque "state mismatch".
+		want string
 	}{
-		{"different scheme", KindEncrDCW, base},
-		{"different key", KindDeuce, Params{Lines: 8, EpochInterval: 4, Key: []byte("fedcba9876543210")}},
-		{"different lines", KindDeuce, Params{Lines: 16, EpochInterval: 4}},
-		{"different epoch", KindDeuce, Params{Lines: 8, EpochInterval: 8}},
+		{"different scheme", KindEncrDCW, base, `snapshot holds scheme "DEUCE"`},
+		{"different key", KindDeuce, Params{Lines: 8, EpochInterval: 4, Key: []byte("fedcba9876543210")}, "different key"},
+		{"different lines", KindDeuce, Params{Lines: 16, EpochInterval: 4}, "snapshot 8 lines × 64B, memory 16 lines × 64B"},
+		{"different epoch", KindDeuce, Params{Lines: 8, EpochInterval: 8}, "snapshot epoch=4"},
 	}
 	for _, c := range cases {
 		s := MustNew(c.kind, c.p)
-		if err := s.(Persistent).LoadState(bytes.NewReader(snap)); err == nil {
+		err := s.(Persistent).LoadState(bytes.NewReader(snap))
+		if err == nil {
 			t.Errorf("%s: mismatched snapshot accepted", c.name)
+			continue
+		}
+		if !strings.Contains(err.Error(), c.want) {
+			t.Errorf("%s: error %q does not name the mismatch (want substring %q)", c.name, err, c.want)
 		}
 	}
 	// Control: matching configuration loads.
@@ -104,6 +114,11 @@ func TestLoadStateRejectsGarbage(t *testing.T) {
 	}
 	if err := s.(Persistent).LoadState(bytes.NewReader(nil)); err == nil {
 		t.Error("empty input accepted")
+	}
+	// Retired v1 framing is named explicitly, not reported as garbage.
+	err := s.(Persistent).LoadState(bytes.NewReader([]byte("DST1rest-of-old-snapshot")))
+	if err == nil || !strings.Contains(err.Error(), "v1") {
+		t.Errorf("v1 snapshot error %v does not name the retired framing", err)
 	}
 }
 

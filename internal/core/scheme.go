@@ -18,7 +18,9 @@ package core
 
 import (
 	"fmt"
+	"path/filepath"
 
+	"deuce/internal/backend"
 	"deuce/internal/bitutil"
 	"deuce/internal/ctrstore"
 	"deuce/internal/obs"
@@ -104,6 +106,41 @@ type Params struct {
 	// wear-leveling shifters of internal/wear are interposed. Nil means
 	// a bare pcmdev.Device.
 	MakeArray func(pcmdev.Config) (pcmdev.Array, error)
+	// MakeBackend, when non-nil, supplies page storage for the scheme's
+	// two durable regions: it is called once with region "array" (the
+	// cell array, one page per line of pcmdev.Config.PageBytes bytes)
+	// and once with region "counters" (the encryption counters,
+	// ctrstore.PageBytes pages). This is how file and sharded-directory
+	// backends (internal/backend) are threaded under a scheme; nil means
+	// both regions live in RAM. Mutually exclusive with MakeArray — a
+	// wrapped array owns its own storage.
+	MakeBackend func(region string, pages, pageSize int) (backend.Backend, error)
+}
+
+// Region names passed to Params.MakeBackend.
+const (
+	// RegionArray is the cell array: Lines pages of Config.PageBytes.
+	RegionArray = "array"
+	// RegionCounters is the encryption-counter store:
+	// ctrstore.BackendPages(n) pages of ctrstore.PageBytes.
+	RegionCounters = "counters"
+)
+
+// DirBackendMaker returns a MakeBackend storing each region under dir:
+// counters always land in one mmap-backed file (dir/counters.pg), and the
+// cell array either in dir/array.pg or — when shardArray is set — sharded
+// over dir/array/shard-*.pg for arrays larger than one file comfortably
+// holds. shards is the shard-file count (0 means backend.DefaultDirShards);
+// an existing directory's manifest overrides it. Both the public deuce
+// package and the CLI -backend flags build their makers through this one
+// function, so every entry point lays files out identically.
+func DirBackendMaker(dir string, shardArray bool, shards int) func(region string, pages, pageSize int) (backend.Backend, error) {
+	return func(region string, pages, pageSize int) (backend.Backend, error) {
+		if shardArray && region == RegionArray {
+			return backend.OpenDir(filepath.Join(dir, region), pages, pageSize, shards)
+		}
+		return backend.OpenFile(filepath.Join(dir, region+".pg"), pages, pageSize)
+	}
 }
 
 func (p *Params) setDefaults() {
@@ -192,11 +229,21 @@ func newBase(p Params, metaBits int, blockCtrs bool) (*base, error) {
 		MetaBits:         metaBits,
 		TrackPerLineWear: p.TrackPerLineWear,
 	}
+	if p.MakeArray != nil && p.MakeBackend != nil {
+		return nil, fmt.Errorf("core: MakeArray and MakeBackend are mutually exclusive (a wrapped array owns its own storage)")
+	}
 	var dev pcmdev.Array
 	var err error
-	if p.MakeArray != nil {
+	switch {
+	case p.MakeArray != nil:
 		dev, err = p.MakeArray(devCfg)
-	} else {
+	case p.MakeBackend != nil:
+		var be backend.Backend
+		be, err = p.MakeBackend(RegionArray, devCfg.Lines, devCfg.PageBytes())
+		if err == nil {
+			dev, err = pcmdev.NewOnBackend(devCfg, be)
+		}
+	default:
 		dev, err = pcmdev.New(devCfg)
 	}
 	if err != nil {
@@ -209,11 +256,19 @@ func newBase(p Params, metaBits int, blockCtrs bool) (*base, error) {
 	if p.PadCacheEntries > 0 {
 		gen.EnableCache(p.PadCacheEntries)
 	}
-	var ctrs *ctrstore.Store
+	nCtrs := p.Lines
 	if blockCtrs {
-		ctrs, err = ctrstore.NewBlock(p.Lines, p.LineBytes/otp.BlockSize, p.CounterBits)
+		nCtrs = p.Lines * (p.LineBytes / otp.BlockSize)
+	}
+	var ctrs *ctrstore.Store
+	if p.MakeBackend != nil {
+		var cbe backend.Backend
+		cbe, err = p.MakeBackend(RegionCounters, ctrstore.BackendPages(nCtrs), ctrstore.PageBytes)
+		if err == nil {
+			ctrs, err = ctrstore.NewOnBackend(cbe, nCtrs, p.CounterBits)
+		}
 	} else {
-		ctrs, err = ctrstore.New(p.Lines, p.CounterBits)
+		ctrs, err = ctrstore.New(nCtrs, p.CounterBits)
 	}
 	if err != nil {
 		return nil, err

@@ -14,6 +14,9 @@ import (
 	"encoding/binary"
 	"fmt"
 	"io"
+
+	"deuce/internal/backend"
+	"deuce/internal/bitutil"
 )
 
 // DefaultBits is the paper's per-line counter width (Table 1 discussion).
@@ -27,6 +30,14 @@ type Store struct {
 	counters []uint64
 
 	overflows uint64
+
+	// Durable-backend state (NewOnBackend); all nil for memory-only
+	// stores. counters above stays the working copy — the controller's
+	// counter cache — and dirty tracks which backend pages Sync must
+	// write back.
+	be      backend.Backend
+	dirty   *bitutil.Vector
+	pageBuf []byte
 }
 
 // New returns a Store with one counter of the given bit width per line.
@@ -82,6 +93,7 @@ func (s *Store) Get(line uint64) uint64 {
 func (s *Store) Increment(line uint64) (val uint64, wrapped bool) {
 	v := (s.counters[line] + 1) & s.mask
 	s.counters[line] = v
+	s.markDirty(line)
 	if v == 0 {
 		s.overflows++
 		return 0, true
@@ -92,6 +104,7 @@ func (s *Store) Increment(line uint64) (val uint64, wrapped bool) {
 // Set forces a counter value (used by tests and by re-keying logic).
 func (s *Store) Set(line uint64, v uint64) {
 	s.counters[line] = v & s.mask
+	s.markDirty(line)
 }
 
 // Overflows returns how many counter wrap-arounds have occurred.
@@ -146,5 +159,6 @@ func (s *Store) Restore(r io.Reader) error {
 			return fmt.Errorf("ctrstore: counter %d: %w", i, err)
 		}
 	}
+	s.markAllDirty()
 	return nil
 }

@@ -3,6 +3,9 @@ package ctrstore
 // Fork returns an independent deep copy of the store. Incrementing
 // counters on either copy never affects the other; the overflow count
 // carries over so post-fork accounting continues from the warm state.
+// The fork is always memory-only, whatever the original runs on: warm
+// cells are RAM-resident working copies, never a second handle on the
+// same durable backend.
 func (s *Store) Fork() *Store {
 	return &Store{
 		bits:      s.bits,

@@ -13,6 +13,10 @@
 // most once per eviction, so a benign line's long-run share is bounded by
 // working-set churn, while an attacker pinning a line needs a share orders
 // of magnitude higher to make wear-out progress.
+//
+// Concurrency: a Detector is unlocked single-owner state, updated inline
+// on the write path by whichever goroutine owns the scheme instance — the
+// same single-writer discipline every scheme in internal/core follows.
 package detector
 
 import (

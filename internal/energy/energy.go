@@ -14,6 +14,9 @@
 // ~29% of system power. Absolute joules are not meaningful in a functional
 // simulator; every Figure 17 series is a ratio against the encrypted
 // baseline, in which the scale cancels.
+//
+// Concurrency: the model is pure arithmetic over its inputs — no package
+// state, nothing to synchronize; call it from anywhere.
 package energy
 
 import "fmt"

@@ -81,9 +81,10 @@ func Experiments() []Experiment {
 	}
 }
 
-// ByID returns the (paper or ablation) experiment with the given ID.
+// ByID returns the (paper, ablation or extension) experiment with the
+// given ID.
 func ByID(id string) (Experiment, error) {
-	all := append(Experiments(), Ablations()...)
+	all := append(append(Experiments(), Ablations()...), Extensions()...)
 	for _, e := range all {
 		if e.ID == id {
 			return e, nil

@@ -33,9 +33,9 @@ import (
 // Metrics, Progress, Spans) never enter a key: the grids clear the
 // single-writer hooks before fanning out, and Progress and Spans only
 // narrate. Inputs that
-// cannot be canonically encoded (a non-nil Params.MakeArray or
-// Params.Trace) make the computation uncacheable and bypass the cache
-// entirely rather than risk a false hit.
+// cannot be canonically encoded (a non-nil Params.MakeArray,
+// Params.MakeBackend or Params.Trace) make the computation uncacheable and
+// bypass the cache entirely rather than risk a false hit.
 type GridCache struct {
 	mu      sync.Mutex
 	entries map[string]*cacheEntry
@@ -172,8 +172,8 @@ func (rc RunConfig) key() string {
 
 // paramsKey canonically encodes the result-affecting fields of
 // core.Params. The second return is false when the params carry inputs
-// with no canonical encoding (MakeArray, Trace) — such a configuration
-// must not be cached.
+// with no canonical encoding (MakeArray, MakeBackend, Trace) — such a
+// configuration must not be cached.
 //
 // Params are canonicalized first, so the zero value and an explicit
 // spelling of the defaults share one key — that equivalence is what lets
@@ -186,7 +186,7 @@ func (rc RunConfig) key() string {
 // are plenty for cache discrimination (keys are not adversarial inputs
 // here) and are unambiguously not the key itself.
 func paramsKey(p core.Params) (string, bool) {
-	if p.MakeArray != nil || p.Trace != nil {
+	if p.MakeArray != nil || p.MakeBackend != nil || p.Trace != nil {
 		return "", false
 	}
 	p = p.Canonical()
@@ -215,5 +215,6 @@ func colsKey(cols []cell1) (string, bool) {
 // table cache: per-run observability hooks record the run that produced
 // them, so a config carrying any hook must execute for real.
 func tableCacheable(rc RunConfig) bool {
-	return rc.Trace == nil && rc.Heatmap == nil && rc.Metrics == nil && rc.Progress == nil
+	return rc.Trace == nil && rc.Heatmap == nil && rc.Metrics == nil &&
+		rc.Progress == nil && rc.Backend == ""
 }

@@ -31,8 +31,9 @@ const codeVersionSalt = "deuce-measure-v6"
 // bit-identical by contract (DESIGN.md §9).
 func InputsHash(id string, rc RunConfig) string {
 	// Progress is pure narration and does not gate hashing; the recording
-	// hooks do.
-	if rc.Trace != nil || rc.Heatmap != nil || rc.Metrics != nil {
+	// hooks do, and so does a durable backend (its on-disk state is part
+	// of the run's product and cannot come from a recording).
+	if rc.Trace != nil || rc.Heatmap != nil || rc.Metrics != nil || rc.Backend != "" {
 		return ""
 	}
 	rc.setDefaults()

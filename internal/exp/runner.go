@@ -54,6 +54,21 @@ type RunConfig struct {
 	// engine regardless of this setting.
 	TimingShards int
 
+	// Backend selects durable page storage for each cell's scheme:
+	// "" (in-memory, the default), "file" or "dir" (internal/backend,
+	// threaded via core.Params.MakeBackend). Results are bit-identical
+	// across backends — the restart differential suite pins this — so the
+	// setting exists to exercise the durable path at experiment scale, and
+	// a non-empty Backend therefore bypasses every cache (warm forks,
+	// cell and table memoization, recorded-table reuse): a cached or
+	// forked result would never touch the disk the caller asked for.
+	// Wear-leveled cells (MakeArray) keep their in-memory arrays — remap
+	// registers are volatile controller state a backend cannot carry.
+	Backend string
+	// BackendDir is the parent directory for Backend state; each cell
+	// gets a fresh subdirectory (left behind for inspection).
+	BackendDir string
+
 	// Observability hooks. Trace, Heatmap and Metrics follow the
 	// single-writer contract (one run, one goroutine), so grid sweeps
 	// clear them before fanning out — they describe a single run, not a

@@ -3,6 +3,15 @@
 // results as aligned text tables whose rows and series match what the paper
 // reports. cmd/deucebench and the repository-level benchmarks are thin
 // wrappers around this package.
+//
+// Concurrency: Experiment.Run is safe to call from multiple goroutines —
+// the process-wide result caches are single-flight (GridCache), cached
+// warm state is frozen and only ever forked, and the grid runners fan
+// cells out over an internal worker pool whose cells each own their
+// scheme instance outright. The per-run observability hooks in RunConfig
+// (Trace, Heatmap, Metrics) are the exception: they are single-writer,
+// which is why the grids clear them before fanning out and why a config
+// carrying one bypasses every cache.
 package exp
 
 import (

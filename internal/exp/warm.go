@@ -2,6 +2,7 @@ package exp
 
 import (
 	"fmt"
+	"os"
 
 	"deuce/internal/core"
 	"deuce/internal/obs/span"
@@ -154,7 +155,7 @@ func warmedScheme(prof workload.Profile, kind core.Kind, params core.Params, rc 
 		wsp.Annotate(span.Str("outcome", outcome))
 		wsp.End()
 	}()
-	if warmReuseEnabled() && rc.Trace == nil {
+	if warmReuseEnabled() && rc.Trace == nil && rc.Backend == "" {
 		if _, ok := paramsKey(params); ok {
 			s, gen, err := warmFork(prof, kind, params, rc, topo)
 			if err == nil {
@@ -182,6 +183,16 @@ func warmedScheme(prof workload.Profile, kind core.Kind, params core.Params, rc 
 	}
 	params.Lines = gen.Lines()
 	params.Trace = rc.Trace
+	if rc.Backend != "" && params.MakeArray == nil {
+		// Each cell gets a fresh directory: reopening another run's pages
+		// would seed the array with stale contents instead of the lazily
+		// initialized zero state every measurement assumes.
+		dir, err := os.MkdirTemp(rc.BackendDir, "cell-*")
+		if err != nil {
+			return nil, nil, fmt.Errorf("exp: backend state dir: %w", err)
+		}
+		params.MakeBackend = core.DirBackendMaker(dir, rc.Backend == "dir", 0)
+	}
 	s, err = core.New(kind, params)
 	if err != nil {
 		return nil, nil, err
@@ -253,6 +264,11 @@ func cellCacheable(params core.Params, rc RunConfig) bool {
 		return false
 	}
 	if _, ok := paramsKey(params); !ok {
+		return false
+	}
+	// A durable backend must execute for real: the run's observable
+	// product includes the on-disk state, which a cached result lacks.
+	if rc.Backend != "" {
 		return false
 	}
 	return rc.Trace == nil && rc.Heatmap == nil && rc.Metrics == nil

@@ -126,3 +126,29 @@ func Expectations() []Expectation {
 			Note: "Fig. 18 shape: BLE > DEUCE > BLE+DEUCE"},
 	}
 }
+
+// ExtensionExpectations gates the durability drills that go beyond the
+// paper (exp.Extensions, DESIGN.md §14). Unlike the calibrated workload
+// statistics above, every metric here is a structural 0/1 indicator from a
+// deterministic simulated-crash drill, so the tolerance is exactly zero:
+// any deviation means the persistence-domain model or the recovery
+// detection broke, not that a measurement drifted.
+func ExtensionExpectations() []Expectation {
+	return []Expectation{
+		// ext-eadr — ADR vs eADR persistence domains.
+		{Experiment: "ext-eadr", Kind: Absolute, Metric: "data_loss/adr", Paper: 1, Tolerance: 0,
+			Note: "ext-eadr: an ADR crash must lose the writes queued past the last Sync"},
+		{Experiment: "ext-eadr", Kind: Absolute, Metric: "at_checkpoint/adr", Paper: 1, Tolerance: 0,
+			Note: "ext-eadr: ADR recovery lands exactly on the last Sync's durable image"},
+		{Experiment: "ext-eadr", Kind: Absolute, Metric: "data_loss/eadr", Paper: 0, Tolerance: 0,
+			Note: "ext-eadr: an eADR crash loses nothing — the domain covers the write queue"},
+
+		// ext-ctrrec — torn-sync detection and localization.
+		{Experiment: "ext-ctrrec", Kind: Absolute, Metric: "detected/tear", Paper: 1, Tolerance: 0,
+			Note: "ext-ctrrec: a crash between cell and counter writeback must be detected on restart"},
+		{Experiment: "ext-ctrrec", Kind: Absolute, Metric: "located/ctr_region", Paper: 1, Tolerance: 0,
+			Note: "ext-ctrrec: every diverged page localizes to the counter region (cells flush first)"},
+		{Experiment: "ext-ctrrec", Kind: Absolute, Metric: "detected/clean", Paper: 0, Tolerance: 0,
+			Note: "ext-ctrrec: a completed sync raises no false positive"},
+	}
+}

@@ -12,6 +12,11 @@
 // (6k / 512) with margin for seed-to-seed noise, while still catching the
 // regressions that matter: a percentage-point-scale shift in a flip
 // fraction, a broken ordering, or a lifetime ratio collapsing.
+//
+// Concurrency: the package is stateless — expectation constructors return
+// fresh values and checking only reads the table it is handed — so
+// concurrent checks are safe; the experiment executions they trigger
+// coordinate through internal/exp's single-flight caches.
 package fidelity
 
 import (

@@ -11,6 +11,10 @@
 //
 // FNW guarantees at most ⌊(w+1)/2⌋ programmed cells per word including the
 // flip bit, because cost(keep) + cost(invert) = w + 1 for every word.
+//
+// Concurrency: the codec is pure functions over caller-owned slices with
+// no package state; calls from different goroutines on different data
+// need no synchronization.
 package fnw
 
 import (

@@ -11,6 +11,13 @@
 // use one leaf per line covering its counter and metadata image — with
 // SHA-256, incremental updates in O(log n), and verification either of a
 // single leaf against the root or of the whole tree.
+//
+// Concurrency: Tree and Guard are unlocked single-owner state, mutated
+// inline by the goroutine that owns the enclosing scheme — the memory
+// controller in the modeled system is one agent, and the code mirrors
+// that. The digest helpers (PageDigests, DiffPages) only read the
+// backends they are handed; running them concurrently with writes to
+// those backends is a race in the caller.
 package integrity
 
 import (

@@ -3,6 +3,10 @@
 // (internal/servefront): probe-chain wraparound across the modulo
 // boundary, and a collision-heavy near-full fill. Both take a generic
 // testing.TB so they run under tests and benchmarks alike.
+//
+// Concurrency: each exercise drives its store from the calling goroutine
+// only, matching kvstore's single-owner contract; concurrent access is
+// the front ends' job (internal/servefront), not these helpers'.
 package kvtest
 
 import (

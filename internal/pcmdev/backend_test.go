@@ -1,0 +1,155 @@
+package pcmdev
+
+import (
+	"bytes"
+	"errors"
+	"math/rand"
+	"path/filepath"
+	"testing"
+
+	"deuce/internal/backend"
+)
+
+// TestBackendDifferential drives the identical write stream into devices on
+// every backend and requires bit-identical contents, statistics and wear
+// profiles — the device-level half of the restart differential suite.
+func TestBackendDifferential(t *testing.T) {
+	cfg := Config{Lines: 64, LineBytes: 64, MetaBits: 33, TrackPerLineWear: true}
+	root := t.TempDir()
+	mk := map[string]func() (*Device, error){
+		"mem": func() (*Device, error) { return New(cfg) },
+		"file": func() (*Device, error) {
+			be, err := backend.OpenFile(filepath.Join(root, "file.pg"), cfg.Lines, cfg.PageBytes())
+			if err != nil {
+				return nil, err
+			}
+			return NewOnBackend(cfg, be)
+		},
+		"file-nommap": func() (*Device, error) {
+			be, err := backend.OpenFile(filepath.Join(root, "nommap.pg"), cfg.Lines, cfg.PageBytes(),
+				backend.FileOptions{NoMmap: true})
+			if err != nil {
+				return nil, err
+			}
+			return NewOnBackend(cfg, be)
+		},
+		"dir": func() (*Device, error) {
+			be, err := backend.OpenDir(filepath.Join(root, "dir"), cfg.Lines, cfg.PageBytes(), 4)
+			if err != nil {
+				return nil, err
+			}
+			return NewOnBackend(cfg, be)
+		},
+		"crashsim": func() (*Device, error) {
+			return NewOnBackend(cfg, backend.NewCrashSim(backend.NewMem(cfg.Lines, cfg.PageBytes())))
+		},
+	}
+
+	devs := map[string]*Device{}
+	for name, f := range mk {
+		d, err := f()
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		devs[name] = d
+	}
+	defer func() {
+		for _, d := range devs {
+			d.Close()
+		}
+	}()
+
+	metaBytes := (cfg.MetaBits + 7) / 8
+	rng := rand.New(rand.NewSource(42))
+	data := make([]byte, cfg.LineBytes)
+	meta := make([]byte, metaBytes)
+	for i := 0; i < 1500; i++ {
+		line := uint64(rng.Intn(cfg.Lines))
+		rng.Read(data)
+		rng.Read(meta)
+		var want WriteResult
+		for j, name := range []string{"mem", "file", "file-nommap", "dir", "crashsim"} {
+			got := devs[name].Write(line, data, meta)
+			if j == 0 {
+				want = got
+				want.SlotFlips = append([]int(nil), got.SlotFlips...)
+			} else if got.DataFlips != want.DataFlips || got.MetaFlips != want.MetaFlips || got.Slots != want.Slots {
+				t.Fatalf("write %d: %s result %+v, mem result %+v", i, name, got, want)
+			}
+		}
+	}
+	ref := devs["mem"]
+	for name, d := range devs {
+		if name == "mem" {
+			continue
+		}
+		if d.Stats() != ref.Stats() {
+			t.Fatalf("%s stats %+v, mem %+v", name, d.Stats(), ref.Stats())
+		}
+		for l := uint64(0); l < uint64(cfg.Lines); l++ {
+			dGot, mGot := d.Peek(l)
+			dWant, mWant := ref.Peek(l)
+			if !bytes.Equal(dGot, dWant) || !bytes.Equal(mGot, mWant) {
+				t.Fatalf("%s line %d contents diverge", name, l)
+			}
+		}
+		pw, pwRef := d.PositionWrites(), ref.PositionWrites()
+		for p := range pw {
+			if pw[p] != pwRef[p] {
+				t.Fatalf("%s position %d wear %d, mem %d", name, p, pw[p], pwRef[p])
+			}
+		}
+	}
+}
+
+// TestBackendReopen pins device-level durability: cells written before
+// Sync+Close are read back by a device reopened on the same file.
+func TestBackendReopen(t *testing.T) {
+	cfg := Config{Lines: 16, LineBytes: 64, MetaBits: 5}
+	path := filepath.Join(t.TempDir(), "dev.pg")
+	open := func() *Device {
+		be, err := backend.OpenFile(path, cfg.Lines, cfg.PageBytes())
+		if err != nil {
+			t.Fatal(err)
+		}
+		d, err := NewOnBackend(cfg, be)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return d
+	}
+	d := open()
+	data := bytes.Repeat([]byte{0xA5}, cfg.LineBytes)
+	meta := []byte{0x15}
+	d.Write(3, data, meta)
+	if err := d.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	r := open()
+	defer r.Close()
+	gotData, gotMeta := r.Peek(3)
+	if !bytes.Equal(gotData, data) || !bytes.Equal(gotMeta, meta) {
+		t.Fatalf("reopened contents diverge: %x / %x", gotData[:8], gotMeta)
+	}
+	// Stats are volatile controller state: the reopened device starts cold.
+	if r.Stats() != (Stats{}) {
+		t.Fatalf("reopened stats %+v, want zero", r.Stats())
+	}
+}
+
+// TestNewOnBackendGeometry pins the typed geometry error.
+func TestNewOnBackendGeometry(t *testing.T) {
+	cfg := Config{Lines: 8, LineBytes: 64}
+	_, err := NewOnBackend(cfg, backend.NewMem(9, cfg.PageBytes()))
+	if !errors.Is(err, backend.ErrGeometry) {
+		t.Fatalf("got %v, want ErrGeometry", err)
+	}
+	_, err = NewOnBackend(cfg, backend.NewMem(8, cfg.PageBytes()+1))
+	if !errors.Is(err, backend.ErrGeometry) {
+		t.Fatalf("got %v, want ErrGeometry", err)
+	}
+}

@@ -1,5 +1,7 @@
 package pcmdev
 
+import "deuce/internal/backend"
+
 // Fork returns an independent deep copy of the device: contents, metadata,
 // statistics and wear profiles are duplicated, so writes to either device
 // never affect the other. It is the in-memory fast path behind warm-state
@@ -7,37 +9,24 @@ package pcmdev
 // instead of replaying the warmup, with bit-identical results — the copy
 // preserves every field that Serialize/Restore would round-trip, plus the
 // statistics counters the measured window subtracts away via ResetStats.
+//
+// The fork always lands on the in-memory backend, whatever the original
+// runs on: warm cells are RAM-resident working copies, never a second
+// handle on the same durable file.
 func (d *Device) Fork() *Device {
-	nd := &Device{
-		cfg:        d.cfg,
-		data:       forkMatrix(d.data),
-		meta:       forkMatrix(d.meta),
-		stats:      d.stats,
-		posWrites:  append([]uint64(nil), d.posWrites...),
-		lineWrites: append([]uint64(nil), d.lineWrites...),
+	nd := MustNew(d.cfg)
+	mem := nd.pg.(*backend.Mem)
+	for l := 0; l < d.cfg.Lines; l++ {
+		copy(mem.Page(l), d.page(uint64(l)))
 	}
+	nd.stats = d.stats
+	copy(nd.posWrites, d.posWrites)
+	copy(nd.lineWrites, d.lineWrites)
 	if d.lineWear != nil {
-		nd.lineWear = make([][]uint32, len(d.lineWear))
 		for i, w := range d.lineWear {
-			nd.lineWear[i] = append([]uint32(nil), w...)
+			copy(nd.lineWear[i], w)
 		}
 	}
-	if d.slotScratch != nil {
-		nd.slotScratch = make([]int, len(d.slotScratch))
-	}
+	nd.slotScratch = make([]int, len(d.slotScratch))
 	return nd
-}
-
-// forkMatrix deep-copies a per-line byte matrix, preserving nil rows.
-func forkMatrix(m [][]byte) [][]byte {
-	if m == nil {
-		return nil
-	}
-	out := make([][]byte, len(m))
-	for i, row := range m {
-		if row != nil {
-			out[i] = append([]byte(nil), row...)
-		}
-	}
-	return out
 }

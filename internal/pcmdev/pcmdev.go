@@ -18,6 +18,16 @@
 // The device knows nothing about encryption: schemes in internal/core decide
 // what ciphertext and metadata image to store, the device stores it and
 // reports the cost.
+//
+// Storage lives behind internal/backend: line l is page l of a Backend whose
+// page layout is [LineBytes data][⌈MetaBits/8⌉ metadata]. New builds the
+// device on the in-memory backend (the status quo); NewOnBackend accepts a
+// file or sharded-directory backend, making cell contents durable across
+// Close/reopen. Backends exposing the zero-copy Pager fast path (RAM, mmap)
+// keep the write path allocation-free; others go through a scratch page.
+//
+// Concurrency: a Device is single-goroutine, like every Backend under it;
+// the experiment harness runs one device per goroutine.
 package pcmdev
 
 import (
@@ -25,6 +35,7 @@ import (
 	"fmt"
 	"math/bits"
 
+	"deuce/internal/backend"
 	"deuce/internal/bitutil"
 )
 
@@ -57,6 +68,15 @@ func (c *Config) setDefaults() {
 
 // LineBits returns the number of data cells per line.
 func (c Config) LineBits() int { return c.LineBytes * 8 }
+
+// PageBytes returns the backend page size this geometry needs: the data
+// payload followed by the packed metadata cells. Callers constructing a
+// backend for NewOnBackend size its pages with this (and its page count
+// with Lines).
+func (c Config) PageBytes() int {
+	c.setDefaults()
+	return c.LineBytes + (c.MetaBits+7)/8
+}
 
 // TotalBitsPerLine returns data plus metadata cells per line.
 func (c Config) TotalBitsPerLine() int { return c.LineBytes*8 + c.MetaBits }
@@ -127,9 +147,18 @@ func (r WriteResult) TotalFlips() int { return r.DataFlips + r.MetaFlips }
 // Device is a simulated PCM array. It is not safe for concurrent use; the
 // experiment harness runs one device per goroutine.
 type Device struct {
-	cfg  Config
-	data [][]byte // raw stored cells, Lines × LineBytes
-	meta [][]byte // metadata cells, Lines × ceil(MetaBits/8)
+	cfg Config
+
+	// be stores the cells: line l is page l, laid out as
+	// [LineBytes data][metaBytes metadata].
+	be backend.Backend
+	// pg is the zero-copy fast path (non-nil for RAM and mmap backends);
+	// nil routes every access through pageBuf + ReadPage/WritePage.
+	pg backend.Pager
+	// pageBuf is the slow-path scratch page, sized PageBytes.
+	pageBuf   []byte
+	lineBytes int
+	metaBytes int
 
 	stats Stats
 
@@ -151,30 +180,42 @@ type Device struct {
 	slotScratch []int
 }
 
-// New creates a PCM array with all cells zero.
+// New creates a PCM array with all cells zero, stored in RAM.
 func New(cfg Config) (*Device, error) {
 	cfg.setDefaults()
-	if cfg.Lines <= 0 {
-		return nil, fmt.Errorf("pcmdev: Lines must be positive, got %d", cfg.Lines)
+	if err := cfg.check(); err != nil {
+		return nil, err
 	}
-	if cfg.LineBytes <= 0 || cfg.LineBytes%(SlotBits/8) != 0 {
-		return nil, fmt.Errorf("pcmdev: LineBytes must be a positive multiple of %d, got %d", SlotBits/8, cfg.LineBytes)
+	return NewOnBackend(cfg, backend.NewMem(cfg.Lines, cfg.PageBytes()))
+}
+
+// NewOnBackend creates a PCM array whose cells live in be. The backend
+// geometry must be exactly Lines pages of Config.PageBytes bytes each; a
+// mismatch fails with backend.ErrGeometry. Existing backend contents are
+// preserved — reopening a file backend resumes from the stored cells —
+// while statistics and wear profiles always start at zero (they are
+// volatile controller state; see Serialize).
+func NewOnBackend(cfg Config, be backend.Backend) (*Device, error) {
+	cfg.setDefaults()
+	if err := cfg.check(); err != nil {
+		return nil, err
 	}
-	if cfg.MetaBits < 0 {
-		return nil, fmt.Errorf("pcmdev: negative MetaBits %d", cfg.MetaBits)
+	if be.Pages() != cfg.Lines || be.PageSize() != cfg.PageBytes() {
+		return nil, fmt.Errorf("pcmdev: backend holds %d×%dB pages, geometry needs %d×%dB: %w",
+			be.Pages(), be.PageSize(), cfg.Lines, cfg.PageBytes(), backend.ErrGeometry)
 	}
 	d := &Device{
 		cfg:         cfg,
-		data:        make([][]byte, cfg.Lines),
-		meta:        make([][]byte, cfg.Lines),
+		be:          be,
+		pg:          backend.AsPager(be),
+		lineBytes:   cfg.LineBytes,
+		metaBytes:   (cfg.MetaBits + 7) / 8,
 		posWrites:   make([]uint64, cfg.TotalBitsPerLine()),
 		lineWrites:  make([]uint64, cfg.Lines),
 		slotScratch: make([]int, 0, cfg.LineBytes*8/SlotBits),
 	}
-	metaBytes := (cfg.MetaBits + 7) / 8
-	for i := range d.data {
-		d.data[i] = make([]byte, cfg.LineBytes)
-		d.meta[i] = make([]byte, metaBytes)
+	if d.pg == nil {
+		d.pageBuf = make([]byte, cfg.PageBytes())
 	}
 	if cfg.TrackPerLineWear {
 		d.lineWear = make([][]uint32, cfg.Lines)
@@ -184,6 +225,58 @@ func New(cfg Config) (*Device, error) {
 	}
 	return d, nil
 }
+
+// check validates a defaulted geometry.
+func (c Config) check() error {
+	if c.Lines <= 0 {
+		return fmt.Errorf("pcmdev: Lines must be positive, got %d", c.Lines)
+	}
+	if c.LineBytes <= 0 || c.LineBytes%(SlotBits/8) != 0 {
+		return fmt.Errorf("pcmdev: LineBytes must be a positive multiple of %d, got %d", SlotBits/8, c.LineBytes)
+	}
+	if c.MetaBits < 0 {
+		return fmt.Errorf("pcmdev: negative MetaBits %d", c.MetaBits)
+	}
+	return nil
+}
+
+// page returns the stored page image of a line for in-place mutation. On
+// the Pager fast path it aliases live backend storage; otherwise it loads
+// the page into the device scratch and the caller must flushPage after
+// mutating. Backend I/O failures at this level are programming or media
+// errors mid-operation with no way to unwind scheme state, so they panic;
+// open-time failures are the typed-error surface.
+func (d *Device) page(line uint64) []byte {
+	if d.pg != nil {
+		return d.pg.Page(int(line))
+	}
+	if err := d.be.ReadPage(int(line), d.pageBuf); err != nil {
+		panic(fmt.Sprintf("pcmdev: backend read of line %d: %v", line, err))
+	}
+	return d.pageBuf
+}
+
+// flushPage writes a mutated slow-path page back; a no-op on the fast path
+// (the mutation already hit live storage).
+func (d *Device) flushPage(line uint64, p []byte) {
+	if d.pg != nil {
+		return
+	}
+	if err := d.be.WritePage(int(line), p); err != nil {
+		panic(fmt.Sprintf("pcmdev: backend write of line %d: %v", line, err))
+	}
+}
+
+// Sync flushes every write so far into the backend's persistence domain
+// (a no-op for the in-memory backend).
+func (d *Device) Sync() error { return d.be.Sync() }
+
+// Close releases the backend without an implicit Sync.
+func (d *Device) Close() error { return d.be.Close() }
+
+// Backend returns the storage under the device, for drills that crash or
+// inspect it directly.
+func (d *Device) Backend() backend.Backend { return d.be }
 
 // MustNew is New for configurations known to be valid.
 func MustNew(cfg Config) *Device {
@@ -204,7 +297,8 @@ func (d *Device) Lines() int { return d.cfg.Lines }
 func (d *Device) Read(line uint64) (data, meta []byte) {
 	d.checkLine(line)
 	d.stats.Reads++
-	return bitutil.Clone(d.data[line]), bitutil.Clone(d.meta[line])
+	p := d.page(line)
+	return bitutil.Clone(p[:d.lineBytes]), bitutil.Clone(p[d.lineBytes:])
 }
 
 // Peek is Read without statistics side effects, for schemes that must
@@ -212,7 +306,8 @@ func (d *Device) Read(line uint64) (data, meta []byte) {
 // already accounted by the caller).
 func (d *Device) Peek(line uint64) (data, meta []byte) {
 	d.checkLine(line)
-	return bitutil.Clone(d.data[line]), bitutil.Clone(d.meta[line])
+	p := d.page(line)
+	return bitutil.Clone(p[:d.lineBytes]), bitutil.Clone(p[d.lineBytes:])
 }
 
 // PeekInto is Peek into caller-owned buffers: it copies the stored data and
@@ -224,14 +319,15 @@ func (d *Device) PeekInto(line uint64, data, meta []byte) {
 	if len(data) != d.cfg.LineBytes {
 		panic(fmt.Sprintf("pcmdev: PeekInto data buffer of %d bytes for %d-byte line", len(data), d.cfg.LineBytes))
 	}
-	copy(data, d.data[line])
+	p := d.page(line)
+	copy(data, p[:d.lineBytes])
 	if d.cfg.MetaBits == 0 {
 		return
 	}
-	if len(meta) != len(d.meta[line]) {
-		panic(fmt.Sprintf("pcmdev: PeekInto metadata buffer of %d bytes, want %d", len(meta), len(d.meta[line])))
+	if len(meta) != d.metaBytes {
+		panic(fmt.Sprintf("pcmdev: PeekInto metadata buffer of %d bytes, want %d", len(meta), d.metaBytes))
 	}
-	copy(meta, d.meta[line])
+	copy(meta, p[d.lineBytes:])
 }
 
 // ReadInto is Read into caller-owned buffers: the same copy-out as
@@ -251,11 +347,12 @@ func (d *Device) Write(line uint64, newData, newMeta []byte) WriteResult {
 	if len(newData) != d.cfg.LineBytes {
 		panic(fmt.Sprintf("pcmdev: write of %d bytes to %d-byte line", len(newData), d.cfg.LineBytes))
 	}
-	if d.cfg.MetaBits > 0 && len(newMeta) != len(d.meta[line]) {
-		panic(fmt.Sprintf("pcmdev: metadata write of %d bytes, want %d", len(newMeta), len(d.meta[line])))
+	if d.cfg.MetaBits > 0 && len(newMeta) != d.metaBytes {
+		panic(fmt.Sprintf("pcmdev: metadata write of %d bytes, want %d", len(newMeta), d.metaBytes))
 	}
 
-	old := d.data[line]
+	p := d.page(line)
+	old := p[:d.lineBytes]
 	res := WriteResult{}
 
 	// Per-slot flip accounting over 128-bit chunks of the data payload.
@@ -280,11 +377,14 @@ func (d *Device) Write(line uint64, newData, newMeta []byte) WriteResult {
 
 	// Metadata cells, same DCW treatment.
 	if d.cfg.MetaBits > 0 {
-		oldMeta := d.meta[line]
+		oldMeta := p[d.lineBytes:]
 		res.MetaFlips = d.recordFlips(line, oldMeta, newMeta, d.cfg.LineBits(), d.cfg.MetaBits)
 		if res.MetaFlips > 0 {
 			copy(oldMeta, newMeta)
 		}
+	}
+	if res.DataFlips+res.MetaFlips > 0 {
+		d.flushPage(line, p)
 	}
 
 	d.stats.Writes++
@@ -361,13 +461,15 @@ func (d *Device) Load(line uint64, data, meta []byte) {
 	if len(data) != d.cfg.LineBytes {
 		panic(fmt.Sprintf("pcmdev: load of %d bytes to %d-byte line", len(data), d.cfg.LineBytes))
 	}
-	copy(d.data[line], data)
+	p := d.page(line)
+	copy(p[:d.lineBytes], data)
 	if meta != nil {
-		if len(meta) != len(d.meta[line]) {
-			panic(fmt.Sprintf("pcmdev: metadata load of %d bytes, want %d", len(meta), len(d.meta[line])))
+		if len(meta) != d.metaBytes {
+			panic(fmt.Sprintf("pcmdev: metadata load of %d bytes, want %d", len(meta), d.metaBytes))
 		}
-		copy(d.meta[line], meta)
+		copy(p[d.lineBytes:], meta)
 	}
+	d.flushPage(line, p)
 }
 
 // Stats returns a snapshot of the device counters.

@@ -25,14 +25,10 @@ func (d *Device) Serialize(w io.Writer) error {
 			return fmt.Errorf("pcmdev: %w", err)
 		}
 	}
+	// Each page is already laid out as [data][meta], the wire order.
 	for line := 0; line < d.cfg.Lines; line++ {
-		if _, err := bw.Write(d.data[line]); err != nil {
+		if _, err := bw.Write(d.page(uint64(line))); err != nil {
 			return fmt.Errorf("pcmdev: line %d: %w", line, err)
-		}
-		if len(d.meta[line]) > 0 {
-			if _, err := bw.Write(d.meta[line]); err != nil {
-				return fmt.Errorf("pcmdev: line %d meta: %w", line, err)
-			}
 		}
 	}
 	return bw.Flush()
@@ -60,14 +56,11 @@ func (d *Device) Restore(r io.Reader) error {
 			lines, lineBytes, metaBits, d.cfg.Lines, d.cfg.LineBytes, d.cfg.MetaBits)
 	}
 	for line := 0; line < d.cfg.Lines; line++ {
-		if _, err := io.ReadFull(br, d.data[line]); err != nil {
+		p := d.page(uint64(line))
+		if _, err := io.ReadFull(br, p); err != nil {
 			return fmt.Errorf("pcmdev: line %d: %w", line, err)
 		}
-		if len(d.meta[line]) > 0 {
-			if _, err := io.ReadFull(br, d.meta[line]); err != nil {
-				return fmt.Errorf("pcmdev: line %d meta: %w", line, err)
-			}
-		}
+		d.flushPage(uint64(line), p)
 	}
 	return nil
 }

@@ -8,6 +8,11 @@
 // (median-of-runs, minimum sample counts, benchstat-style percent-change
 // reporting) and renders trends as markdown tables with unicode
 // sparklines (obs.Sparkline).
+//
+// Concurrency: the ledger is a plain file with no locking — one writer at
+// a time, which CI guarantees by construction (each job appends from a
+// single process). Loaded runs and comparison results are immutable
+// values, safe to read from anywhere.
 package regress
 
 import (

@@ -1,6 +1,10 @@
 // Package stats provides the small statistical toolkit the experiment
 // harness uses: streaming moments (Welford), histograms, and geometric
 // means (the conventional aggregate for speedup figures).
+//
+// Concurrency: every accumulator is unlocked single-owner state — one
+// goroutine feeds it, then reads it. The concurrency-safe counterparts
+// for serving telemetry live in internal/obs/serve, not here.
 package stats
 
 import (

@@ -4,6 +4,10 @@
 // line's bits by an algebraic function of the Start register, the hashed
 // per-line rotation variant of footnote 2, and the endurance-limited
 // lifetime model behind Figures 12 and 14.
+//
+// Concurrency: the wear-leveling remapper is unlocked single-owner state
+// on the write path, advanced inline by the goroutine that owns the
+// scheme instance, like everything else in the controller model.
 package wear
 
 import (

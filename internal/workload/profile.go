@@ -14,6 +14,11 @@
 //
 // Each Profile encodes those properties for one benchmark; Generator turns
 // a profile into a deterministic stream of writebacks and read misses.
+//
+// Concurrency: a Generator is unlocked single-owner state (it advances a
+// deterministic clonerand stream). Cached warm generators are never
+// advanced after construction — consumers take Fork, which hands each
+// caller an independent generator parked at the same stream position.
 package workload
 
 import "fmt"
